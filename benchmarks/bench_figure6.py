@@ -1,0 +1,18 @@
+"""Benchmark: Figure 6 — evolutionary trajectories (best validation IC as the
+search progresses) for the best alpha of every mining round."""
+
+from common import bench_config, report
+from repro.experiments import run_figure6
+
+
+def test_figure6(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(run_figure6, args=(config,), iterations=1, rounds=1)
+    report(result, "figure6")
+
+    assert len(result.rows) == config.num_rounds
+    for row in result.rows:
+        # Trajectories are monotone non-decreasing in the best fitness.
+        assert row["at_100"] >= row["at_25"] - 1e-12
+    # The raw series are available for plotting.
+    assert all(points for points in result.metadata["series"].values())

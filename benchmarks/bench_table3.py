@@ -1,0 +1,19 @@
+"""Benchmark: Table 3 — weakly correlated alpha mining across the four
+initialisations (D / NOOP / R / NN) over five rounds."""
+
+from common import bench_config, report
+from repro.experiments import run_table3
+
+
+def test_table3(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(run_table3, args=(config,), iterations=1, rounds=1)
+    report(result, "table3")
+
+    rounds = {row["round"] for row in result.rows}
+    assert rounds == set(range(config.num_rounds))
+    # Every round except the first must report a correlation against the
+    # previously accepted best alphas.
+    for row in result.rows:
+        if row["round"] > 0:
+            assert row["correlation"] is not None

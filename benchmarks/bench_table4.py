@@ -1,0 +1,16 @@
+"""Benchmark: Table 4 — ablation of the parameter-updating function on the
+best alpha of every mining round (the ``*_P`` rows)."""
+
+from common import bench_config, report
+from repro.experiments import run_table4
+
+
+def test_table4(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(run_table4, args=(config,), iterations=1, rounds=1)
+    report(result, "table4")
+
+    assert len(result.rows) % 2 == 0
+    pairs = [(result.rows[i], result.rows[i + 1]) for i in range(0, len(result.rows), 2)]
+    for base, ablated in pairs:
+        assert ablated["alpha"] == base["alpha"] + "_P"

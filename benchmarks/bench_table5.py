@@ -1,0 +1,18 @@
+"""Benchmark: Table 5 — comparison of AlphaEvolve alphas with the complex
+machine-learning alphas (Rank_LSTM and RSR, mean ± std over seeds)."""
+
+from common import bench_config, report
+from repro.experiments import run_table5
+
+
+def test_table5(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(run_table5, args=(config,), iterations=1, rounds=1)
+    report(result, "table5")
+
+    rows = {row["alpha"]: row for row in result.rows}
+    assert set(rows) == {"alpha_AE_D_0", "alpha_AE_NN_1", "Rank_LSTM", "RSR"}
+    # Shape check: the evolved alpha beats both complex machine-learning alphas
+    # (small tolerance: test-split ICs are noisy at this scale).
+    assert rows["alpha_AE_D_0"]["ic"] >= rows["Rank_LSTM"]["ic"] - 0.02
+    assert rows["alpha_AE_D_0"]["ic"] >= rows["RSR"]["ic"] - 0.02

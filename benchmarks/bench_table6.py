@@ -1,0 +1,20 @@
+"""Benchmark: Table 6 — efficiency of the pruning technique: number of
+searched alphas with and without prune-before-evaluate fingerprinting under
+the same wall-clock budget."""
+
+from common import bench_config, report
+from repro.experiments import run_table6
+
+
+def test_table6(benchmark):
+    config = bench_config()
+    result = benchmark.pedantic(run_table6, args=(config,), iterations=1, rounds=1)
+    report(result, "table6")
+
+    by_pruning = {}
+    for row in result.rows:
+        by_pruning.setdefault(row["alpha"].rstrip("_N"), {})[row["pruning"]] = row
+    # Shape check: pruning lets the search process strictly more candidates
+    # within the same time budget for every initialisation.
+    for name, variants in by_pruning.items():
+        assert variants[True]["searched"] > variants[False]["searched"], name

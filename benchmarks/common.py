@@ -1,0 +1,69 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or its figure through
+:mod:`repro.experiments.runner` and prints the resulting rows next to the
+paper's reference numbers, so the *shape* of the reproduction can be checked
+at a glance.  Absolute values differ from the paper because the data
+substrate is a synthetic market and the search budgets are laptop-scale (see
+DESIGN.md section 2 and EXPERIMENTS.md).
+
+Scale selection: set ``REPRO_BENCH_SCALE=smoke`` for a fast CI-sized run or
+``REPRO_BENCH_SCALE=laptop`` (default) for the configuration used to fill
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+from repro.experiments import ExperimentConfig, LAPTOP, PAPER_REFERENCE, SMOKE, save_result
+
+__all__ = ["bench_config", "report"]
+
+#: Where each benchmark drops its rendered table and JSON rows.
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration selected through ``REPRO_BENCH_SCALE``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "laptop").lower()
+    if scale == "smoke":
+        return SMOKE
+    if scale == "laptop":
+        # A slightly trimmed laptop configuration so the full benchmark suite
+        # finishes within a few minutes while keeping every protocol intact.
+        return LAPTOP.scaled(
+            max_candidates=400,
+            round_time_budget_seconds=4.0,
+            pruning_time_budget_seconds=4.0,
+            nn_epochs=2,
+            nn_num_seeds=3,
+            nn_hidden_sizes=(16, 32),
+            nn_sequence_lengths=(4, 8),
+            nn_loss_alphas=(0.1, 1.0),
+        )
+    raise ValueError(f"unknown REPRO_BENCH_SCALE {scale!r}; use 'smoke' or 'laptop'")
+
+
+def report(result, experiment: str) -> None:
+    """Print the measured table (bypassing pytest capture) and persist it.
+
+    The rendered table plus the paper's reference rows go to the real stdout
+    (so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` shows
+    them), to ``benchmarks/results/<experiment>.txt``, and the structured rows
+    to ``benchmarks/results/<experiment>.json``.
+    """
+    lines = ["", result.rendered]
+    reference = PAPER_REFERENCE.get(experiment)
+    if reference:
+        lines.append(f"\nPaper reference ({experiment}):")
+        for row in reference:
+            lines.append("  " + ", ".join(f"{key}={value}" for key, value in row.items()))
+    lines.append("")
+    text = "\n".join(lines)
+    print(text, file=sys.__stdout__, flush=True)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    save_result(result, RESULTS_DIR)

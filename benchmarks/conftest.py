@@ -1,0 +1,7 @@
+"""Make the shared ``common`` helpers importable when pytest-benchmark runs
+from the repository root (``pytest benchmarks/ --benchmark-only``)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

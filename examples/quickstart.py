@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: evolve an alpha from a domain-expert seed and backtest it.
+
+This walks through the full AlphaEvolve pipeline on a synthetic NASDAQ-like
+market (no external data needed):
+
+1. simulate a market and build the per-stock prediction tasks;
+2. start from a hand-written moving-average-crossover alpha;
+3. evolve it with AlphaEvolve for a small candidate budget;
+4. backtest both alphas with the long-short strategy and compare.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import Dimensions, EvolutionConfig, MiningSession, domain_expert_alpha
+from repro.data import MarketConfig, Split, SyntheticMarket, build_taskset
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ data
+    market = SyntheticMarket(MarketConfig(num_stocks=80, num_days=420), seed=2021)
+    panel = market.generate()
+    taskset = build_taskset(panel, split=Split(train=255, valid=60, test=60))
+    print("Task set:", taskset.describe())
+
+    # ------------------------------------------------------------ evolution
+    session = MiningSession(
+        taskset,
+        evolution_config=EvolutionConfig(
+            population_size=30, tournament_size=10, max_candidates=500
+        ),
+        long_k=10,
+        short_k=10,
+        max_train_steps=60,
+        seed=7,
+    )
+    dims = Dimensions(taskset.num_features, taskset.window)
+    seed_alpha = domain_expert_alpha(dims)
+    print("\nDomain-expert alpha before evolving:\n")
+    print(seed_alpha.render())
+
+    expert = session.evaluate_alpha(seed_alpha, name="alpha_D_0")
+    evolved = session.search(seed_alpha, name="alpha_AE_D_0", enforce_cutoff=False)
+
+    # ------------------------------------------------------------- results
+    print("\nEvolved alpha (pruned for readability):\n")
+    print(session.simplify(evolved.program).render())
+
+    print("\n{:<14} {:>12} {:>10}".format("alpha", "Sharpe", "IC"))
+    for alpha in (expert, evolved):
+        print(f"{alpha.name:<14} {alpha.sharpe:>12.4f} {alpha.ic:>10.4f}")
+    print(
+        f"\nCandidates searched: {int(evolved.extras['searched_alphas'])}, "
+        f"actually evaluated: {int(evolved.extras['evaluated_alphas'])} "
+        "(the rest were pruned or served from the fingerprint cache)"
+    )
+
+
+if __name__ == "__main__":
+    main()

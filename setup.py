@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The offline environment this repository targets has no ``wheel`` package, so
+PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.  This
+``setup.py`` enables the legacy ``pip install -e .`` code path.  Project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

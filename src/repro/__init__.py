@@ -1,0 +1,82 @@
+"""AlphaEvolve reproduction.
+
+A from-scratch implementation of *"AlphaEvolve: A Learning Framework to
+Discover Novel Alphas in Quantitative Investment"* (Cui et al., SIGMOD 2021):
+an AutoML-style evolutionary framework that mines a weakly correlated set of
+"new class" alphas — programs over scalar, vector and matrix operands that
+combine the simplicity of formulaic alphas with the data-driven parameters of
+machine-learning alphas.
+
+Public API highlights
+---------------------
+* :mod:`repro.data`       — synthetic NASDAQ-like market, features, task sets
+* :mod:`repro.core`       — the alpha language, evaluator, pruning and search
+* :mod:`repro.backtest`   — long-short portfolio backtesting and metrics
+* :mod:`repro.baselines`  — genetic-programming, Rank_LSTM and RSR baselines
+* :mod:`repro.experiments`— runners that regenerate every table and figure
+"""
+
+from . import backtest, config, core, data, errors
+from .backtest import BacktestEngine, BacktestResult, sharpe_ratio
+from .core import (
+    AlphaEvaluator,
+    AlphaProgram,
+    CorrelationFilter,
+    Dimensions,
+    EvolutionConfig,
+    EvolutionController,
+    MinedAlpha,
+    MiningSession,
+    Mutator,
+    Operand,
+    Operation,
+    domain_expert_alpha,
+    get_initialization,
+    neural_network_alpha,
+    prune_program,
+)
+from .data import (
+    MarketConfig,
+    Split,
+    StockPanel,
+    SyntheticMarket,
+    TaskSet,
+    UniverseFilter,
+    build_taskset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlphaEvaluator",
+    "AlphaProgram",
+    "BacktestEngine",
+    "BacktestResult",
+    "CorrelationFilter",
+    "Dimensions",
+    "EvolutionConfig",
+    "EvolutionController",
+    "MarketConfig",
+    "MinedAlpha",
+    "MiningSession",
+    "Mutator",
+    "Operand",
+    "Operation",
+    "Split",
+    "StockPanel",
+    "SyntheticMarket",
+    "TaskSet",
+    "UniverseFilter",
+    "__version__",
+    "backtest",
+    "build_taskset",
+    "config",
+    "core",
+    "data",
+    "domain_expert_alpha",
+    "errors",
+    "get_initialization",
+    "neural_network_alpha",
+    "prune_program",
+    "sharpe_ratio",
+]

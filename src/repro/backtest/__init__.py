@@ -1,0 +1,28 @@
+"""Long-short backtesting substrate (Section 5.3 of the paper)."""
+
+from .engine import BacktestEngine, BacktestResult
+from .metrics import (
+    annualized_return,
+    annualized_volatility,
+    daily_information_coefficient,
+    information_coefficient,
+    max_drawdown,
+    pearson_correlation,
+    sharpe_ratio,
+)
+from .portfolio import LongShortPortfolio, PortfolioWeights, long_short_returns
+
+__all__ = [
+    "BacktestEngine",
+    "BacktestResult",
+    "LongShortPortfolio",
+    "PortfolioWeights",
+    "annualized_return",
+    "annualized_volatility",
+    "daily_information_coefficient",
+    "information_coefficient",
+    "long_short_returns",
+    "max_drawdown",
+    "pearson_correlation",
+    "sharpe_ratio",
+]

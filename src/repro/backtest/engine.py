@@ -1,0 +1,109 @@
+"""Backtest engine: turns a prediction panel into the paper's metrics.
+
+The engine wraps the long-short portfolio and metric functions into a single
+call that produces a :class:`BacktestResult` with everything Tables 1-6
+report: the annualised Sharpe ratio, the IC, the portfolio-return series
+(used for the weak-correlation cutoff) and a few extra diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import LONG_POSITIONS, SHORT_POSITIONS
+from ..data.dataset import TaskSet
+from ..errors import BacktestError
+from .metrics import (
+    annualized_return,
+    annualized_volatility,
+    daily_information_coefficient,
+    information_coefficient,
+    max_drawdown,
+    pearson_correlation,
+    sharpe_ratio,
+)
+from .portfolio import LongShortPortfolio
+
+__all__ = ["BacktestResult", "BacktestEngine"]
+
+
+@dataclass
+class BacktestResult:
+    """Evaluation of one alpha's predictions on one split."""
+
+    name: str
+    split: str
+    sharpe: float
+    ic: float
+    annual_return: float
+    annual_volatility: float
+    max_drawdown: float
+    portfolio_returns: np.ndarray
+    daily_ic: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def correlation_with(self, other: "BacktestResult") -> float:
+        """Pearson correlation of the two portfolio-return series."""
+        return pearson_correlation(self.portfolio_returns, other.portfolio_returns)
+
+    def summary(self) -> dict[str, float]:
+        """Compact dictionary used by experiment tables."""
+        return {
+            "sharpe": self.sharpe,
+            "ic": self.ic,
+            "annual_return": self.annual_return,
+            "annual_volatility": self.annual_volatility,
+            "max_drawdown": self.max_drawdown,
+        }
+
+
+class BacktestEngine:
+    """Evaluates prediction panels against the realised returns of a task set."""
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        long_k: int = LONG_POSITIONS,
+        short_k: int = SHORT_POSITIONS,
+    ) -> None:
+        self.taskset = taskset
+        self.portfolio = LongShortPortfolio(long_k=long_k, short_k=short_k)
+
+    def evaluate(
+        self,
+        predictions: np.ndarray,
+        split: str = "test",
+        name: str = "alpha",
+    ) -> BacktestResult:
+        """Backtest ``predictions`` (shape ``(N_split, K)``) on ``split``."""
+        labels = self.taskset.split_labels(split)
+        predictions = np.asarray(predictions, dtype=np.float64)
+        if predictions.shape != labels.shape:
+            raise BacktestError(
+                f"predictions have shape {predictions.shape}, but the {split} "
+                f"split expects {labels.shape}"
+            )
+        returns = self.portfolio.returns(predictions, labels)
+        return BacktestResult(
+            name=name,
+            split=split,
+            sharpe=sharpe_ratio(returns),
+            ic=information_coefficient(predictions, labels),
+            annual_return=annualized_return(returns),
+            annual_volatility=annualized_volatility(returns),
+            max_drawdown=max_drawdown(returns),
+            portfolio_returns=returns,
+            daily_ic=daily_information_coefficient(predictions, labels),
+        )
+
+    def portfolio_returns(self, predictions: np.ndarray, split: str = "valid") -> np.ndarray:
+        """Just the daily long-short return series (used by the cutoff filter)."""
+        labels = self.taskset.split_labels(split)
+        predictions = np.asarray(predictions, dtype=np.float64)
+        if predictions.shape != labels.shape:
+            raise BacktestError(
+                f"predictions have shape {predictions.shape}, but the {split} "
+                f"split expects {labels.shape}"
+            )
+        return self.portfolio.returns(predictions, labels)

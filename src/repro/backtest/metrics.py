@@ -1,0 +1,129 @@
+"""Portfolio and prediction metrics (Section 5.3).
+
+The paper evaluates alphas with two metrics:
+
+* the **Information Coefficient (IC)** — the average daily cross-sectional
+  Pearson correlation between predictions and realised returns (Eq. 1);
+* the **Sharpe ratio** of a long-short portfolio built from the alpha's
+  predictions, annualised over 252 trading days with a zero risk-free rate.
+
+Alphas are compared against each other through the Pearson correlation of
+their portfolio-return series; the hedge-fund standard for "weakly
+correlated" is 15 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import RISK_FREE_RATE, TRADING_DAYS_PER_YEAR
+from ..errors import BacktestError
+
+__all__ = [
+    "pearson_correlation",
+    "sharpe_ratio",
+    "annualized_return",
+    "annualized_volatility",
+    "max_drawdown",
+    "daily_information_coefficient",
+    "information_coefficient",
+]
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Sample Pearson correlation between two 1-D series.
+
+    Returns 0.0 when either series has zero variance (the convention used by
+    both the fitness function and the correlation cutoff, where a degenerate
+    series should count as uncorrelated rather than poison the comparison).
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise BacktestError(f"series have different lengths: {x.size} vs {y.size}")
+    if x.size < 2:
+        return 0.0
+    x_centered = x - x.mean()
+    y_centered = y - y.mean()
+    denominator = np.sqrt((x_centered**2).sum() * (y_centered**2).sum())
+    if denominator <= 0:
+        return 0.0
+    return float((x_centered * y_centered).sum() / denominator)
+
+
+def sharpe_ratio(
+    portfolio_returns: np.ndarray,
+    risk_free_rate: float = RISK_FREE_RATE,
+    periods_per_year: int = TRADING_DAYS_PER_YEAR,
+) -> float:
+    """Annualised Sharpe ratio of a daily portfolio-return series.
+
+    ``SR = (mean(R_p) * P - R_r) / (std(R_p) * sqrt(P))`` with ``P`` trading
+    periods per year; the risk-free rate defaults to 0 as in the paper.
+    Returns 0.0 for a constant return series.
+    """
+    returns = np.asarray(portfolio_returns, dtype=np.float64).ravel()
+    if returns.size == 0:
+        raise BacktestError("cannot compute the Sharpe ratio of an empty series")
+    volatility = returns.std(ddof=1) if returns.size > 1 else 0.0
+    if volatility <= 1e-15:
+        return 0.0
+    annual_return = returns.mean() * periods_per_year
+    annual_volatility = volatility * np.sqrt(periods_per_year)
+    return float((annual_return - risk_free_rate) / annual_volatility)
+
+
+def annualized_return(portfolio_returns: np.ndarray,
+                      periods_per_year: int = TRADING_DAYS_PER_YEAR) -> float:
+    """Mean daily return scaled to a yearly horizon."""
+    returns = np.asarray(portfolio_returns, dtype=np.float64).ravel()
+    if returns.size == 0:
+        raise BacktestError("cannot annualise an empty series")
+    return float(returns.mean() * periods_per_year)
+
+
+def annualized_volatility(portfolio_returns: np.ndarray,
+                          periods_per_year: int = TRADING_DAYS_PER_YEAR) -> float:
+    """Standard deviation of daily returns scaled to a yearly horizon."""
+    returns = np.asarray(portfolio_returns, dtype=np.float64).ravel()
+    if returns.size == 0:
+        raise BacktestError("cannot annualise an empty series")
+    volatility = returns.std(ddof=1) if returns.size > 1 else 0.0
+    return float(volatility * np.sqrt(periods_per_year))
+
+
+def max_drawdown(portfolio_returns: np.ndarray) -> float:
+    """Maximum peak-to-trough drawdown of the compounded return path.
+
+    Returned as a non-negative fraction (0.2 means a 20 % drawdown).
+    """
+    returns = np.asarray(portfolio_returns, dtype=np.float64).ravel()
+    if returns.size == 0:
+        raise BacktestError("cannot compute the drawdown of an empty series")
+    nav = np.cumprod(1.0 + returns)
+    running_peak = np.maximum.accumulate(nav)
+    drawdowns = 1.0 - nav / running_peak
+    return float(drawdowns.max())
+
+
+def daily_information_coefficient(predictions: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-day cross-sectional Pearson correlation, shape ``(N,)``."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if predictions.shape != labels.shape or predictions.ndim != 2:
+        raise BacktestError(
+            "predictions and labels must both be (days, stocks) arrays of the "
+            f"same shape, got {predictions.shape} and {labels.shape}"
+        )
+    return np.array([
+        pearson_correlation(predictions[day], labels[day])
+        for day in range(predictions.shape[0])
+    ])
+
+
+def information_coefficient(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """The IC of Eq. 1: mean of the daily cross-sectional correlations."""
+    series = daily_information_coefficient(predictions, labels)
+    if series.size == 0:
+        return 0.0
+    return float(series.mean())

@@ -1,0 +1,24 @@
+"""Baseline alpha-mining approaches the paper compares against.
+
+* :mod:`repro.baselines.genetic` — the genetic-programming formulaic-alpha
+  miner (``alpha_G``);
+* :mod:`repro.baselines.neural`  — the complex machine-learning alphas
+  (Rank_LSTM and RSR) together with the numpy autograd engine they run on.
+"""
+
+from . import genetic, neural
+from .genetic import GeneticAlphaMiner, GeneticConfig, GeneticResult
+from .neural import RankLSTM, RSRModel, TrainingConfig, train_rank_lstm, train_rsr
+
+__all__ = [
+    "GeneticAlphaMiner",
+    "GeneticConfig",
+    "GeneticResult",
+    "RSRModel",
+    "RankLSTM",
+    "TrainingConfig",
+    "genetic",
+    "neural",
+    "train_rank_lstm",
+    "train_rsr",
+]

@@ -1,0 +1,29 @@
+"""Genetic-programming formulaic-alpha baseline (``alpha_G``)."""
+
+from .expression import (
+    ConstantTerminal,
+    ExpressionTree,
+    FeatureTerminal,
+    FunctionNode,
+    Node,
+    random_tree,
+)
+from .functions import FUNCTION_SET, GPFunction, get_function, list_functions
+from .genetic import GeneticAlphaMiner, GeneticConfig, GeneticIndividual, GeneticResult
+
+__all__ = [
+    "ConstantTerminal",
+    "ExpressionTree",
+    "FUNCTION_SET",
+    "FeatureTerminal",
+    "FunctionNode",
+    "GPFunction",
+    "GeneticAlphaMiner",
+    "GeneticConfig",
+    "GeneticIndividual",
+    "GeneticResult",
+    "Node",
+    "get_function",
+    "list_functions",
+    "random_tree",
+]

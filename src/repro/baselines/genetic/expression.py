@@ -1,0 +1,207 @@
+"""Expression trees for the genetic-programming baseline.
+
+A formulaic alpha is a tree whose internal nodes are primitives from
+:mod:`repro.baselines.genetic.functions` and whose leaves are either feature
+terminals (one of the paper's 13 feature types, read on the most recent day
+of the input window) or ephemeral constants.  Trees are evaluated in a
+vectorised way over a ``(days, stocks, features)`` terminal array, producing
+a ``(days, stocks)`` prediction panel directly comparable to AlphaEvolve's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...config import make_rng
+from ...errors import BaselineError
+from .functions import GPFunction, get_function, list_functions
+
+__all__ = ["Node", "FeatureTerminal", "ConstantTerminal", "FunctionNode",
+           "ExpressionTree", "random_tree"]
+
+
+class Node:
+    """Base class of expression-tree nodes."""
+
+    def evaluate(self, terminals: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def children(self) -> list["Node"]:
+        """Direct children (empty for terminals)."""
+        return []
+
+    def copy(self) -> "Node":  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def render(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def depth(self) -> int:
+        """Depth of the subtree rooted here (a lone terminal has depth 1)."""
+        if not self.children():
+            return 1
+        return 1 + max(child.depth() for child in self.children())
+
+
+@dataclass
+class FeatureTerminal(Node):
+    """A leaf reading one feature type (column of the terminal array)."""
+
+    feature: int
+    name: str = ""
+
+    def evaluate(self, terminals: np.ndarray) -> np.ndarray:
+        return terminals[..., self.feature]
+
+    def copy(self) -> "FeatureTerminal":
+        return FeatureTerminal(self.feature, self.name)
+
+    def render(self) -> str:
+        return self.name or f"x{self.feature}"
+
+
+@dataclass
+class ConstantTerminal(Node):
+    """A leaf holding an ephemeral constant."""
+
+    value: float
+
+    def evaluate(self, terminals: np.ndarray) -> np.ndarray:
+        return np.full(terminals.shape[:-1], self.value)
+
+    def copy(self) -> "ConstantTerminal":
+        return ConstantTerminal(self.value)
+
+    def render(self) -> str:
+        return f"{self.value:.4g}"
+
+
+@dataclass
+class FunctionNode(Node):
+    """An internal node applying a primitive to its children."""
+
+    function: GPFunction
+    operands: list[Node]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) != self.function.arity:
+            raise BaselineError(
+                f"function {self.function.name} needs {self.function.arity} operands"
+            )
+
+    def evaluate(self, terminals: np.ndarray) -> np.ndarray:
+        return self.function(*(child.evaluate(terminals) for child in self.operands))
+
+    def children(self) -> list[Node]:
+        return self.operands
+
+    def copy(self) -> "FunctionNode":
+        return FunctionNode(self.function, [child.copy() for child in self.operands])
+
+    def render(self) -> str:
+        if self.function.symbol and self.function.arity == 2:
+            left, right = (child.render() for child in self.operands)
+            return f"({left} {self.function.symbol} {right})"
+        args = ", ".join(child.render() for child in self.operands)
+        return f"{self.function.name}({args})"
+
+
+@dataclass
+class ExpressionTree:
+    """A formulaic alpha: an expression tree plus bookkeeping."""
+
+    root: Node
+    feature_names: tuple[str, ...] = ()
+    name: str = "alpha_G"
+
+    def evaluate(self, terminals: np.ndarray) -> np.ndarray:
+        """Evaluate over a ``(..., features)`` terminal array."""
+        terminals = np.asarray(terminals, dtype=np.float64)
+        if terminals.ndim < 1:
+            raise BaselineError("terminal array must have a trailing feature axis")
+        return self.root.evaluate(terminals)
+
+    def copy(self, name: str | None = None) -> "ExpressionTree":
+        """Deep-copy the tree."""
+        return ExpressionTree(self.root.copy(), self.feature_names,
+                              name if name is not None else self.name)
+
+    def size(self) -> int:
+        """Total number of nodes."""
+        return self.root.size()
+
+    def depth(self) -> int:
+        """Tree depth."""
+        return self.root.depth()
+
+    def render(self) -> str:
+        """Human-readable formula."""
+        return self.root.render()
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> list[tuple[Node, Node | None, int]]:
+        """Flatten the tree into ``(node, parent, child_position)`` triples."""
+        flat: list[tuple[Node, Node | None, int]] = []
+
+        def visit(node: Node, parent: Node | None, position: int) -> None:
+            flat.append((node, parent, position))
+            for index, child in enumerate(node.children()):
+                visit(child, node, index)
+
+        visit(self.root, None, 0)
+        return flat
+
+    def replace_node(self, parent: Node | None, position: int, replacement: Node) -> None:
+        """Replace the child of ``parent`` at ``position`` (or the root)."""
+        if parent is None:
+            self.root = replacement
+        else:
+            parent.children()[position] = replacement
+
+
+def random_tree(
+    num_features: int,
+    feature_names: tuple[str, ...] = (),
+    max_depth: int = 4,
+    constant_probability: float = 0.15,
+    grow: bool = True,
+    seed: int | np.random.Generator | None = None,
+) -> ExpressionTree:
+    """Generate a random expression tree (gplearn's grow/full initialisation)."""
+    if num_features <= 0:
+        raise BaselineError("num_features must be positive")
+    if max_depth < 1:
+        raise BaselineError("max_depth must be at least 1")
+    rng = make_rng(seed)
+    functions = list_functions()
+
+    def terminal() -> Node:
+        if rng.random() < constant_probability:
+            return ConstantTerminal(float(np.round(rng.normal(0.0, 1.0), 4)))
+        feature = int(rng.integers(0, num_features))
+        name = feature_names[feature] if feature < len(feature_names) else ""
+        return FeatureTerminal(feature, name)
+
+    def build(depth: int) -> Node:
+        at_max = depth >= max_depth
+        make_terminal = at_max or (grow and rng.random() < 0.3 and depth > 1)
+        if make_terminal:
+            return terminal()
+        function = functions[int(rng.integers(0, len(functions)))]
+        return FunctionNode(function, [build(depth + 1) for _ in range(function.arity)])
+
+    root = build(1)
+    if not isinstance(root, FunctionNode):
+        # Ensure the tree is a genuine formula rather than a bare terminal.
+        function = get_function("sub")
+        root = FunctionNode(function, [root, terminal()])
+    return ExpressionTree(root, feature_names)

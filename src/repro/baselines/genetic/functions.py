@@ -1,0 +1,98 @@
+"""Protected function set for the genetic-programming baseline.
+
+The genetic algorithm of [14, 15] (the ``alpha_G`` baseline of Section 5.2)
+mines *formulaic* alphas: algebraic expressions over scalar features.  Its
+function set therefore contains only scalar arithmetic, protected against
+numerical blow-ups exactly like gplearn's built-ins: division by small
+numbers, logarithms of non-positive numbers and square roots of negatives
+all degrade gracefully instead of producing NaNs that would poison the
+cross-sectional fitness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ...errors import BaselineError
+
+__all__ = ["GPFunction", "FUNCTION_SET", "get_function", "list_functions"]
+
+_EPS = 1e-9
+_CLIP = 1e6
+
+
+def _sanitize(values: np.ndarray) -> np.ndarray:
+    return np.clip(
+        np.nan_to_num(values, nan=0.0, posinf=_CLIP, neginf=-_CLIP), -_CLIP, _CLIP
+    )
+
+
+@dataclass(frozen=True)
+class GPFunction:
+    """A primitive function of the expression language."""
+
+    name: str
+    arity: int
+    func: Callable[..., np.ndarray]
+    symbol: str | None = None
+
+    def __call__(self, *args: np.ndarray) -> np.ndarray:
+        if len(args) != self.arity:
+            raise BaselineError(
+                f"function {self.name} expects {self.arity} arguments, got {len(args)}"
+            )
+        return _sanitize(self.func(*args))
+
+
+def _protected_div(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return x / np.where(np.abs(y) < _EPS, 1.0, y)
+
+
+def _protected_log(x: np.ndarray) -> np.ndarray:
+    return np.log(np.maximum(np.abs(x), _EPS))
+
+
+def _protected_sqrt(x: np.ndarray) -> np.ndarray:
+    return np.sqrt(np.abs(x))
+
+
+def _protected_inv(x: np.ndarray) -> np.ndarray:
+    return 1.0 / np.where(np.abs(x) < _EPS, 1.0, x)
+
+
+FUNCTION_SET: dict[str, GPFunction] = {
+    fn.name: fn
+    for fn in (
+        GPFunction("add", 2, np.add, symbol="+"),
+        GPFunction("sub", 2, np.subtract, symbol="-"),
+        GPFunction("mul", 2, np.multiply, symbol="*"),
+        GPFunction("div", 2, _protected_div, symbol="/"),
+        GPFunction("max", 2, np.maximum),
+        GPFunction("min", 2, np.minimum),
+        GPFunction("neg", 1, np.negative),
+        GPFunction("abs", 1, np.abs),
+        GPFunction("log", 1, _protected_log),
+        GPFunction("sqrt", 1, _protected_sqrt),
+        GPFunction("inv", 1, _protected_inv),
+        GPFunction("sin", 1, np.sin),
+        GPFunction("cos", 1, np.cos),
+        GPFunction("tanh", 1, np.tanh),
+        GPFunction("sign", 1, np.sign),
+    )
+}
+
+
+def get_function(name: str) -> GPFunction:
+    """Look up a primitive by name."""
+    try:
+        return FUNCTION_SET[name]
+    except KeyError as exc:
+        raise BaselineError(f"unknown GP function {name!r}") from exc
+
+
+def list_functions() -> list[GPFunction]:
+    """All registered primitives in a stable order."""
+    return [FUNCTION_SET[name] for name in sorted(FUNCTION_SET)]

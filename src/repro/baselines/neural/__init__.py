@@ -1,0 +1,45 @@
+"""Complex machine-learning alpha baselines (Rank_LSTM, RSR) and their substrate."""
+
+from .autograd import Tensor, as_tensor, concatenate, stack, uniform, zeros
+from .layers import Dense, LSTM, Module, Sequential
+from .losses import combined_ranking_loss, mse_loss, pairwise_ranking_loss
+from .optim import Adam, Optimizer, SGD
+from .rank_lstm import GridSearchResult, RankLSTM, grid_search_rank_lstm, train_rank_lstm
+from .rsr import RSRModel, train_rsr
+from .training import (
+    SequenceData,
+    TrainingConfig,
+    TrainingOutcome,
+    prepare_sequences,
+    score_predictions,
+)
+
+__all__ = [
+    "Adam",
+    "Dense",
+    "GridSearchResult",
+    "LSTM",
+    "Module",
+    "Optimizer",
+    "RSRModel",
+    "RankLSTM",
+    "SGD",
+    "Sequential",
+    "SequenceData",
+    "Tensor",
+    "TrainingConfig",
+    "TrainingOutcome",
+    "as_tensor",
+    "combined_ranking_loss",
+    "concatenate",
+    "grid_search_rank_lstm",
+    "mse_loss",
+    "pairwise_ranking_loss",
+    "prepare_sequences",
+    "score_predictions",
+    "stack",
+    "train_rank_lstm",
+    "train_rsr",
+    "uniform",
+    "zeros",
+]

@@ -1,0 +1,393 @@
+"""Minimal reverse-mode automatic differentiation over numpy arrays.
+
+The complex machine-learning baselines of the paper (Rank_LSTM and RSR) are
+neural networks.  The original implementations use TensorFlow; this offline
+reproduction instead ships a small, dependency-free autograd engine that
+supports exactly the operations those models need: dense layers, LSTM cells,
+matrix products, element-wise non-linearities, reductions and the pairwise
+ranking loss.
+
+Design notes
+------------
+* A :class:`Tensor` wraps a ``float64`` numpy array, remembers the tensors it
+  was computed from and a local backward function.
+* Gradients are accumulated by a reverse topological sweep from the tensor
+  ``backward()`` is called on (typically the scalar loss).
+* Broadcasting is supported by summing gradients back to the original shape
+  (:func:`_unbroadcast`), which covers bias additions and scalar scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import BaselineError
+
+__all__ = ["Tensor", "as_tensor", "zeros", "uniform", "concatenate", "stack"]
+
+
+def _unbroadcast(gradient: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``gradient`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if gradient.shape == shape:
+        return gradient
+    # Remove leading broadcast axes.
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient.reshape(shape)
+
+
+class Tensor:
+    """A differentiable value in the computation graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    def __init__(self, data, requires_grad: bool = False, parents: tuple = (),
+                 backward=None, name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = parents
+        self._backward = backward
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return self.data.ndim
+
+    def item(self) -> float:
+        """The scalar value (raises for non-scalars)."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._not_scalar()
+
+    def _not_scalar(self) -> float:
+        raise BaselineError(f"item() called on tensor of shape {self.shape}")
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing the data but cut out of the graph."""
+        return Tensor(self.data.copy(), requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(self, data: np.ndarray, parents: tuple, backward) -> "Tensor":
+        requires_grad = any(parent.requires_grad for parent in parents)
+        return Tensor(data, requires_grad=requires_grad, parents=parents,
+                      backward=backward if requires_grad else None)
+
+    def _accumulate(self, gradient: np.ndarray) -> None:
+        gradient = _unbroadcast(np.asarray(gradient, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = gradient.copy()
+        else:
+            self.grad += gradient
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = self._lift(other)
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient)
+            if other.requires_grad:
+                other._accumulate(gradient)
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-gradient)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._lift(other)
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient * other.data)
+            if other.requires_grad:
+                other._accumulate(gradient * self.data)
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._lift(other)
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient / other.data)
+            if other.requires_grad:
+                other._accumulate(-gradient * self.data / (other.data**2))
+
+        return self._make(self.data / other.data, (self, other), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise BaselineError("only scalar exponents are supported")
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient * exponent * self.data ** (exponent - 1))
+
+        return self._make(self.data**exponent, (self,), backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        """Matrix product (supports batched operands via numpy semantics)."""
+        other = self._lift(other)
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                other._accumulate(np.swapaxes(self.data, -1, -2) @ gradient)
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    # Non-linearities
+    # ------------------------------------------------------------------
+    def tanh(self) -> "Tensor":
+        """Hyperbolic tangent."""
+        output = np.tanh(self.data)
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient * (1.0 - output**2))
+
+        return self._make(output, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        """Logistic sigmoid."""
+        output = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient * output * (1.0 - output))
+
+        return self._make(output, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        """Rectified linear unit."""
+        mask = (self.data > 0).astype(np.float64)
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def leaky_relu(self, slope: float = 0.2) -> "Tensor":
+        """Leaky ReLU (used by the RSR relational attention)."""
+        mask = np.where(self.data > 0, 1.0, slope)
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def exp(self) -> "Tensor":
+        """Element-wise exponential (clipped for stability)."""
+        output = np.exp(np.clip(self.data, -60.0, 60.0))
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient * output)
+
+        return self._make(output, (self,), backward)
+
+    def log(self) -> "Tensor":
+        """Element-wise natural logarithm (inputs clipped away from zero)."""
+        safe = np.maximum(self.data, 1e-12)
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(gradient / safe)
+
+        return self._make(np.log(safe), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape / reduction
+    # ------------------------------------------------------------------
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Sum over ``axis`` (or everything)."""
+        output = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(gradient: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            grad = np.asarray(gradient, dtype=np.float64)
+            if axis is None:
+                expanded = np.broadcast_to(grad, self.data.shape)
+            else:
+                if not keepdims:
+                    grad = np.expand_dims(grad, axis=axis)
+                expanded = np.broadcast_to(grad, self.data.shape)
+            self._accumulate(expanded)
+
+        return self._make(output, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        """Arithmetic mean over ``axis`` (or everything)."""
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        """Reshape, propagating gradients back to the original shape."""
+        original = self.data.shape
+
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.asarray(gradient).reshape(original))
+
+        return self._make(self.data.reshape(*shape), (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        """Swap the last two axes."""
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(np.swapaxes(gradient, -1, -2))
+
+        return self._make(np.swapaxes(self.data, -1, -2), (self,), backward)
+
+    def slice(self, index) -> "Tensor":
+        """Static indexing/slicing with gradient scatter-back."""
+        def backward(gradient: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                full[index] = gradient
+                self._accumulate(full)
+
+        return self._make(self.data[index], (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        return self.slice(index)
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, gradient: np.ndarray | None = None) -> None:
+        """Run reverse-mode differentiation from this tensor."""
+        if not self.requires_grad:
+            raise BaselineError("called backward() on a tensor that requires no grad")
+        if gradient is None:
+            if self.data.size != 1:
+                raise BaselineError("backward() without a gradient needs a scalar tensor")
+            gradient = np.ones_like(self.data)
+
+        topo_order: list[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo_order.append(node)
+
+        visit(self)
+        self._accumulate(np.asarray(gradient, dtype=np.float64))
+        for node in reversed(topo_order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+def as_tensor(value, requires_grad: bool = False) -> Tensor:
+    """Wrap ``value`` into a :class:`Tensor` (no-op for tensors)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
+    """A zero-filled tensor."""
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def uniform(*shape: int, scale: float = 0.1, requires_grad: bool = True,
+            rng: np.random.Generator | None = None) -> Tensor:
+    """A uniformly initialised tensor in ``[-scale, scale]``."""
+    rng = rng or np.random.default_rng()
+    return Tensor(rng.uniform(-scale, scale, size=shape), requires_grad=requires_grad)
+
+
+def concatenate(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    if not tensors:
+        raise BaselineError("cannot concatenate an empty list of tensors")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires_grad = any(t.requires_grad for t in tensors)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(gradient: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * gradient.ndim
+                slicer[axis] = slice(int(start), int(stop))
+                tensor._accumulate(gradient[tuple(slicer)])
+
+    return Tensor(data, requires_grad=requires_grad, parents=tuple(tensors),
+                  backward=backward if requires_grad else None)
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    if not tensors:
+        raise BaselineError("cannot stack an empty list of tensors")
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires_grad = any(t.requires_grad for t in tensors)
+
+    def backward(gradient: np.ndarray) -> None:
+        for position, tensor in enumerate(tensors):
+            if tensor.requires_grad:
+                tensor._accumulate(np.take(gradient, position, axis=axis))
+
+    return Tensor(data, requires_grad=requires_grad, parents=tuple(tensors),
+                  backward=backward if requires_grad else None)

@@ -1,0 +1,157 @@
+"""Neural-network building blocks on top of the autograd engine.
+
+Provides the layers needed by the Rank_LSTM and RSR baselines: dense layers,
+an LSTM (applied over the full input sequence) and a tiny Module system with
+parameter collection for the optimisers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import make_rng
+from ...errors import BaselineError
+from .autograd import Tensor, concatenate, zeros
+
+__all__ = ["Module", "Dense", "LSTM", "Sequential"]
+
+
+class Module:
+    """Base class with parameter registration and collection."""
+
+    def parameters(self) -> list[Tensor]:
+        """All trainable tensors of this module and its sub-modules."""
+        found: list[Tensor] = []
+        seen: set[int] = set()
+        for value in vars(self).values():
+            for parameter in _collect(value):
+                if id(parameter) not in seen:
+                    seen.add(id(parameter))
+                    found.append(parameter)
+        return found
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return int(sum(p.data.size for p in self.parameters()))
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _collect(value) -> list[Tensor]:
+    if isinstance(value, Tensor):
+        return [value] if value.requires_grad else []
+    if isinstance(value, Module):
+        return value.parameters()
+    if isinstance(value, (list, tuple)):
+        nested: list[Tensor] = []
+        for item in value:
+            nested.extend(_collect(item))
+        return nested
+    return []
+
+
+class Dense(Module):
+    """Fully connected layer ``y = activation(x W + b)``."""
+
+    def __init__(self, in_features: int, out_features: int, activation: str | None = None,
+                 seed: int | np.random.Generator | None = None) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise BaselineError("layer sizes must be positive")
+        rng = make_rng(seed)
+        scale = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = Tensor(
+            rng.uniform(-scale, scale, size=(in_features, out_features)), requires_grad=True
+        )
+        self.bias = zeros(out_features, requires_grad=True)
+        self.activation = activation
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs.matmul(self.weight) + self.bias
+        if self.activation is None:
+            return output
+        if self.activation == "tanh":
+            return output.tanh()
+        if self.activation == "relu":
+            return output.relu()
+        if self.activation == "sigmoid":
+            return output.sigmoid()
+        if self.activation == "leaky_relu":
+            return output.leaky_relu()
+        raise BaselineError(f"unknown activation {self.activation!r}")
+
+
+class LSTM(Module):
+    """A single-layer LSTM applied over a full sequence.
+
+    The input is a tensor of shape ``(batch, seq_len, input_size)``; the layer
+    returns the final hidden state of shape ``(batch, hidden_size)`` (which is
+    what Rank_LSTM feeds to its prediction head and what RSR uses as the
+    sequential embedding of each stock).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 seed: int | np.random.Generator | None = None) -> None:
+        if input_size <= 0 or hidden_size <= 0:
+            raise BaselineError("input_size and hidden_size must be positive")
+        rng = make_rng(seed)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        scale = np.sqrt(6.0 / (input_size + 2 * hidden_size))
+        # One fused weight matrix for the 4 gates: input, forget, cell, output.
+        self.weight = Tensor(
+            rng.uniform(-scale, scale, size=(input_size + hidden_size, 4 * hidden_size)),
+            requires_grad=True,
+        )
+        bias = np.zeros(4 * hidden_size)
+        # Positive forget-gate bias: standard trick for gradient flow.
+        bias[hidden_size: 2 * hidden_size] = 1.0
+        self.bias = Tensor(bias, requires_grad=True)
+
+    def forward(self, inputs: Tensor, return_sequence: bool = False):
+        if inputs.ndim != 3:
+            raise BaselineError(
+                f"LSTM expects (batch, seq_len, input_size), got shape {inputs.shape}"
+            )
+        batch, seq_len, _ = inputs.shape
+        hidden = Tensor(np.zeros((batch, self.hidden_size)))
+        cell = Tensor(np.zeros((batch, self.hidden_size)))
+        H = self.hidden_size
+        outputs: list[Tensor] = []
+        for step in range(seq_len):
+            frame = inputs[:, step, :]
+            combined = concatenate([frame, hidden], axis=-1)
+            gates = combined.matmul(self.weight) + self.bias
+            input_gate = gates[:, 0 * H:1 * H].sigmoid()
+            forget_gate = gates[:, 1 * H:2 * H].sigmoid()
+            candidate = gates[:, 2 * H:3 * H].tanh()
+            output_gate = gates[:, 3 * H:4 * H].sigmoid()
+            cell = forget_gate * cell + input_gate * candidate
+            hidden = output_gate * cell.tanh()
+            outputs.append(hidden)
+        if return_sequence:
+            return outputs
+        return hidden
+
+
+class Sequential(Module):
+    """A simple feed-forward container."""
+
+    def __init__(self, layers: list[Module]) -> None:
+        if not layers:
+            raise BaselineError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs
+        for layer in self.layers:
+            output = layer(output)
+        return output

@@ -1,0 +1,60 @@
+"""Loss functions for the neural baselines.
+
+Rank_LSTM and RSR (Feng et al. [10], the paper's baselines (2) and (3)) are
+trained with a combination of a point-wise regression loss and a pair-wise
+ranking loss::
+
+    L = mse(pred, y) + alpha * mean_{i,j} max(0, -(pred_i - pred_j)(y_i - y_j))
+
+The hyper-parameter ``alpha`` balancing the two terms is part of the grid
+search of Section 5.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import BaselineError
+from .autograd import Tensor, as_tensor
+
+__all__ = ["mse_loss", "pairwise_ranking_loss", "combined_ranking_loss"]
+
+
+def mse_loss(predictions: Tensor, targets) -> Tensor:
+    """Mean squared error."""
+    targets = as_tensor(targets)
+    if predictions.shape != targets.shape:
+        raise BaselineError(
+            f"predictions {predictions.shape} and targets {targets.shape} differ"
+        )
+    difference = predictions - targets
+    return (difference * difference).mean()
+
+
+def pairwise_ranking_loss(predictions: Tensor, targets) -> Tensor:
+    """Pair-wise hinge ranking loss over the cross-section of stocks.
+
+    ``predictions`` and ``targets`` are 1-D tensors over stocks.  For every
+    ordered pair the loss penalises predicted orderings that contradict the
+    realised ordering: ``max(0, -(p_i - p_j) * (y_i - y_j))``.
+    """
+    targets = as_tensor(targets)
+    if predictions.ndim != 1 or targets.ndim != 1:
+        raise BaselineError("pairwise ranking loss expects 1-D prediction/target vectors")
+    n = predictions.shape[0]
+    if n < 2:
+        raise BaselineError("need at least two stocks for a ranking loss")
+    pred_diff = predictions.reshape(n, 1) - predictions.reshape(1, n)
+    target_diff = as_tensor(targets.data.reshape(n, 1) - targets.data.reshape(1, n))
+    product = (pred_diff * target_diff) * (-1.0)
+    return product.relu().mean()
+
+
+def combined_ranking_loss(predictions: Tensor, targets, alpha: float = 1.0) -> Tensor:
+    """The Rank_LSTM training objective: MSE plus ``alpha`` times the rank loss."""
+    if alpha < 0:
+        raise BaselineError("alpha must be non-negative")
+    loss = mse_loss(predictions, targets)
+    if alpha > 0:
+        loss = loss + pairwise_ranking_loss(predictions, targets) * alpha
+    return loss

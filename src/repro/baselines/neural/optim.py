@@ -1,0 +1,86 @@
+"""Gradient-descent optimisers for the autograd engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import BaselineError
+from .autograd import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class holding the parameter list."""
+
+    def __init__(self, parameters: list[Tensor], learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise BaselineError("learning_rate must be positive")
+        if not parameters:
+            raise BaselineError("optimiser received no parameters")
+        self.parameters = list(parameters)
+        self.learning_rate = learning_rate
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: list[Tensor], learning_rate: float = 0.01,
+                 momentum: float = 0.0) -> None:
+        super().__init__(parameters, learning_rate)
+        if not (0.0 <= momentum < 1.0):
+            raise BaselineError("momentum must lie in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one update to every parameter with a gradient."""
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            velocity *= self.momentum
+            velocity -= self.learning_rate * parameter.grad
+            parameter.data += velocity
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters: list[Tensor], learning_rate: float = 0.001,
+                 beta1: float = 0.9, beta2: float = 0.999, epsilon: float = 1e-8) -> None:
+        super().__init__(parameters, learning_rate)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        """Apply one Adam update to every parameter with a gradient."""
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1**self._step_count
+        bias2 = 1.0 - self.beta2**self._step_count
+        for parameter, first, second in zip(
+            self.parameters, self._first_moment, self._second_moment
+        ):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            first *= self.beta1
+            first += (1.0 - self.beta1) * gradient
+            second *= self.beta2
+            second += (1.0 - self.beta2) * gradient**2
+            corrected_first = first / bias1
+            corrected_second = second / bias2
+            parameter.data -= self.learning_rate * corrected_first / (
+                np.sqrt(corrected_second) + self.epsilon
+            )

@@ -1,0 +1,167 @@
+"""Rank_LSTM baseline (Section 5.2, baseline (2)).
+
+Rank_LSTM is an LSTM whose final hidden state is mapped through a fully
+connected layer to the predicted return of each stock, trained with the
+combined point-wise + pair-wise ranking loss of Feng et al. [10].  The paper
+grid-searches the sequence length, the number of hidden units and the
+loss-balance hyper-parameter; :func:`grid_search_rank_lstm` reproduces that
+selection on the validation IC and reports mean/std over random seeds like
+Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from ...config import make_rng
+from ...data.dataset import TaskSet
+from ...errors import BaselineError
+from .autograd import Tensor
+from .layers import Dense, LSTM, Module
+from .losses import combined_ranking_loss
+from .optim import Adam
+from .training import (
+    SequenceData,
+    TrainingConfig,
+    TrainingOutcome,
+    prepare_sequences,
+    score_predictions,
+    training_day_order,
+)
+
+__all__ = ["RankLSTM", "train_rank_lstm", "grid_search_rank_lstm", "GridSearchResult"]
+
+
+class RankLSTM(Module):
+    """LSTM encoder + fully connected prediction head."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 seed: int | np.random.Generator | None = None) -> None:
+        rng = make_rng(seed)
+        self.lstm = LSTM(input_size, hidden_size, seed=rng)
+        self.head = Dense(hidden_size, 1, seed=rng)
+        self.hidden_size = hidden_size
+
+    def embed(self, inputs: Tensor) -> Tensor:
+        """Sequential embedding of each stock: the LSTM's final hidden state."""
+        return self.lstm(inputs)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        """Predicted return per stock, shape ``(batch,)``."""
+        hidden = self.embed(inputs)
+        output = self.head(hidden)
+        return output.reshape(output.shape[0])
+
+
+def train_rank_lstm(
+    taskset: TaskSet,
+    config: TrainingConfig | None = None,
+) -> tuple[RankLSTM, TrainingOutcome]:
+    """Train Rank_LSTM on the task set's training split.
+
+    Each training step uses one trading day as a batch (the whole
+    cross-section of stocks), matching the ranking-loss formulation which is
+    defined over a daily cross-section.
+    """
+    config = config or TrainingConfig()
+    data = {split: prepare_sequences(taskset, split, config.sequence_length)
+            for split in ("train", "valid", "test")}
+    model = RankLSTM(
+        input_size=data["train"].inputs.shape[-1],
+        hidden_size=config.hidden_size,
+        seed=config.seed,
+    )
+    optimizer = Adam(model.parameters(), learning_rate=config.learning_rate)
+
+    loss_history: list[float] = []
+    schedule = training_day_order(
+        data["train"].num_days, config.epochs, config.batch_days, config.seed
+    )
+    for epoch_days in schedule:
+        epoch_loss = 0.0
+        for day in epoch_days:
+            inputs = Tensor(data["train"].inputs[day])
+            targets = data["train"].labels[day]
+            optimizer.zero_grad()
+            predictions = model(inputs)
+            loss = combined_ranking_loss(predictions, targets, alpha=config.loss_alpha)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+        loss_history.append(epoch_loss / max(len(epoch_days), 1))
+
+    predictions = {split: predict_panel(model, data[split]) for split in data}
+    valid_ic, test_ic = score_predictions(predictions, taskset)
+    outcome = TrainingOutcome(
+        config=config,
+        valid_ic=valid_ic,
+        test_ic=test_ic,
+        predictions=predictions,
+        loss_history=loss_history,
+    )
+    return model, outcome
+
+
+def predict_panel(model: RankLSTM, data: SequenceData) -> np.ndarray:
+    """Model predictions for every day of a split, shape ``(days, stocks)``."""
+    panel = np.empty((data.num_days, data.num_stocks))
+    for day in range(data.num_days):
+        panel[day] = model(Tensor(data.inputs[day])).data
+    return panel
+
+
+@dataclass
+class GridSearchResult:
+    """Best configuration found by the Section 5.2 grid search."""
+
+    best_config: TrainingConfig
+    best_outcome: TrainingOutcome
+    trials: list[TrainingOutcome]
+
+    @property
+    def num_trials(self) -> int:
+        """Number of configurations evaluated."""
+        return len(self.trials)
+
+
+def grid_search_rank_lstm(
+    taskset: TaskSet,
+    sequence_lengths: tuple[int, ...] = (4, 8, 16, 32),
+    hidden_sizes: tuple[int, ...] = (32, 64, 128, 256),
+    loss_alphas: tuple[float, ...] = (0.01, 0.1, 1.0, 10.0),
+    learning_rate: float = 0.001,
+    epochs: int = 3,
+    seed: int = 0,
+    max_trials: int | None = None,
+) -> GridSearchResult:
+    """Grid-search Rank_LSTM hyper-parameters on the validation IC.
+
+    ``max_trials`` optionally truncates the full grid (laptop-scale configs
+    use a reduced grid; the defaults are the paper's grids).
+    """
+    combos = list(product(sequence_lengths, hidden_sizes, loss_alphas))
+    if not combos:
+        raise BaselineError("the hyper-parameter grid is empty")
+    if max_trials is not None:
+        combos = combos[:max_trials]
+    trials: list[TrainingOutcome] = []
+    best: TrainingOutcome | None = None
+    best_config: TrainingConfig | None = None
+    for sequence_length, hidden_size, loss_alpha in combos:
+        config = TrainingConfig(
+            sequence_length=sequence_length,
+            hidden_size=hidden_size,
+            loss_alpha=loss_alpha,
+            learning_rate=learning_rate,
+            epochs=epochs,
+            seed=seed,
+        )
+        _, outcome = train_rank_lstm(taskset, config)
+        trials.append(outcome)
+        if best is None or outcome.valid_ic > best.valid_ic:
+            best, best_config = outcome, config
+    assert best is not None and best_config is not None
+    return GridSearchResult(best_config=best_config, best_outcome=best, trials=trials)

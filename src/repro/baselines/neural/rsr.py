@@ -1,0 +1,129 @@
+"""RSR baseline (Section 5.2, baseline (3)): relational stock ranking.
+
+RSR extends Rank_LSTM with a graph component that injects relational domain
+knowledge: stocks in the same sector (industry) are connected and each
+stock's sequential embedding is combined with a relation-weighted aggregate
+of its neighbours' embeddings before the prediction head.  Following the
+original implementation (and the paper's experiment settings), RSR is built
+on top of the *pre-trained* Rank_LSTM: the LSTM embeddings are frozen and
+only the relational component and the prediction head are trained.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...config import make_rng
+from ...data.dataset import TaskSet
+from ...errors import BaselineError
+from .autograd import Tensor, concatenate
+from .layers import Dense, Module
+from .losses import combined_ranking_loss
+from .optim import Adam
+from .rank_lstm import RankLSTM
+from .training import (
+    TrainingConfig,
+    TrainingOutcome,
+    prepare_sequences,
+    score_predictions,
+    training_day_order,
+)
+
+__all__ = ["RSRModel", "train_rsr"]
+
+
+class RSRModel(Module):
+    """Relational ranking head over frozen sequential embeddings.
+
+    ``adjacency`` is the 0/1 stock-relation matrix (stocks sharing a sector
+    or industry); it is row-normalised once.  For a day's embedding matrix
+    ``E`` (stocks × hidden) the relational embedding is
+    ``R = leaky_relu((A_norm E) W_r)``; the prediction is a dense head over
+    ``[E, R]``.
+    """
+
+    def __init__(self, hidden_size: int, adjacency: np.ndarray,
+                 seed: int | np.random.Generator | None = None) -> None:
+        adjacency = np.asarray(adjacency, dtype=np.float64)
+        if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+            raise BaselineError("adjacency must be a square matrix")
+        rng = make_rng(seed)
+        row_sums = adjacency.sum(axis=1, keepdims=True)
+        self._normalized_adjacency = adjacency / np.maximum(row_sums, 1.0)
+        self.relation_transform = Dense(hidden_size, hidden_size,
+                                        activation="leaky_relu", seed=rng)
+        self.head = Dense(2 * hidden_size, 1, seed=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, embeddings: Tensor) -> Tensor:
+        """Predicted return per stock from an ``(stocks, hidden)`` embedding."""
+        if embeddings.ndim != 2:
+            raise BaselineError(
+                f"RSR expects (stocks, hidden) embeddings, got shape {embeddings.shape}"
+            )
+        neighbours = Tensor(self._normalized_adjacency).matmul(embeddings)
+        relational = self.relation_transform(neighbours)
+        combined = concatenate([embeddings, relational], axis=-1)
+        output = self.head(combined)
+        return output.reshape(output.shape[0])
+
+
+def train_rsr(
+    taskset: TaskSet,
+    pretrained: RankLSTM,
+    config: TrainingConfig | None = None,
+    relation_level: str = "industry",
+) -> tuple[RSRModel, TrainingOutcome]:
+    """Train the RSR relational component on top of a pre-trained Rank_LSTM.
+
+    The LSTM embeddings are computed once per split and treated as constants
+    (the original implementation fine-tunes them very little; freezing keeps
+    the offline reproduction fast while preserving the architecture's key
+    property — the injection of sector/industry relations).
+    """
+    config = config or TrainingConfig()
+    adjacency = taskset.taxonomy.adjacency(relation_level)
+
+    embeddings = {}
+    for split in ("train", "valid", "test"):
+        data = prepare_sequences(taskset, split, config.sequence_length)
+        panel = np.empty((data.num_days, data.num_stocks, pretrained.hidden_size))
+        for day in range(data.num_days):
+            panel[day] = pretrained.embed(Tensor(data.inputs[day])).data
+        embeddings[split] = panel
+
+    model = RSRModel(pretrained.hidden_size, adjacency, seed=config.seed)
+    optimizer = Adam(model.parameters(), learning_rate=config.learning_rate)
+
+    train_labels = taskset.split_labels("train")
+    loss_history: list[float] = []
+    schedule = training_day_order(
+        embeddings["train"].shape[0], config.epochs, config.batch_days, config.seed
+    )
+    for epoch_days in schedule:
+        epoch_loss = 0.0
+        for day in epoch_days:
+            optimizer.zero_grad()
+            predictions = model(Tensor(embeddings["train"][day]))
+            loss = combined_ranking_loss(predictions, train_labels[day],
+                                         alpha=config.loss_alpha)
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+        loss_history.append(epoch_loss / max(len(epoch_days), 1))
+
+    predictions = {}
+    for split, panel in embeddings.items():
+        split_predictions = np.empty(panel.shape[:2])
+        for day in range(panel.shape[0]):
+            split_predictions[day] = model(Tensor(panel[day])).data
+        predictions[split] = split_predictions
+    valid_ic, test_ic = score_predictions(predictions, taskset)
+    outcome = TrainingOutcome(
+        config=config,
+        valid_ic=valid_ic,
+        test_ic=test_ic,
+        predictions=predictions,
+        loss_history=loss_history,
+    )
+    return model, outcome

@@ -1,0 +1,136 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli table1                 # regenerate Table 1 (laptop scale)
+    python -m repro.cli table3 --scale smoke   # quick pass of Table 3
+    python -m repro.cli all --output results/  # everything, saved as JSON
+
+Each command prints the regenerated table (in the paper's layout) and, when
+``--output`` is given, stores the structured rows as JSON through
+:mod:`repro.experiments.recorder` so they can be inspected or re-rendered
+later without re-running the search.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    ExperimentConfig,
+    LAPTOP,
+    PAPER_REFERENCE,
+    SMOKE,
+    run_all,
+    run_figure6,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    save_result,
+)
+
+_RUNNERS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "figure6": run_figure6,
+}
+
+_SCALES = {"laptop": LAPTOP, "smoke": SMOKE}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the AlphaEvolve paper's tables and figure.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_RUNNERS) + ["all"],
+        help="which experiment to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="laptop",
+        help="experiment scale (default: laptop)",
+    )
+    parser.add_argument(
+        "--stocks", type=int, default=None,
+        help="override the number of simulated stocks",
+    )
+    parser.add_argument(
+        "--candidates", type=int, default=None,
+        help="override the per-round candidate budget of the evolutionary search",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=None,
+        help="override the number of mining rounds",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the search seed",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="directory to write <experiment>.json result files into",
+    )
+    parser.add_argument(
+        "--show-reference", action="store_true",
+        help="also print the paper's reference rows",
+    )
+    return parser
+
+
+def resolve_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Turn parsed arguments into an :class:`ExperimentConfig`."""
+    config = _SCALES[args.scale]
+    overrides = {}
+    if args.stocks is not None:
+        overrides["num_stocks"] = args.stocks
+    if args.candidates is not None:
+        overrides["max_candidates"] = args.candidates
+    if args.rounds is not None:
+        overrides["num_rounds"] = args.rounds
+    if args.seed is not None:
+        overrides["search_seed"] = args.seed
+    if overrides:
+        config = config.scaled(**overrides)
+    return config
+
+
+def _emit(result, args: argparse.Namespace) -> None:
+    print(result.rendered)
+    if args.show_reference and result.experiment in PAPER_REFERENCE:
+        print(f"\nPaper reference ({result.experiment}):")
+        for row in PAPER_REFERENCE[result.experiment]:
+            print("  " + ", ".join(f"{key}={value}" for key, value in row.items()))
+    if args.output:
+        path = save_result(result, args.output)
+        print(f"\nsaved {path}")
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = resolve_config(args)
+    if args.experiment == "all":
+        for result in run_all(config).values():
+            _emit(result, args)
+        return 0
+    result = _RUNNERS[args.experiment](config)
+    _emit(result, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in docs
+    sys.exit(main())

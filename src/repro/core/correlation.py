@@ -1,0 +1,88 @@
+"""Weak-correlation cutoff between alphas (Sections 1 and 5.4.1).
+
+Hedge funds demand that a new alpha's portfolio returns correlate with every
+existing alpha's portfolio returns by less than 15 %.  During the evolutionary
+process AlphaEvolve therefore discards any candidate whose validation
+portfolio-return series correlates above the cutoff with any alpha already in
+the mined set ``A``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..backtest.metrics import pearson_correlation
+from ..config import CORRELATION_CUTOFF
+from ..errors import ConfigurationError
+
+__all__ = ["CorrelationFilter"]
+
+
+@dataclass
+class CorrelationFilter:
+    """Tracks reference portfolio-return series and enforces the cutoff.
+
+    Parameters
+    ----------
+    cutoff:
+        Maximum tolerated absolute Pearson correlation (default 15 %).
+    use_absolute:
+        When True (default) the magnitude of the correlation is compared with
+        the cutoff, so strongly anti-correlated alphas are rejected too;
+        set to False to only reject positively correlated candidates.
+    """
+
+    cutoff: float = CORRELATION_CUTOFF
+    use_absolute: bool = True
+    _references: list[tuple[str, np.ndarray]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.cutoff <= 1.0):
+            raise ConfigurationError("cutoff must lie in (0, 1]")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_references(self) -> int:
+        """Number of reference alphas currently enforced."""
+        return len(self._references)
+
+    @property
+    def reference_names(self) -> tuple[str, ...]:
+        """Names of the reference alphas."""
+        return tuple(name for name, _ in self._references)
+
+    def add_reference(self, name: str, portfolio_returns: np.ndarray) -> None:
+        """Register an existing alpha's portfolio-return series."""
+        series = np.asarray(portfolio_returns, dtype=np.float64).ravel()
+        if series.size < 2:
+            raise ConfigurationError(
+                "a reference portfolio-return series needs at least two days"
+            )
+        self._references.append((name, series))
+
+    # ------------------------------------------------------------------
+    def correlations(self, portfolio_returns: np.ndarray) -> dict[str, float]:
+        """Correlation of ``portfolio_returns`` with every reference alpha."""
+        series = np.asarray(portfolio_returns, dtype=np.float64).ravel()
+        return {
+            name: pearson_correlation(series, reference)
+            for name, reference in self._references
+        }
+
+    def max_correlation(self, portfolio_returns: np.ndarray) -> float:
+        """The largest (absolute, if configured) correlation with any reference.
+
+        Returns 0.0 when no references are registered.
+        """
+        values = self.correlations(portfolio_returns)
+        if not values:
+            return 0.0
+        if self.use_absolute:
+            return max(abs(v) for v in values.values())
+        return max(values.values())
+
+    def passes(self, portfolio_returns: np.ndarray) -> bool:
+        """True when the candidate respects the cutoff against all references."""
+        return self.max_correlation(portfolio_returns) <= self.cutoff

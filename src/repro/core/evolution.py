@@ -1,0 +1,271 @@
+"""Regularised evolutionary search over alpha programs (Section 3).
+
+The search maintains an aging population of candidate alphas:
+
+1. the population is seeded by mutating the initial (parent) alpha;
+2. each iteration samples a *tournament* of fixed size, takes the member
+   with the highest fitness as the new parent, mutates it into a child,
+   evaluates the child, appends it to the population and removes the oldest
+   member;
+3. when the search budget is exhausted, the alpha with the highest fitness
+   in the final population is returned as the evolved alpha.
+
+Candidate scoring runs through the pruning + fingerprint cache
+(:mod:`repro.core.cache`) and, when a set of previously accepted alphas is
+supplied, through the 15 % correlation cutoff
+(:mod:`repro.core.correlation`): a candidate that violates the cutoff
+receives the invalid sentinel fitness and effectively drops out of
+tournament selection, exactly like the paper's "candidate alphas are
+eliminated if they are correlated with a given set of alphas".
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..backtest.engine import BacktestEngine
+from ..config import POPULATION_SIZE, TOURNAMENT_SIZE, make_rng
+from ..errors import EvolutionError
+from .cache import CacheStats, FingerprintCache
+from .correlation import CorrelationFilter
+from .fitness import INVALID_FITNESS, FitnessReport
+from .interpreter import AlphaEvaluator
+from .mutation import Mutator
+from .program import AlphaProgram
+
+__all__ = ["EvolutionConfig", "Candidate", "TrajectoryPoint", "EvolutionResult",
+           "EvolutionController"]
+
+
+@dataclass(frozen=True)
+class EvolutionConfig:
+    """Hyper-parameters of the evolutionary search.
+
+    The budget can be expressed as a maximum number of candidate alphas
+    (``max_candidates``, counting pruned/cached/evaluated candidates alike —
+    the paper's "searched alphas") and/or a wall-clock limit in seconds
+    (``max_seconds``, the paper uses 60 hours per round); the search stops at
+    whichever limit is hit first.
+    """
+
+    population_size: int = POPULATION_SIZE
+    tournament_size: int = TOURNAMENT_SIZE
+    max_candidates: int | None = 2000
+    max_seconds: float | None = None
+    use_pruning: bool = True
+    log_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise EvolutionError("population_size must be at least 2")
+        if self.tournament_size < 1 or self.tournament_size > self.population_size:
+            raise EvolutionError(
+                "tournament_size must lie in [1, population_size]"
+            )
+        if self.max_candidates is None and self.max_seconds is None:
+            raise EvolutionError("at least one of max_candidates/max_seconds is required")
+        if self.max_candidates is not None and self.max_candidates < 1:
+            raise EvolutionError("max_candidates must be positive")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise EvolutionError("max_seconds must be positive")
+
+
+@dataclass
+class Candidate:
+    """A scored member of the population."""
+
+    program: AlphaProgram
+    report: FitnessReport
+    born_at: int
+
+    @property
+    def fitness(self) -> float:
+        """Fitness used by tournament selection."""
+        return self.report.fitness
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One point of the evolutionary trajectory (for Figure 6)."""
+
+    candidates: int
+    evaluations: int
+    best_fitness: float
+    elapsed_seconds: float
+
+
+@dataclass
+class EvolutionResult:
+    """Outcome of one evolutionary run."""
+
+    best_program: AlphaProgram
+    best_report: FitnessReport
+    best_in_population: Candidate
+    trajectory: list[TrajectoryPoint]
+    cache_stats: CacheStats
+    candidates_generated: int
+    elapsed_seconds: float
+
+    @property
+    def searched_alphas(self) -> int:
+        """Total candidates processed, the quantity reported in Table 6."""
+        return self.cache_stats.searched
+
+
+class EvolutionController:
+    """Runs regularised evolution for one alpha-mining round."""
+
+    def __init__(
+        self,
+        evaluator: AlphaEvaluator,
+        mutator: Mutator,
+        config: EvolutionConfig | None = None,
+        correlation_filter: CorrelationFilter | None = None,
+        backtest_engine: BacktestEngine | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.evaluator = evaluator
+        self.mutator = mutator
+        self.config = config or EvolutionConfig()
+        self.correlation_filter = correlation_filter
+        if correlation_filter is not None and backtest_engine is None:
+            raise EvolutionError(
+                "a backtest engine is required when a correlation filter is used"
+            )
+        self.backtest_engine = backtest_engine
+        self.rng = make_rng(seed)
+        self.cache = FingerprintCache(enabled=self.config.use_pruning)
+        self._candidates_generated = 0
+        self._start_time = 0.0
+        self._best_ever: Candidate | None = None
+        self._trajectory: list[TrajectoryPoint] = []
+
+    # ------------------------------------------------------------------
+    # Candidate scoring
+    # ------------------------------------------------------------------
+    def score(self, program: AlphaProgram) -> FitnessReport:
+        """Score one candidate through pruning, cache, evaluation and cutoff."""
+        self._candidates_generated += 1
+        prune_result, key, cached = self.cache.prepare(program)
+        if cached is not None:
+            return cached
+
+        # With pruning enabled the evaluator runs the pruned program, which
+        # is cheaper and numerically identical for the prediction; with the
+        # technique disabled (Table 6 ablation) the full program runs.
+        to_run = prune_result.program if prune_result is not None else program
+        result = self.evaluator.evaluate(to_run)
+        report = result.report
+
+        if report.is_valid and self.correlation_filter is not None \
+                and self.correlation_filter.num_references:
+            returns = self.backtest_engine.portfolio_returns(
+                result.predictions["valid"], split="valid"
+            )
+            max_corr = self.correlation_filter.max_correlation(returns)
+            if max_corr > self.correlation_filter.cutoff:
+                report = FitnessReport(
+                    fitness=INVALID_FITNESS,
+                    ic_valid=report.ic_valid,
+                    daily_ic_valid=report.daily_ic_valid,
+                    is_valid=False,
+                    reason=(
+                        f"correlation {max_corr:.3f} with an accepted alpha exceeds "
+                        f"the {self.correlation_filter.cutoff:.0%} cutoff"
+                    ),
+                )
+        self.cache.record(key, report)
+        return report
+
+    # ------------------------------------------------------------------
+    def _budget_exhausted(self) -> bool:
+        config = self.config
+        if config.max_candidates is not None and \
+                self._candidates_generated >= config.max_candidates:
+            return True
+        if config.max_seconds is not None and \
+                time.perf_counter() - self._start_time >= config.max_seconds:
+            return True
+        return False
+
+    def _register(self, candidate: Candidate) -> None:
+        if self._best_ever is None or candidate.fitness > self._best_ever.fitness:
+            self._best_ever = candidate
+        self._trajectory.append(
+            TrajectoryPoint(
+                candidates=self._candidates_generated,
+                evaluations=self.cache.stats.evaluated,
+                best_fitness=self._best_ever.fitness,
+                elapsed_seconds=time.perf_counter() - self._start_time,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, initial_program: AlphaProgram) -> EvolutionResult:
+        """Evolve ``initial_program`` until the budget is exhausted."""
+        config = self.config
+        self._start_time = time.perf_counter()
+        self._candidates_generated = 0
+        self._best_ever = None
+        self._trajectory = []
+
+        population: deque[Candidate] = deque()
+        parent_program = initial_program
+        parent = Candidate(
+            program=parent_program,
+            report=self.score(parent_program),
+            born_at=self._candidates_generated,
+        )
+        population.append(parent)
+        self._register(parent)
+
+        # ----- populate P0 by mutating the initial parent (Section 3 step 1)
+        while len(population) < config.population_size and not self._budget_exhausted():
+            child_program = self.mutator.mutate(parent_program)
+            child = Candidate(
+                program=child_program,
+                report=self.score(child_program),
+                born_at=self._candidates_generated,
+            )
+            population.append(child)
+            self._register(child)
+
+        # ----- main tournament loop (Section 3 steps 3-4)
+        while not self._budget_exhausted():
+            indices = self.rng.choice(
+                len(population),
+                size=min(config.tournament_size, len(population)),
+                replace=False,
+            )
+            tournament = [population[int(i)] for i in indices]
+            parent = max(tournament, key=lambda candidate: candidate.fitness)
+            child_program = self.mutator.mutate(parent.program)
+            child = Candidate(
+                program=child_program,
+                report=self.score(child_program),
+                born_at=self._candidates_generated,
+            )
+            population.append(child)
+            population.popleft()
+            self._register(child)
+
+        best_in_population = max(population, key=lambda candidate: candidate.fitness)
+        # The paper selects the best alpha of the final population; if every
+        # surviving member is invalid (tiny budgets), fall back to the best
+        # candidate seen over the whole run.
+        best = best_in_population
+        if best.fitness <= INVALID_FITNESS and self._best_ever is not None:
+            best = self._best_ever
+        return EvolutionResult(
+            best_program=best.program,
+            best_report=best.report,
+            best_in_population=best_in_population,
+            trajectory=self._trajectory,
+            cache_stats=self.cache.stats,
+            candidates_generated=self._candidates_generated,
+            elapsed_seconds=time.perf_counter() - self._start_time,
+        )

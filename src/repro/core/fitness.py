@@ -1,0 +1,87 @@
+"""Fitness measures for candidate alphas.
+
+The evolutionary search scores every candidate with the Information
+Coefficient (IC, Eq. 1 of the paper): the average over validation days of the
+sample Pearson correlation between the cross-section of predictions and the
+cross-section of realised returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExecutionError
+
+__all__ = ["INVALID_FITNESS", "daily_ic", "mean_ic", "FitnessReport"]
+
+#: Sentinel fitness assigned to invalid alphas (redundant programs, constant
+#: predictions, execution failures).  The IC lies in [-1, 1], so any valid
+#: alpha dominates this value in tournament selection.
+INVALID_FITNESS = -2.0
+
+
+def daily_ic(predictions: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Per-day cross-sectional Pearson correlation.
+
+    Parameters
+    ----------
+    predictions, labels:
+        Arrays of shape ``(N, K)`` — days by stocks.
+
+    Returns
+    -------
+    np.ndarray
+        Length-``N`` array of daily correlations.  Days where either the
+        predictions or the labels have zero cross-sectional variance
+        contribute a correlation of 0.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if predictions.shape != labels.shape:
+        raise ExecutionError(
+            f"predictions {predictions.shape} and labels {labels.shape} differ in shape"
+        )
+    if predictions.ndim != 2:
+        raise ExecutionError("daily_ic expects 2-D (days, stocks) arrays")
+
+    pred_centered = predictions - predictions.mean(axis=1, keepdims=True)
+    label_centered = labels - labels.mean(axis=1, keepdims=True)
+    pred_std = pred_centered.std(axis=1)
+    label_std = label_centered.std(axis=1)
+    covariance = (pred_centered * label_centered).mean(axis=1)
+    denominator = pred_std * label_std
+    with np.errstate(divide="ignore", invalid="ignore"):
+        correlations = np.where(denominator > 0, covariance / denominator, 0.0)
+    return np.nan_to_num(correlations, nan=0.0)
+
+
+def mean_ic(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """The Information Coefficient (Eq. 1): mean of the daily correlations."""
+    series = daily_ic(predictions, labels)
+    if series.size == 0:
+        return 0.0
+    return float(series.mean())
+
+
+@dataclass(frozen=True)
+class FitnessReport:
+    """Fitness of a candidate plus the diagnostics the miner records."""
+
+    fitness: float
+    ic_valid: float
+    daily_ic_valid: np.ndarray
+    is_valid: bool
+    reason: str = ""
+
+    @classmethod
+    def invalid(cls, reason: str) -> "FitnessReport":
+        """A report for an alpha that could not be scored."""
+        return cls(
+            fitness=INVALID_FITNESS,
+            ic_valid=float("nan"),
+            daily_ic_valid=np.empty(0),
+            is_valid=False,
+            reason=reason,
+        )

@@ -1,0 +1,171 @@
+"""Starting alphas used to initialise the evolutionary search (Section 5.2).
+
+The paper compares four initialisations:
+
+* ``alpha_AE_D``    — a *domain-expert-designed* formulaic alpha (Figure 2);
+* ``alpha_AE_NOOP`` — no initialisation (a minimal placeholder program);
+* ``alpha_AE_R``    — a randomly designed alpha;
+* ``alpha_AE_NN``   — a two-layer neural-network alpha.
+
+All four are expressed in the alpha language itself, so AlphaEvolve can evolve
+any of them.  The two-layer NN shows that the language is expressive enough to
+contain machine-learning alphas: its Setup() samples random weights, its
+Predict() computes ``w2 · relu(W1 x)`` on the latest day's feature vector and
+its Update() performs one step of stochastic gradient descent on the squared
+error — entirely with the registered operators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import AddressSpace, DEFAULT_ADDRESS_SPACE
+from ..errors import ConfigurationError
+from .memory import INPUT_MATRIX, LABEL, Operand, PREDICTION
+from .mutation import Mutator
+from .ops import Dimensions
+from .program import AlphaProgram, Operation
+
+__all__ = [
+    "INITIALIZATION_NAMES",
+    "domain_expert_alpha",
+    "noop_alpha",
+    "random_alpha",
+    "neural_network_alpha",
+    "get_initialization",
+]
+
+#: Paper feature-row indices inside the input matrix (see FEATURE_NAMES).
+_ROW_MA5 = 0
+_ROW_MA20 = 2
+_ROW_MA30 = 3
+_ROW_CLOSE = 11
+
+INITIALIZATION_NAMES = ("D", "NOOP", "R", "NN")
+
+
+def domain_expert_alpha(dims: Dimensions, name: str = "alpha_D") -> AlphaProgram:
+    """A classic moving-average-crossover formulaic alpha.
+
+    The trading signal is the relative gap between the 5-day and the 20-day
+    moving averages of the close price on the most recent day of the window —
+    a standard momentum expression a human quant would write down directly
+    (the "well-designed formulaic alpha" of Figure 2).  Setup() and Update()
+    contain only placeholder constants (a formulaic alpha has no parameters),
+    satisfying the minimum-one-operation constraint.
+    """
+    last = dims.window - 1
+    s2, s3, s4 = Operand.scalar(2), Operand.scalar(3), Operand.scalar(4)
+    predict = [
+        Operation.make("get_scalar", (INPUT_MATRIX,), s2,
+                       {"row": _ROW_MA5, "col": last}),
+        Operation.make("get_scalar", (INPUT_MATRIX,), s3,
+                       {"row": _ROW_MA20, "col": last}),
+        Operation.make("s_sub", (s2, s3), s4),
+        Operation.make("s_div", (s4, s3), PREDICTION),
+    ]
+    setup = [Operation.make("s_const", (), Operand.scalar(5), {"constant": 0.0})]
+    update = [Operation.make("s_const", (), Operand.scalar(6), {"constant": 0.0})]
+    return AlphaProgram(setup=setup, predict=predict, update=update, name=name)
+
+
+def noop_alpha(dims: Dimensions, name: str = "alpha_NOOP") -> AlphaProgram:
+    """The no-initialisation starting point (``alpha_AE_NOOP``)."""
+    mutator = Mutator(dims, seed=0)
+    program = mutator.empty_program(name=name)
+    return program
+
+
+def random_alpha(
+    dims: Dimensions,
+    seed: int | np.random.Generator | None = None,
+    address_space: AddressSpace = DEFAULT_ADDRESS_SPACE,
+    name: str = "alpha_R",
+) -> AlphaProgram:
+    """A randomly designed starting alpha (``alpha_AE_R``)."""
+    mutator = Mutator(dims, address_space=address_space, seed=seed)
+    return mutator.random_program(num_setup=2, num_predict=6, num_update=4, name=name)
+
+
+def neural_network_alpha(
+    dims: Dimensions,
+    learning_rate: float = 0.01,
+    weight_scale: float = 0.1,
+    name: str = "alpha_NN",
+) -> AlphaProgram:
+    """A two-layer neural network written in the alpha language (``alpha_AE_NN``).
+
+    * input  — the feature vector of the most recent day (a column of ``m0``);
+    * hidden — ``relu(W1 x)`` with ``W1`` initialised uniformly in Setup();
+    * output — ``w2 · hidden`` as the prediction;
+    * Update() performs one SGD step on the squared error ``(y - s1)^2`` for
+      both layers using the operators of the language (outer products for the
+      weight-matrix gradient).
+    """
+    if learning_rate <= 0:
+        raise ConfigurationError("learning_rate must be positive")
+    last = dims.window - 1
+
+    x = Operand.vector(0)        # input feature vector
+    hidden_pre = Operand.vector(1)
+    hidden_mask = Operand.vector(2)
+    hidden = Operand.vector(3)
+    w2 = Operand.vector(4)
+    grad_w2 = Operand.vector(5)
+    backprop = Operand.vector(6)
+    scaled_backprop = Operand.vector(7)
+    w1 = Operand.matrix(1)
+    grad_w1 = Operand.matrix(2)
+    error = Operand.scalar(2)
+    step = Operand.scalar(3)
+    lr = Operand.scalar(4)
+
+    setup = [
+        Operation.make("matrix_uniform", (), w1,
+                       {"low": -weight_scale, "high": weight_scale}),
+        Operation.make("vector_uniform", (), w2,
+                       {"low": -weight_scale, "high": weight_scale}),
+        Operation.make("s_const", (), lr, {"constant": learning_rate}),
+    ]
+    predict = [
+        Operation.make("get_column", (INPUT_MATRIX,), x, {"col": last}),
+        Operation.make("matvec", (w1, x), hidden_pre),
+        Operation.make("v_heaviside", (hidden_pre,), hidden_mask),
+        Operation.make("v_mul", (hidden_pre, hidden_mask), hidden),
+        Operation.make("v_dot", (hidden, w2), PREDICTION),
+    ]
+    update = [
+        # error = y - prediction, step = lr * error
+        Operation.make("s_sub", (LABEL, PREDICTION), error),
+        Operation.make("s_mul", (error, lr), step),
+        # w2 += step * hidden
+        Operation.make("v_scale", (step, hidden), grad_w2),
+        Operation.make("v_add", (w2, grad_w2), w2),
+        # W1 += outer(step * (w2 * relu'(hidden_pre)), x)
+        Operation.make("v_mul", (w2, hidden_mask), backprop),
+        Operation.make("v_scale", (step, backprop), scaled_backprop),
+        Operation.make("v_outer", (scaled_backprop, x), grad_w1),
+        Operation.make("m_add", (w1, grad_w1), w1),
+    ]
+    return AlphaProgram(setup=setup, predict=predict, update=update, name=name)
+
+
+def get_initialization(
+    kind: str,
+    dims: Dimensions,
+    seed: int | np.random.Generator | None = None,
+    address_space: AddressSpace = DEFAULT_ADDRESS_SPACE,
+) -> AlphaProgram:
+    """Build the starting alpha for an initialisation code (``D``/``NOOP``/``R``/``NN``)."""
+    kind = kind.upper()
+    if kind == "D":
+        return domain_expert_alpha(dims)
+    if kind == "NOOP":
+        return noop_alpha(dims)
+    if kind == "R":
+        return random_alpha(dims, seed=seed, address_space=address_space)
+    if kind == "NN":
+        return neural_network_alpha(dims)
+    raise ConfigurationError(
+        f"unknown initialisation {kind!r}; expected one of {INITIALIZATION_NAMES}"
+    )

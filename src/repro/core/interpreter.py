@@ -1,0 +1,243 @@
+"""Vectorised execution of alpha programs over a task set.
+
+The evaluator implements the training / inference protocol of Section 2:
+
+* **Training stage** — for every training day ``t`` (in chronological order)
+  the input matrix ``m0`` is set to the day's feature matrices, ``Predict()``
+  runs, and then the label ``s0`` is revealed and ``Update()`` runs.  Memory
+  persists across days, so operands written by ``Update()`` accumulate
+  long-term information: they are the alpha's *parameters*.
+* **Inference stage** — the trained memory is carried over; for every
+  validation/test day only ``Predict()`` runs and the value left in ``s1`` is
+  recorded as the prediction.  The realised label is written into ``s0``
+  *after* the prediction is recorded (it is known the next day), so alphas
+  may use recent returns as features without look-ahead.
+
+``Setup()`` runs once before the training stage.
+
+The evaluator executes every operation for all ``K`` stocks at once (see
+:mod:`repro.core.memory`), which is what makes the cross-sectional
+RelationOps well-defined and the search fast enough in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import AddressSpace, DEFAULT_ADDRESS_SPACE, make_rng
+from ..data.dataset import TaskSet
+from ..errors import ExecutionError
+from .fitness import FitnessReport, INVALID_FITNESS, daily_ic, mean_ic
+from .memory import INPUT_MATRIX, LABEL, Memory, PREDICTION
+from .ops import ExecutionContext
+from .program import AlphaProgram
+
+__all__ = ["EvaluationResult", "AlphaEvaluator"]
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of evaluating one alpha program on a task set."""
+
+    program: AlphaProgram
+    fitness: float
+    ic_valid: float
+    ic_test: float
+    predictions: dict[str, np.ndarray]
+    daily_ic_valid: np.ndarray = field(default_factory=lambda: np.empty(0))
+    is_valid: bool = True
+    reason: str = ""
+
+    @property
+    def report(self) -> FitnessReport:
+        """The fitness report corresponding to this evaluation."""
+        return FitnessReport(
+            fitness=self.fitness,
+            ic_valid=self.ic_valid,
+            daily_ic_valid=self.daily_ic_valid,
+            is_valid=self.is_valid,
+            reason=self.reason,
+        )
+
+
+class AlphaEvaluator:
+    """Executes and scores alpha programs on a :class:`TaskSet`.
+
+    Parameters
+    ----------
+    taskset:
+        The samples of all stock tasks.
+    address_space:
+        Operand address-space sizes (defaults to the paper's 10/16/4).
+    seed:
+        Seed of the evaluator's RNG (used only by stochastic initialiser
+        operators such as ``vector_uniform``); fixing it makes evaluation
+        deterministic.
+    max_train_steps:
+        Optional cap on the number of training days used during the (single
+        epoch) training pass.  When set, training days are subsampled evenly.
+        This mirrors the paper's "train by one epoch for fast evaluation" and
+        lets the laptop-scale experiment configs trade accuracy for speed.
+    use_update:
+        When False the ``Update()`` component is skipped entirely — this is
+        the ``*_P`` ablation of Table 4 (alpha without the parameter-updating
+        function).
+    evaluate_test:
+        Whether :meth:`evaluate` also produces test-split predictions.
+    """
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        address_space: AddressSpace = DEFAULT_ADDRESS_SPACE,
+        seed: int | np.random.Generator | None = 0,
+        max_train_steps: int | None = None,
+        use_update: bool = True,
+        evaluate_test: bool = True,
+    ) -> None:
+        if taskset.num_features != taskset.window:
+            raise ExecutionError(
+                "the alpha language requires square feature matrices (f == w); "
+                f"got f={taskset.num_features}, w={taskset.window}"
+            )
+        self.taskset = taskset
+        self.address_space = address_space
+        self._seed_rng = make_rng(seed)
+        self._base_seed = int(self._seed_rng.integers(0, 2**63 - 1))
+        self.max_train_steps = max_train_steps
+        self.use_update = use_update
+        self.evaluate_test = evaluate_test
+        self._sector_index = taskset.taxonomy.group_index("sector")
+        self._industry_index = taskset.taxonomy.group_index("industry")
+
+    # ------------------------------------------------------------------
+    def _make_context(self) -> ExecutionContext:
+        return ExecutionContext(
+            num_tasks=self.taskset.num_tasks,
+            num_features=self.taskset.num_features,
+            window=self.taskset.window,
+            sector_index=self._sector_index,
+            industry_index=self._industry_index,
+            rng=np.random.default_rng(self._base_seed),
+            base_seed=self._base_seed,
+        )
+
+    def _train_day_indices(self) -> np.ndarray:
+        train_days = self.taskset.split.train
+        if self.max_train_steps is None or self.max_train_steps >= train_days:
+            return np.arange(train_days)
+        return np.linspace(0, train_days - 1, self.max_train_steps).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: AlphaProgram,
+        splits: tuple[str, ...] = ("valid", "test"),
+        use_update: bool | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Train the alpha and return its predictions on the requested splits.
+
+        The training pass always runs (one epoch over the training days); the
+        returned dictionary maps each requested split name to an array of
+        shape ``(num_days_in_split, K)``.
+        """
+        use_update = self.use_update if use_update is None else use_update
+        program.validate(self.address_space)
+
+        ctx = self._make_context()
+        memory = Memory(
+            num_tasks=self.taskset.num_tasks,
+            num_features=self.taskset.num_features,
+            window=self.taskset.window,
+            address_space=self.address_space,
+        )
+
+        setup_ops = [(op.spec, op.inputs, op.output, op.param_dict) for op in program.setup]
+        predict_ops = [(op.spec, op.inputs, op.output, op.param_dict) for op in program.predict]
+        update_ops = [(op.spec, op.inputs, op.output, op.param_dict) for op in program.update]
+
+        def execute(op_list) -> None:
+            for spec, inputs, output, params in op_list:
+                arrays = tuple(memory.read(operand) for operand in inputs)
+                memory.write(output, spec(ctx, arrays, params))
+
+        execute(setup_ops)
+
+        # ----- training stage (single epoch, Section 5.2) -----
+        train_features = self.taskset.split_features("train")
+        train_labels = self.taskset.split_labels("train")
+        train_predictions = np.zeros((train_features.shape[0], self.taskset.num_tasks))
+        for day in self._train_day_indices():
+            memory.write(INPUT_MATRIX, train_features[day])
+            execute(predict_ops)
+            train_predictions[day] = memory.read(PREDICTION)
+            memory.write(LABEL, train_labels[day])
+            if use_update:
+                execute(update_ops)
+
+        predictions: dict[str, np.ndarray] = {}
+        if "train" in splits:
+            predictions["train"] = train_predictions
+
+        # ----- inference stage -----
+        for split in ("valid", "test"):
+            if split not in splits:
+                continue
+            features = self.taskset.split_features(split)
+            labels = self.taskset.split_labels(split)
+            split_predictions = np.zeros((features.shape[0], self.taskset.num_tasks))
+            for day in range(features.shape[0]):
+                memory.write(INPUT_MATRIX, features[day])
+                execute(predict_ops)
+                split_predictions[day] = memory.read(PREDICTION)
+                memory.write(LABEL, labels[day])
+            predictions[split] = split_predictions
+        return predictions
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        program: AlphaProgram,
+        use_update: bool | None = None,
+    ) -> EvaluationResult:
+        """Train and score ``program``; never raises on numerical failures.
+
+        Structural failures (invalid operands, disallowed operators) do raise
+        :class:`~repro.errors.ProgramError` because they indicate a bug in the
+        caller (the mutator never produces them); numerical degeneracies such
+        as constant predictions yield an invalid :class:`EvaluationResult`
+        with the sentinel fitness instead.
+        """
+        splits: tuple[str, ...] = ("valid", "test") if self.evaluate_test else ("valid",)
+        predictions = self.run(program, splits=splits, use_update=use_update)
+
+        valid_preds = predictions["valid"]
+        valid_labels = self.taskset.split_labels("valid")
+        per_day_variance = valid_preds.std(axis=1)
+        if not np.isfinite(valid_preds).all() or np.all(per_day_variance < 1e-12):
+            return EvaluationResult(
+                program=program,
+                fitness=INVALID_FITNESS,
+                ic_valid=float("nan"),
+                ic_test=float("nan"),
+                predictions=predictions,
+                is_valid=False,
+                reason="degenerate predictions on the validation split",
+            )
+
+        ic_series = daily_ic(valid_preds, valid_labels)
+        ic_valid = float(ic_series.mean())
+        ic_test = float("nan")
+        if "test" in predictions:
+            ic_test = mean_ic(predictions["test"], self.taskset.split_labels("test"))
+        return EvaluationResult(
+            program=program,
+            fitness=ic_valid,
+            ic_valid=ic_valid,
+            ic_test=ic_test,
+            predictions=predictions,
+            daily_ic_valid=ic_series,
+            is_valid=True,
+        )

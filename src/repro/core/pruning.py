@@ -1,0 +1,160 @@
+"""Redundancy pruning of alpha programs (Section 4.2).
+
+The pruning technique removes operations that do not contribute to the
+calculation between the input feature matrix ``m0`` and the prediction
+``s1``, and flags *redundant alphas* — programs whose prediction does not
+depend on ``m0`` at all — so they can be discarded without evaluation.
+
+The program is viewed as a dataflow graph with operands as nodes and
+operators as edges (Figure 5).  Because memory persists across time steps,
+operands written by ``Update()`` (and by earlier executions of ``Predict()``)
+feed the next step's ``Predict()``; the backward liveness analysis therefore
+runs to a fixpoint over the cross-time-step loop:
+
+1. start from the last write to ``s1`` inside ``Predict()``;
+2. walk backwards marking the operations whose outputs are still *live*;
+3. operands live at the start of ``Predict()`` are carried across time steps
+   — they become targets for ``Update()`` (previous step), whose own
+   carried-in operands become targets for ``Predict()`` again, until nothing
+   changes;
+4. ``Setup()`` is analysed last with the final carried-operand set.
+
+Operations never marked as needed are pruned.  The pruned program is what the
+fingerprint in :mod:`repro.core.cache` is computed on, so alphas that differ
+only in redundant operations share a cache entry and are never re-evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .memory import INPUT_MATRIX, LABEL, Operand, PREDICTION
+from .program import AlphaProgram, Operation
+
+__all__ = ["PruneResult", "backward_liveness", "prune_program"]
+
+
+@dataclass(frozen=True)
+class PruneResult:
+    """Outcome of pruning one alpha program."""
+
+    program: AlphaProgram
+    is_redundant: bool
+    removed_operations: int
+    kept_operations: int
+
+    @property
+    def total_operations(self) -> int:
+        """Number of operations in the original (unpruned) program."""
+        return self.removed_operations + self.kept_operations
+
+
+def backward_liveness(
+    operations: list[Operation], targets: set[Operand]
+) -> tuple[set[int], set[Operand]]:
+    """Backward liveness pass over one component.
+
+    Parameters
+    ----------
+    operations:
+        The component's operations in program order.
+    targets:
+        Operands whose values are needed *after* the component has run.
+
+    Returns
+    -------
+    (needed_indices, live_in):
+        ``needed_indices`` — indices of operations that contribute to the
+        targets (all others are redundant w.r.t. these targets);
+        ``live_in`` — operands whose values must already be available before
+        the component runs (carried in from a previous step, from another
+        component, or provided externally like ``m0``/``s0``).
+    """
+    live = set(targets)
+    needed: set[int] = set()
+    for index in range(len(operations) - 1, -1, -1):
+        operation = operations[index]
+        if operation.output in live:
+            needed.add(index)
+            live.discard(operation.output)
+            live.update(operation.inputs)
+    return needed, live
+
+
+def prune_program(program: AlphaProgram) -> PruneResult:
+    """Prune redundant operations and detect redundant alphas.
+
+    Returns a :class:`PruneResult` whose ``program`` contains only the
+    operations that contribute to the prediction.  ``is_redundant`` is True
+    when the prediction is never written in ``Predict()`` or does not depend
+    (directly or through parameters updated from training data) on the input
+    feature matrix ``m0``.
+    """
+    predict_ops = program.predict
+    writes_prediction = any(op.output == PREDICTION for op in predict_ops)
+    if not writes_prediction:
+        return PruneResult(
+            program=AlphaProgram(setup=[], predict=[], update=[], name=program.name),
+            is_redundant=True,
+            removed_operations=program.num_operations,
+            kept_operations=0,
+        )
+
+    external = {INPUT_MATRIX, LABEL}
+
+    needed_predict: set[int] = set()
+    needed_update: set[int] = set()
+    carried: set[Operand] = set()
+
+    # Fixpoint over the cross-time-step dependency loop between Predict() and
+    # Update().  Each pass can only grow the needed sets, and both are bounded
+    # by the component sizes, so the loop terminates.
+    while True:
+        predict_targets = {PREDICTION} | carried
+        new_needed_predict, live_in_predict = backward_liveness(predict_ops, predict_targets)
+
+        update_targets = set(live_in_predict - external) | carried
+        new_needed_update, live_in_update = backward_liveness(program.update, update_targets)
+
+        new_carried = (live_in_predict | live_in_update) - external
+        if (
+            new_needed_predict == needed_predict
+            and new_needed_update == needed_update
+            and new_carried == carried
+        ):
+            break
+        needed_predict, needed_update, carried = (
+            new_needed_predict,
+            new_needed_update,
+            new_carried,
+        )
+
+    needed_setup, _ = backward_liveness(program.setup, set(carried))
+
+    pruned = AlphaProgram(
+        setup=[op for i, op in enumerate(program.setup) if i in needed_setup],
+        predict=[op for i, op in enumerate(predict_ops) if i in needed_predict],
+        update=[op for i, op in enumerate(program.update) if i in needed_update],
+        name=program.name,
+    )
+
+    uses_input_matrix = any(
+        INPUT_MATRIX in operation.inputs
+        for operations in (pruned.setup, pruned.predict, pruned.update)
+        for operation in operations
+    )
+    kept = pruned.num_operations
+    removed = program.num_operations - kept
+    if not uses_input_matrix:
+        return PruneResult(
+            program=pruned,
+            is_redundant=True,
+            removed_operations=removed,
+            kept_operations=kept,
+        )
+    return PruneResult(
+        program=pruned,
+        is_redundant=False,
+        removed_operations=removed,
+        kept_operations=kept,
+    )

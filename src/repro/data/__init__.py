@@ -1,0 +1,33 @@
+"""Market-data substrate: simulation, loading, features, tasks, relations.
+
+The paper evaluates on 5-year NASDAQ data; this subpackage provides both a
+synthetic NASDAQ-like market simulator (the default, offline-friendly data
+source) and a CSV loader for real data, plus the universe filtering, feature
+engineering and task-set construction shared by every experiment.
+"""
+
+from .dataset import Split, TaskSet, build_taskset
+from .features import FEATURE_NAMES, FeaturePanel, compute_feature_panel
+from .loader import load_csv_directory, load_sector_map, parse_ohlcv_csv
+from .market_sim import MarketConfig, StockPanel, SyntheticMarket
+from .relations import SectorTaxonomy, random_taxonomy
+from .universe import FilterReport, UniverseFilter
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FeaturePanel",
+    "FilterReport",
+    "MarketConfig",
+    "SectorTaxonomy",
+    "Split",
+    "StockPanel",
+    "SyntheticMarket",
+    "TaskSet",
+    "UniverseFilter",
+    "build_taskset",
+    "compute_feature_panel",
+    "load_csv_directory",
+    "load_sector_map",
+    "parse_ohlcv_csv",
+    "random_taxonomy",
+]

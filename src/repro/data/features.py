@@ -1,0 +1,177 @@
+"""Construction of the paper's 13-type feature panel (Section 5.2).
+
+For each stock and each day the input feature matrix ``X`` has shape
+``(f, w) = (13, 13)``: 13 feature *types* over a 13-day window.  The feature
+types, in order, are:
+
+0-3   moving averages of the close price over 5, 10, 20 and 30 days
+4-7   volatilities of the close price over 5, 10, 20 and 30 days
+8     open price
+9     high price
+10    low price
+11    close price
+12    volume
+
+Each feature type is normalised by its maximum absolute value across time for
+each stock (Section 5.1).  To avoid look-ahead bias the normaliser can be
+computed on the training days only (the default used by the experiment
+configurations); computing it over all days — as the paper's wording implies —
+is also supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MA_HORIZONS, NUM_FEATURES, VOL_HORIZONS
+from ..errors import DataError
+from .market_sim import StockPanel
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FeaturePanel",
+    "rolling_mean",
+    "rolling_std",
+    "compute_feature_panel",
+]
+
+FEATURE_NAMES: tuple[str, ...] = (
+    "ma5",
+    "ma10",
+    "ma20",
+    "ma30",
+    "vol5",
+    "vol10",
+    "vol20",
+    "vol30",
+    "open",
+    "high",
+    "low",
+    "close",
+    "volume",
+)
+
+#: Warm-up period: the longest horizon needed before every feature is defined.
+WARMUP_DAYS = max(max(MA_HORIZONS), max(VOL_HORIZONS))
+
+
+def rolling_mean(values: np.ndarray, horizon: int) -> np.ndarray:
+    """Trailing moving average over ``horizon`` days along axis 0.
+
+    Rows before the horizon is filled use the partial window, so the output
+    has the same shape as ``values`` and contains no NaNs for finite input.
+    """
+    if horizon <= 0:
+        raise DataError(f"horizon must be positive, got {horizon}")
+    values = np.asarray(values, dtype=np.float64)
+    cumsum = np.cumsum(values, axis=0)
+    out = np.empty_like(values)
+    for t in range(values.shape[0]):
+        start = max(0, t - horizon + 1)
+        total = cumsum[t] - (cumsum[start - 1] if start > 0 else 0.0)
+        out[t] = total / (t - start + 1)
+    return out
+
+
+def rolling_std(values: np.ndarray, horizon: int) -> np.ndarray:
+    """Trailing standard deviation over ``horizon`` days along axis 0.
+
+    Uses the population standard deviation over the partial/full trailing
+    window; windows of length one yield zero.
+    """
+    if horizon <= 0:
+        raise DataError(f"horizon must be positive, got {horizon}")
+    values = np.asarray(values, dtype=np.float64)
+    T = values.shape[0]
+    out = np.zeros_like(values)
+    cumsum = np.cumsum(values, axis=0)
+    cumsq = np.cumsum(values**2, axis=0)
+    for t in range(T):
+        start = max(0, t - horizon + 1)
+        n = t - start + 1
+        total = cumsum[t] - (cumsum[start - 1] if start > 0 else 0.0)
+        total_sq = cumsq[t] - (cumsq[start - 1] if start > 0 else 0.0)
+        mean = total / n
+        variance = np.maximum(total_sq / n - mean**2, 0.0)
+        out[t] = np.sqrt(variance)
+    return out
+
+
+@dataclass
+class FeaturePanel:
+    """Daily feature values for every stock.
+
+    ``values`` has shape ``(T, K, F)`` with ``F = 13`` feature types in the
+    order of :data:`FEATURE_NAMES`.
+    """
+
+    values: np.ndarray
+    feature_names: tuple[str, ...]
+    dates: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 3:
+            raise DataError(f"feature values must be (T, K, F), got {self.values.shape}")
+        if self.values.shape[2] != len(self.feature_names):
+            raise DataError(
+                f"{self.values.shape[2]} feature columns but "
+                f"{len(self.feature_names)} names"
+            )
+
+    @property
+    def num_days(self) -> int:
+        """Number of days ``T``."""
+        return int(self.values.shape[0])
+
+    @property
+    def num_stocks(self) -> int:
+        """Number of stocks ``K``."""
+        return int(self.values.shape[1])
+
+    @property
+    def num_features(self) -> int:
+        """Number of feature types ``F``."""
+        return int(self.values.shape[2])
+
+    def normalized(self, fit_days: int | None = None) -> "FeaturePanel":
+        """Return a copy normalised per stock and feature type.
+
+        Each feature type is divided by its maximum absolute value across time
+        for each stock (Section 5.1).  ``fit_days`` limits the computation of
+        the normaliser to the first ``fit_days`` days (use the training length
+        to avoid look-ahead); ``None`` uses all days as the paper describes.
+        """
+        values = self.values
+        fit = values if fit_days is None else values[:fit_days]
+        if fit.shape[0] == 0:
+            raise DataError("fit_days must leave at least one day to fit on")
+        denom = np.max(np.abs(fit), axis=0)  # (K, F)
+        denom = np.where(denom > 0, denom, 1.0)
+        return FeaturePanel(
+            values=values / denom[None, :, :],
+            feature_names=self.feature_names,
+            dates=self.dates,
+        )
+
+
+def compute_feature_panel(panel: StockPanel) -> FeaturePanel:
+    """Compute the paper's 13 feature types for every day and stock."""
+    close = panel.close
+    returns = panel.returns()
+
+    columns = []
+    for horizon in MA_HORIZONS:
+        columns.append(rolling_mean(close, horizon))
+    for horizon in VOL_HORIZONS:
+        columns.append(rolling_std(returns, horizon))
+    columns.extend([panel.open, panel.high, panel.low, panel.close, panel.volume])
+
+    values = np.stack(columns, axis=2)
+    if values.shape[2] != NUM_FEATURES:
+        raise DataError(
+            f"expected {NUM_FEATURES} feature types, built {values.shape[2]}"
+        )
+    return FeaturePanel(values=values, feature_names=FEATURE_NAMES, dates=panel.dates)

@@ -1,0 +1,176 @@
+"""Loading real OHLCV data from CSV files into a :class:`StockPanel`.
+
+The paper uses 5-year NASDAQ daily data.  When such data is available on
+disk, this loader ingests one CSV per stock (or a single long-format CSV) and
+produces the same :class:`~repro.data.market_sim.StockPanel` container the
+synthetic simulator produces, so every downstream component works unchanged.
+
+Expected per-stock CSV columns (case-insensitive, extra columns ignored)::
+
+    date, open, high, low, close, volume
+
+A sector map file with lines ``TICKER,SECTOR,INDUSTRY`` can be supplied to
+populate the taxonomy; otherwise every stock is placed in a single sector.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DataError
+from .market_sim import StockPanel
+from .relations import SectorTaxonomy
+
+__all__ = ["load_csv_directory", "load_sector_map", "parse_ohlcv_csv"]
+
+_REQUIRED_COLUMNS = ("date", "open", "high", "low", "close", "volume")
+
+
+def parse_ohlcv_csv(path: str | Path) -> dict[str, np.ndarray]:
+    """Parse a single OHLCV CSV file into column arrays keyed by column name."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"CSV file does not exist: {path}")
+    rows: dict[str, list[float]] = {name: [] for name in _REQUIRED_COLUMNS}
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DataError(f"CSV file {path} has no header row")
+        field_map = {name.lower().strip(): name for name in reader.fieldnames}
+        missing = [c for c in _REQUIRED_COLUMNS if c not in field_map]
+        if missing:
+            raise DataError(f"CSV file {path} is missing columns: {missing}")
+        for line in reader:
+            for column in _REQUIRED_COLUMNS:
+                raw = line[field_map[column]]
+                if column == "date":
+                    value = float(str(raw).replace("-", "") or "nan")
+                else:
+                    value = float(raw) if raw not in ("", None) else float("nan")
+                rows[column].append(value)
+    if not rows["date"]:
+        raise DataError(f"CSV file {path} contains no data rows")
+    return {name: np.asarray(values, dtype=np.float64) for name, values in rows.items()}
+
+
+def load_sector_map(path: str | Path) -> dict[str, tuple[str, str]]:
+    """Load a ``TICKER,SECTOR,INDUSTRY`` mapping file."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"sector map does not exist: {path}")
+    mapping: dict[str, tuple[str, str]] = {}
+    with path.open(newline="") as handle:
+        for row in csv.reader(handle):
+            if not row or row[0].startswith("#"):
+                continue
+            if len(row) < 3:
+                raise DataError(f"sector map row needs TICKER,SECTOR,INDUSTRY: {row}")
+            mapping[row[0].strip().upper()] = (row[1].strip(), row[2].strip())
+    return mapping
+
+
+def load_csv_directory(
+    directory: str | Path,
+    sector_map: dict[str, tuple[str, str]] | None = None,
+    pattern: str = "*.csv",
+) -> StockPanel:
+    """Load every per-stock CSV in ``directory`` into a :class:`StockPanel`.
+
+    Stocks are aligned on the intersection of their dates; stocks whose date
+    coverage misses more than half of the common calendar are dropped.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DataError(f"not a directory: {directory}")
+    files = sorted(directory.glob(pattern))
+    if not files:
+        raise DataError(f"no CSV files matching {pattern!r} under {directory}")
+
+    per_stock: dict[str, dict[str, np.ndarray]] = {}
+    for path in files:
+        ticker = path.stem.upper()
+        per_stock[ticker] = parse_ohlcv_csv(path)
+
+    # Common calendar = sorted union of dates, then require coverage.
+    all_dates = np.unique(np.concatenate([cols["date"] for cols in per_stock.values()]))
+    min_coverage = len(all_dates) // 2
+    tickers: list[str] = []
+    arrays: dict[str, list[np.ndarray]] = {c: [] for c in _REQUIRED_COLUMNS if c != "date"}
+    for ticker, cols in per_stock.items():
+        index = {d: i for i, d in enumerate(cols["date"])}
+        if len(index) < min_coverage:
+            continue
+        tickers.append(ticker)
+        for column in arrays:
+            series = np.full(len(all_dates), np.nan)
+            for j, date in enumerate(all_dates):
+                i = index.get(date)
+                if i is not None:
+                    series[j] = cols[column][i]
+            # Forward-fill prices, zero-fill volume, so the panel is dense.
+            if column == "volume":
+                series = np.where(np.isfinite(series), series, 0.0)
+            else:
+                series = _forward_fill(series)
+            arrays[column].append(series)
+    if len(tickers) < 2:
+        raise DataError("fewer than two stocks have sufficient date coverage")
+
+    taxonomy = _taxonomy_from_map(tickers, sector_map)
+    return StockPanel(
+        open=np.column_stack(arrays["open"]),
+        high=np.column_stack(arrays["high"]),
+        low=np.column_stack(arrays["low"]),
+        close=np.column_stack(arrays["close"]),
+        volume=np.column_stack(arrays["volume"]),
+        tickers=tuple(tickers),
+        dates=all_dates,
+        taxonomy=taxonomy,
+    )
+
+
+def _forward_fill(series: np.ndarray) -> np.ndarray:
+    """Forward-fill NaNs; leading NaNs are back-filled from the first value."""
+    series = series.copy()
+    mask = np.isfinite(series)
+    if not mask.any():
+        return np.zeros_like(series)
+    first = np.flatnonzero(mask)[0]
+    series[:first] = series[first]
+    for i in range(first + 1, series.size):
+        if not np.isfinite(series[i]):
+            series[i] = series[i - 1]
+    return series
+
+
+def _taxonomy_from_map(
+    tickers: list[str], sector_map: dict[str, tuple[str, str]] | None
+) -> SectorTaxonomy:
+    if not sector_map:
+        return SectorTaxonomy(
+            sector_ids=np.zeros(len(tickers), dtype=np.int64),
+            industry_ids=np.zeros(len(tickers), dtype=np.int64),
+            sector_names=("UNKNOWN",),
+            industry_names=("UNKNOWN",),
+        )
+    sectors: list[str] = []
+    industries: list[str] = []
+    for ticker in tickers:
+        sector, industry = sector_map.get(ticker, ("UNKNOWN", "UNKNOWN"))
+        sectors.append(sector)
+        industries.append(f"{sector}/{industry}")
+    sector_names = tuple(sorted(set(sectors)))
+    industry_names = tuple(sorted(set(industries)))
+    sector_ids = np.asarray([sector_names.index(s) for s in sectors], dtype=np.int64)
+    industry_ids = np.asarray(
+        [industry_names.index(i) for i in industries], dtype=np.int64
+    )
+    return SectorTaxonomy(
+        sector_ids=sector_ids,
+        industry_ids=industry_ids,
+        sector_names=sector_names,
+        industry_names=industry_names,
+    )

@@ -1,0 +1,360 @@
+"""Synthetic NASDAQ-like equity market simulator.
+
+The paper evaluates on 5 years (2013-2017) of NASDAQ daily price data with
+1026 stocks after filtering.  That data is proprietary-ish (it must be
+downloaded from vendors) and unavailable offline, so this module provides a
+faithful *substitute*: a factor-model market simulator whose output panel has
+the statistical properties the AlphaEvolve pipeline depends on:
+
+* a two-level sector/industry structure (needed by RelationOps and RSR);
+* returns dominated by noise but containing *weak, learnable* signal
+  components (momentum, short-term reversal, sector co-movement and a
+  volume-pressure term), so that a good alpha can achieve a small positive
+  information coefficient, as on real markets;
+* realistic OHLCV columns derived from the simulated close path;
+* occasional low-priced and sparsely-traded stocks so the universe filtering
+  rules of Section 5.1 have something to filter.
+
+The simulator is deterministic given a seed.  Any real OHLCV data can be used
+instead through :mod:`repro.data.loader`; every downstream component only
+sees the :class:`StockPanel` container defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import make_rng
+from ..errors import DataError
+from .relations import SectorTaxonomy, random_taxonomy
+
+__all__ = ["StockPanel", "MarketConfig", "SyntheticMarket"]
+
+
+@dataclass
+class StockPanel:
+    """A rectangular panel of daily OHLCV data for ``K`` stocks over ``T`` days.
+
+    All price arrays have shape ``(T, K)``.  ``tickers`` has length ``K`` and
+    ``dates`` length ``T`` (integer day indices or YYYYMMDD-style ints).
+    """
+
+    open: np.ndarray
+    high: np.ndarray
+    low: np.ndarray
+    close: np.ndarray
+    volume: np.ndarray
+    tickers: tuple[str, ...]
+    dates: np.ndarray
+    taxonomy: SectorTaxonomy
+
+    def __post_init__(self) -> None:
+        arrays = {
+            "open": self.open,
+            "high": self.high,
+            "low": self.low,
+            "close": self.close,
+            "volume": self.volume,
+        }
+        shapes = {name: np.asarray(arr).shape for name, arr in arrays.items()}
+        if len(set(shapes.values())) != 1:
+            raise DataError(f"OHLCV arrays must share a shape, got {shapes}")
+        for name, arr in arrays.items():
+            arr = np.asarray(arr, dtype=np.float64)
+            if arr.ndim != 2:
+                raise DataError(f"{name} must be 2-D (T, K), got shape {arr.shape}")
+            setattr(self, name, arr)
+        if len(self.tickers) != self.num_stocks:
+            raise DataError(
+                f"{len(self.tickers)} tickers for {self.num_stocks} stocks"
+            )
+        self.dates = np.asarray(self.dates)
+        if self.dates.shape != (self.num_days,):
+            raise DataError(
+                f"dates must have shape ({self.num_days},), got {self.dates.shape}"
+            )
+        if self.taxonomy.num_stocks != self.num_stocks:
+            raise DataError(
+                f"taxonomy covers {self.taxonomy.num_stocks} stocks, panel has "
+                f"{self.num_stocks}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_days(self) -> int:
+        """Number of trading days ``T`` in the panel."""
+        return int(self.close.shape[0])
+
+    @property
+    def num_stocks(self) -> int:
+        """Number of stocks ``K`` in the panel."""
+        return int(self.close.shape[1])
+
+    def returns(self) -> np.ndarray:
+        """Daily simple returns, shape ``(T, K)``; the first row is zero.
+
+        Matches the paper's definition: ``(close_t - close_{t-1}) / close_{t-1}``.
+        """
+        rets = np.zeros_like(self.close)
+        prev = self.close[:-1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rets[1:] = np.where(prev > 0, (self.close[1:] - prev) / prev, 0.0)
+        return rets
+
+    def select_stocks(self, indices: np.ndarray) -> "StockPanel":
+        """Return a panel restricted to the stocks in ``indices``."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            raise DataError("cannot select an empty stock set")
+        return StockPanel(
+            open=self.open[:, indices],
+            high=self.high[:, indices],
+            low=self.low[:, indices],
+            close=self.close[:, indices],
+            volume=self.volume[:, indices],
+            tickers=tuple(self.tickers[i] for i in indices),
+            dates=self.dates,
+            taxonomy=self.taxonomy.subset(indices),
+        )
+
+    def select_days(self, start: int, stop: int) -> "StockPanel":
+        """Return a panel restricted to days ``[start, stop)``."""
+        if not (0 <= start < stop <= self.num_days):
+            raise DataError(
+                f"invalid day range [{start}, {stop}) for panel with "
+                f"{self.num_days} days"
+            )
+        return StockPanel(
+            open=self.open[start:stop],
+            high=self.high[start:stop],
+            low=self.low[start:stop],
+            close=self.close[start:stop],
+            volume=self.volume[start:stop],
+            tickers=self.tickers,
+            dates=self.dates[start:stop],
+            taxonomy=self.taxonomy,
+        )
+
+
+@dataclass(frozen=True)
+class MarketConfig:
+    """Parameters of the synthetic market generator.
+
+    The defaults are tuned so that a cross-section of stocks exhibits weak
+    momentum/reversal predictability (daily cross-sectional IC of an oracle
+    signal around 0.1), sector co-movement, and realistic noise levels.
+    """
+
+    num_stocks: int = 100
+    num_days: int = 756
+    num_sectors: int = 10
+    industries_per_sector: int = 3
+
+    #: Daily volatility of the market factor.
+    market_vol: float = 0.008
+    #: Daily volatility of each sector factor.
+    sector_vol: float = 0.006
+    #: Daily volatility of each industry factor.
+    industry_vol: float = 0.004
+    #: Idiosyncratic daily volatility range (per stock, sampled uniformly).
+    idio_vol_range: tuple[float, float] = (0.01, 0.035)
+
+    #: Strength of the 5-day momentum signal component.
+    momentum_strength: float = 0.04
+    #: Strength of the 1-day reversal signal component.
+    reversal_strength: float = 0.04
+    #: Strength of the volume-pressure signal component.
+    volume_strength: float = 0.03
+    #: Strength of the *relational* signal: industry momentum spills over to
+    #: every member of the industry.  This component is only visible to
+    #: alphas that model the sector/industry relations (RelationOps, RSR);
+    #: formulaic alphas over a single stock's own features cannot express it.
+    relation_spillover_strength: float = 0.08
+    #: Daily standard deviation (across stocks) of a persistent per-stock
+    #: return component.  It is not derivable from any feature of the input
+    #: matrix; an alpha can only learn it by accumulating realised labels
+    #: during training — i.e. through the parameter-updating function.  This
+    #: is the signal behind the Table 4 ablation.
+    persistent_alpha_vol: float = 0.0008
+
+    #: Annual drift range sampled per stock.
+    drift_range: tuple[float, float] = (-0.05, 0.15)
+    #: Initial price range sampled log-uniformly per stock.
+    initial_price_range: tuple[float, float] = (2.0, 300.0)
+
+    #: Fraction of stocks forced to decay towards penny-stock prices so the
+    #: Section 5.1 "too low price" filter has work to do.
+    penny_stock_fraction: float = 0.03
+    #: Fraction of stocks with sparse trading (many zero-volume days).
+    illiquid_fraction: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.num_stocks <= 1:
+            raise DataError("num_stocks must be at least 2")
+        if self.num_days < 60:
+            raise DataError("num_days must be at least 60 to compute features")
+        if not (0 <= self.penny_stock_fraction < 1):
+            raise DataError("penny_stock_fraction must be in [0, 1)")
+        if not (0 <= self.illiquid_fraction < 1):
+            raise DataError("illiquid_fraction must be in [0, 1)")
+        lo, hi = self.idio_vol_range
+        if lo <= 0 or hi < lo:
+            raise DataError("idio_vol_range must be a positive increasing pair")
+
+
+class SyntheticMarket:
+    """Factor-model market simulator producing a :class:`StockPanel`.
+
+    The simulated log-return of stock ``i`` on day ``t`` is::
+
+        r[t, i] = drift_i
+                  + beta_mkt_i  * f_mkt[t]
+                  + beta_sec_i  * f_sector[t, sector(i)]
+                  + beta_ind_i  * f_industry[t, industry(i)]
+                  + momentum_strength * zscore(mom5)[t-1, i] * scale
+                  - reversal_strength * zscore(r)[t-1, i]    * scale
+                  + volume_strength   * zscore(dvol)[t-1, i] * scale
+                  + idio_vol_i * eps[t, i]
+
+    where the three z-scored terms are *lagged cross-sectional* signals; they
+    are what gives momentum/reversal/volume alphas a weak real edge, playing
+    the role of the exploitable structure in real NASDAQ data.
+    """
+
+    def __init__(self, config: MarketConfig | None = None,
+                 seed: int | np.random.Generator | None = None) -> None:
+        self.config = config or MarketConfig()
+        self._rng = make_rng(seed)
+
+    # ------------------------------------------------------------------
+    def generate(self) -> StockPanel:
+        """Simulate and return a full OHLCV panel."""
+        cfg = self.config
+        rng = self._rng
+        K, T = cfg.num_stocks, cfg.num_days
+
+        taxonomy = random_taxonomy(
+            K,
+            num_sectors=cfg.num_sectors,
+            industries_per_sector=cfg.industries_per_sector,
+            seed=rng,
+        )
+        sector_idx = taxonomy.group_index("sector")
+        industry_idx = taxonomy.group_index("industry")
+        num_sectors = int(sector_idx.max()) + 1
+        num_industries = int(industry_idx.max()) + 1
+
+        # Per-stock static parameters.
+        drift = rng.uniform(*cfg.drift_range, size=K) / 252.0
+        drift = drift + rng.normal(0.0, cfg.persistent_alpha_vol, size=K)
+        idio_vol = rng.uniform(*cfg.idio_vol_range, size=K)
+        beta_mkt = rng.normal(1.0, 0.3, size=K)
+        beta_sec = rng.normal(1.0, 0.3, size=K)
+        beta_ind = rng.normal(1.0, 0.3, size=K)
+        log_p0 = rng.uniform(
+            np.log(cfg.initial_price_range[0]), np.log(cfg.initial_price_range[1]), size=K
+        )
+
+        # Factor paths.
+        f_mkt = rng.normal(0.0, cfg.market_vol, size=T)
+        f_sec = rng.normal(0.0, cfg.sector_vol, size=(T, num_sectors))
+        f_ind = rng.normal(0.0, cfg.industry_vol, size=(T, num_industries))
+        eps = rng.normal(0.0, 1.0, size=(T, K))
+
+        # Volume: log-normal around a per-stock base level, with an
+        # autocorrelated shock so "dollar volume pressure" is persistent.
+        base_volume = rng.lognormal(mean=12.0, sigma=1.0, size=K)
+        vol_shock = np.zeros((T, K))
+        shock_noise = rng.normal(0.0, 0.35, size=(T, K))
+        for t in range(1, T):
+            vol_shock[t] = 0.7 * vol_shock[t - 1] + shock_noise[t]
+        volume = base_volume[None, :] * np.exp(vol_shock)
+
+        log_returns = np.zeros((T, K))
+        signal_scale = idio_vol  # scale signals relative to each stock's noise
+
+        for t in range(1, T):
+            systematic = (
+                drift
+                + beta_mkt * f_mkt[t]
+                + beta_sec * f_sec[t, sector_idx]
+                + beta_ind * f_ind[t, industry_idx]
+            )
+            signal = np.zeros(K)
+            if t >= 6:
+                mom5 = log_returns[t - 6:t - 1].sum(axis=0)
+                signal += cfg.momentum_strength * _cross_sectional_zscore(mom5)
+                # Industry momentum spillover: the industry's average recent
+                # momentum lifts (or drags) every member of the industry.
+                # Only alphas aware of the sector/industry relations
+                # (RelationOps, RSR) can model this component.
+                industry_mom = np.bincount(
+                    industry_idx, weights=mom5, minlength=num_industries
+                ) / np.maximum(np.bincount(industry_idx, minlength=num_industries), 1)
+                signal += cfg.relation_spillover_strength * _cross_sectional_zscore(
+                    industry_mom[industry_idx]
+                )
+            signal -= cfg.reversal_strength * _cross_sectional_zscore(log_returns[t - 1])
+            # The volume signal acts through the *transient* volume shock so
+            # that it is a genuine dynamic signal rather than a static
+            # per-stock characteristic an alpha could memorise.
+            signal += cfg.volume_strength * _cross_sectional_zscore(vol_shock[t - 1])
+            log_returns[t] = systematic + signal * signal_scale + idio_vol * eps[t]
+
+        # Penny-stock decay and illiquidity flags.
+        num_penny = int(round(cfg.penny_stock_fraction * K))
+        num_illiquid = int(round(cfg.illiquid_fraction * K))
+        special = rng.choice(K, size=num_penny + num_illiquid, replace=False)
+        penny = special[:num_penny]
+        illiquid = special[num_penny:]
+        if penny.size:
+            # Start these names near the low-price threshold and give them a
+            # steady negative drift, so the Section 5.1 price filter removes
+            # them instead of leaving an easily shortable drift in the data.
+            log_p0[penny] = np.log(rng.uniform(1.0, 3.0, size=penny.size))
+            log_returns[:, penny] -= 0.01
+        if illiquid.size:
+            zero_days = rng.random((T, illiquid.size)) < 0.6
+            volume[:, illiquid] = np.where(zero_days, 0.0, volume[:, illiquid])
+
+        log_close = log_p0[None, :] + np.cumsum(log_returns, axis=0)
+        close = np.exp(log_close)
+
+        open_, high, low = self._ohlc_from_close(close, idio_vol, rng)
+        dates = np.arange(T, dtype=np.int64)
+        tickers = tuple(f"SYN{i:04d}" for i in range(K))
+        return StockPanel(
+            open=open_,
+            high=high,
+            low=low,
+            close=close,
+            volume=volume,
+            tickers=tickers,
+            dates=dates,
+            taxonomy=taxonomy,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ohlc_from_close(close: np.ndarray, idio_vol: np.ndarray,
+                         rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Derive plausible open/high/low paths from a close path."""
+        T, K = close.shape
+        prev_close = np.vstack([close[:1], close[:-1]])
+        gap = rng.normal(0.0, 0.3, size=(T, K)) * idio_vol[None, :]
+        open_ = prev_close * np.exp(gap)
+        intraday_range = np.abs(rng.normal(0.0, 1.0, size=(T, K))) * idio_vol[None, :]
+        upper = np.maximum(open_, close) * np.exp(intraday_range * 0.5)
+        lower = np.minimum(open_, close) * np.exp(-intraday_range * 0.5)
+        return open_, upper, lower
+
+
+def _cross_sectional_zscore(values: np.ndarray) -> np.ndarray:
+    """Z-score ``values`` across the stock axis, safe for zero variance."""
+    mean = values.mean()
+    std = values.std()
+    if std <= 1e-12:
+        return np.zeros_like(values)
+    return (values - mean) / std

@@ -1,0 +1,192 @@
+"""Sector / industry taxonomy used by the RelationOps and the RSR baseline.
+
+The paper (Section 4.1) injects relational domain knowledge by grouping the
+prediction tasks (stocks) into sectors and industries: every stock belongs to
+exactly one sector, and every industry is nested inside a sector.  The
+RelationRankOp and RelationDemeanOp operate within the *industry* group of a
+stock, while the RSR baseline connects stocks that share a sector (industry).
+
+This module provides a small, explicit representation of that two-level
+taxonomy plus the grouping indices the vectorised interpreter needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import make_rng
+from ..errors import DataError
+
+
+@dataclass(frozen=True)
+class SectorTaxonomy:
+    """Two-level (sector -> industry) classification of a stock universe.
+
+    Attributes
+    ----------
+    sector_ids:
+        Integer sector id per stock, shape ``(K,)``.
+    industry_ids:
+        Integer industry id per stock, shape ``(K,)``.  Industry ids are
+        globally unique (i.e. industries in different sectors never share an
+        id) and each industry maps to exactly one sector.
+    sector_names / industry_names:
+        Optional human-readable names, indexed by id.
+    """
+
+    sector_ids: np.ndarray
+    industry_ids: np.ndarray
+    sector_names: tuple[str, ...] = field(default=())
+    industry_names: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        sector_ids = np.asarray(self.sector_ids, dtype=np.int64)
+        industry_ids = np.asarray(self.industry_ids, dtype=np.int64)
+        object.__setattr__(self, "sector_ids", sector_ids)
+        object.__setattr__(self, "industry_ids", industry_ids)
+        if sector_ids.ndim != 1 or industry_ids.ndim != 1:
+            raise DataError("sector_ids and industry_ids must be 1-D arrays")
+        if sector_ids.shape != industry_ids.shape:
+            raise DataError(
+                "sector_ids and industry_ids must have the same length, got "
+                f"{sector_ids.shape} and {industry_ids.shape}"
+            )
+        if sector_ids.size == 0:
+            raise DataError("taxonomy must cover at least one stock")
+        if (sector_ids < 0).any() or (industry_ids < 0).any():
+            raise DataError("sector and industry ids must be non-negative")
+        # Every industry must belong to exactly one sector.
+        for industry in np.unique(industry_ids):
+            sectors = np.unique(sector_ids[industry_ids == industry])
+            if sectors.size != 1:
+                raise DataError(
+                    f"industry {industry} spans multiple sectors {sectors.tolist()}"
+                )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_stocks(self) -> int:
+        """Number of stocks covered by the taxonomy."""
+        return int(self.sector_ids.size)
+
+    @property
+    def num_sectors(self) -> int:
+        """Number of distinct sectors."""
+        return int(np.unique(self.sector_ids).size)
+
+    @property
+    def num_industries(self) -> int:
+        """Number of distinct industries."""
+        return int(np.unique(self.industry_ids).size)
+
+    def sector_of(self, stock: int) -> int:
+        """Return the sector id of ``stock``."""
+        return int(self.sector_ids[stock])
+
+    def industry_of(self, stock: int) -> int:
+        """Return the industry id of ``stock``."""
+        return int(self.industry_ids[stock])
+
+    def stocks_in_sector(self, sector: int) -> np.ndarray:
+        """Return the indices of all stocks in ``sector``."""
+        return np.flatnonzero(self.sector_ids == sector)
+
+    def stocks_in_industry(self, industry: int) -> np.ndarray:
+        """Return the indices of all stocks in ``industry``."""
+        return np.flatnonzero(self.industry_ids == industry)
+
+    def subset(self, stocks: np.ndarray) -> "SectorTaxonomy":
+        """Return the taxonomy restricted to ``stocks`` (index array)."""
+        stocks = np.asarray(stocks, dtype=np.int64)
+        return SectorTaxonomy(
+            sector_ids=self.sector_ids[stocks],
+            industry_ids=self.industry_ids[stocks],
+            sector_names=self.sector_names,
+            industry_names=self.industry_names,
+        )
+
+    # ------------------------------------------------------------------
+    # Grouping helpers for vectorised cross-sectional operators
+    # ------------------------------------------------------------------
+    def group_matrix(self, level: str = "industry") -> np.ndarray:
+        """Return a boolean membership matrix of shape ``(num_groups, K)``.
+
+        ``level`` is either ``"sector"`` or ``"industry"``.  Row ``g`` is the
+        indicator vector of the stocks in group ``g`` (groups are the sorted
+        unique ids).
+        """
+        ids = self._ids_for_level(level)
+        groups = np.unique(ids)
+        return ids[None, :] == groups[:, None]
+
+    def group_index(self, level: str = "industry") -> np.ndarray:
+        """Return a dense group index per stock in ``[0, num_groups)``.
+
+        Dense indices are what the vectorised sector-demean / sector-rank
+        operators use with ``np.add.at`` style scatter operations.
+        """
+        ids = self._ids_for_level(level)
+        _, dense = np.unique(ids, return_inverse=True)
+        return dense.astype(np.int64)
+
+    def adjacency(self, level: str = "industry") -> np.ndarray:
+        """Return a ``(K, K)`` 0/1 adjacency matrix connecting stocks that
+        share the given group level.  The diagonal is 1 (a stock is related
+        to itself), matching the relational encoding of the RSR baseline.
+        """
+        ids = self._ids_for_level(level)
+        adjacency = (ids[:, None] == ids[None, :]).astype(np.float64)
+        return adjacency
+
+    def _ids_for_level(self, level: str) -> np.ndarray:
+        if level == "sector":
+            return self.sector_ids
+        if level == "industry":
+            return self.industry_ids
+        raise DataError(f"unknown taxonomy level {level!r}; use 'sector' or 'industry'")
+
+
+def random_taxonomy(
+    num_stocks: int,
+    num_sectors: int = 10,
+    industries_per_sector: int = 3,
+    seed: int | np.random.Generator | None = None,
+) -> SectorTaxonomy:
+    """Generate a random two-level sector/industry taxonomy.
+
+    Stocks are assigned to sectors (roughly uniformly) and then to one of the
+    sector's industries.  This mirrors the GICS-style classification used for
+    NASDAQ stocks in the paper's dataset.
+    """
+    if num_stocks <= 0:
+        raise DataError("num_stocks must be positive")
+    if num_sectors <= 0 or industries_per_sector <= 0:
+        raise DataError("num_sectors and industries_per_sector must be positive")
+    num_sectors = min(num_sectors, num_stocks)
+    rng = make_rng(seed)
+    sector_ids = rng.integers(0, num_sectors, size=num_stocks)
+    # Guarantee every sector id below num_sectors actually appears when possible
+    # so that group-based operators always have non-trivial groups.
+    present = np.unique(sector_ids)
+    missing = np.setdiff1d(np.arange(num_sectors), present)
+    if missing.size:
+        replace_at = rng.choice(num_stocks, size=missing.size, replace=False)
+        sector_ids[replace_at] = missing
+    industry_offset = rng.integers(0, industries_per_sector, size=num_stocks)
+    industry_ids = sector_ids * industries_per_sector + industry_offset
+    sector_names = tuple(f"SECTOR_{i}" for i in range(num_sectors))
+    industry_names = tuple(
+        f"SECTOR_{s}_IND_{j}"
+        for s in range(num_sectors)
+        for j in range(industries_per_sector)
+    )
+    return SectorTaxonomy(
+        sector_ids=sector_ids,
+        industry_ids=industry_ids,
+        sector_names=sector_names,
+        industry_names=industry_names,
+    )

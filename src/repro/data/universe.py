@@ -1,0 +1,97 @@
+"""Stock-universe filtering rules from Section 5.1 of the paper.
+
+Two types of stocks are removed before alpha mining:
+
+1. stocks *without sufficient samples* — sparsely traded names whose prices
+   only add noise to the model; we detect them through the fraction of
+   zero-volume (non-traded) days and missing prices;
+2. stocks *reaching too low prices* during the selected period — these are too
+   risky for investors; we detect them through the minimum close price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import UniverseError
+from .market_sim import StockPanel
+
+__all__ = ["UniverseFilter", "FilterReport"]
+
+
+@dataclass(frozen=True)
+class FilterReport:
+    """Summary of a universe-filtering pass."""
+
+    total_stocks: int
+    kept_stocks: int
+    removed_low_price: int
+    removed_insufficient_samples: int
+    kept_indices: np.ndarray
+
+    @property
+    def removed_stocks(self) -> int:
+        """Total number of removed stocks."""
+        return self.total_stocks - self.kept_stocks
+
+
+@dataclass(frozen=True)
+class UniverseFilter:
+    """Filter a :class:`StockPanel` according to the paper's two rules.
+
+    Parameters
+    ----------
+    min_price:
+        Minimum close price a stock must maintain over the whole period.
+        Stocks dipping below this level at any point are removed ("too risky").
+    max_missing_fraction:
+        Maximum tolerated fraction of non-traded days (zero volume or
+        non-finite / non-positive prices).  Stocks above the threshold are
+        considered to have insufficient samples.
+    """
+
+    min_price: float = 1.0
+    max_missing_fraction: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.min_price < 0:
+            raise UniverseError("min_price must be non-negative")
+        if not (0 <= self.max_missing_fraction <= 1):
+            raise UniverseError("max_missing_fraction must be within [0, 1]")
+
+    # ------------------------------------------------------------------
+    def report(self, panel: StockPanel) -> FilterReport:
+        """Evaluate the filter on ``panel`` without applying it."""
+        close = panel.close
+        volume = panel.volume
+
+        invalid_price = ~np.isfinite(close) | (close <= 0)
+        missing = invalid_price | (volume <= 0)
+        missing_fraction = missing.mean(axis=0)
+        insufficient = missing_fraction > self.max_missing_fraction
+
+        min_close = np.where(np.isfinite(close), close, np.inf).min(axis=0)
+        too_low = min_close < self.min_price
+
+        keep = ~(insufficient | too_low)
+        kept_indices = np.flatnonzero(keep)
+        return FilterReport(
+            total_stocks=panel.num_stocks,
+            kept_stocks=int(keep.sum()),
+            removed_low_price=int((too_low & ~insufficient).sum()),
+            removed_insufficient_samples=int(insufficient.sum()),
+            kept_indices=kept_indices,
+        )
+
+    def apply(self, panel: StockPanel) -> tuple[StockPanel, FilterReport]:
+        """Return a filtered panel and the accompanying report."""
+        report = self.report(panel)
+        if report.kept_stocks < 2:
+            raise UniverseError(
+                "universe filtering removed nearly all stocks "
+                f"({report.kept_stocks}/{report.total_stocks} kept); relax "
+                "min_price or max_missing_fraction"
+            )
+        return panel.select_stocks(report.kept_indices), report

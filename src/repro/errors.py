@@ -1,0 +1,52 @@
+"""Exception hierarchy for the AlphaEvolve reproduction.
+
+All exceptions raised by this package derive from :class:`ReproError` so that
+callers can catch library-specific failures without masking programming
+errors such as ``TypeError`` or ``KeyError`` coming from user code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DataError(ReproError):
+    """Raised when market data or feature construction is invalid."""
+
+
+class UniverseError(DataError):
+    """Raised when universe filtering produces an unusable stock universe."""
+
+
+class ProgramError(ReproError):
+    """Raised for structurally invalid alpha programs."""
+
+
+class OperandError(ProgramError):
+    """An operand address is outside the configured address space."""
+
+
+class OperatorError(ProgramError):
+    """An operator was used with the wrong operand types or arity."""
+
+
+class ExecutionError(ReproError):
+    """Raised when an alpha program cannot be executed on a task set."""
+
+
+class EvolutionError(ReproError):
+    """Raised for invalid evolutionary-search configurations or states."""
+
+
+class BacktestError(ReproError):
+    """Raised when a backtest cannot be carried out (e.g. empty universe)."""
+
+
+class BaselineError(ReproError):
+    """Raised by baseline models (genetic programming / neural networks)."""

@@ -1,0 +1,46 @@
+"""Experiment runners for every table and figure of the paper's evaluation."""
+
+from .configs import ExperimentConfig, LAPTOP, PAPER, SMOKE, make_taskset
+from .recorder import ExperimentResult, PAPER_REFERENCE, load_result, save_result
+from .runner import (
+    GeneticStudy,
+    MiningStudy,
+    RoundRecord,
+    run_all,
+    run_figure6,
+    run_study,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+from .tables import format_mean_std, format_value, render_table
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "GeneticStudy",
+    "LAPTOP",
+    "MiningStudy",
+    "PAPER",
+    "PAPER_REFERENCE",
+    "RoundRecord",
+    "SMOKE",
+    "format_mean_std",
+    "format_value",
+    "load_result",
+    "make_taskset",
+    "render_table",
+    "run_all",
+    "run_figure6",
+    "run_study",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "save_result",
+]

@@ -1,0 +1,188 @@
+"""Experiment configurations.
+
+Two scales are provided:
+
+* ``LAPTOP`` — the default used by the benchmark harness: a reduced universe,
+  shorter history and small search budgets so that every table regenerates in
+  seconds to minutes on a laptop, while preserving the *shape* of the paper's
+  results (who wins, what degrades with accumulating cutoffs, what the
+  pruning technique buys).
+* ``PAPER`` — the paper-scale parameters (1026 stocks, 1220 days, population
+  100, 60-hour budgets) for reference; running it requires real NASDAQ data
+  and a large compute budget and is not exercised by the test-suite.
+
+Every configuration is an immutable dataclass, and :func:`make_taskset`
+deterministically builds the corresponding task set from the synthetic
+market simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..config import (
+    CORRELATION_CUTOFF,
+    PAPER_NUM_STOCKS,
+    PAPER_TRAIN_DAYS,
+    PAPER_VALID_DAYS,
+    PAPER_TEST_DAYS,
+)
+from ..core.evolution import EvolutionConfig
+from ..data import MarketConfig, Split, SyntheticMarket, TaskSet, build_taskset
+from ..errors import ConfigurationError
+
+__all__ = ["ExperimentConfig", "LAPTOP", "SMOKE", "PAPER", "make_taskset"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs needed to regenerate the paper's tables and figure."""
+
+    name: str = "laptop"
+
+    # ----- market / data ------------------------------------------------
+    num_stocks: int = 80
+    num_days: int = 420
+    num_sectors: int = 8
+    industries_per_sector: int = 3
+    data_seed: int = 2021
+    split: Split | None = Split(train=255, valid=60, test=60)
+
+    # ----- portfolio ------------------------------------------------------
+    long_positions: int = 10
+    short_positions: int = 10
+    correlation_cutoff: float = CORRELATION_CUTOFF
+
+    # ----- AlphaEvolve search --------------------------------------------
+    population_size: int = 30
+    tournament_size: int = 10
+    max_candidates: int = 600
+    max_seconds: float | None = None
+    max_train_steps: int | None = 60
+    num_rounds: int = 5
+    search_seed: int = 7
+    #: Wall-clock budget per mining round used when AlphaEvolve and the GP
+    #: baseline are compared under the same time budget (Tables 1 and 2); the
+    #: paper uses 60 hours per round.
+    round_time_budget_seconds: float = 6.0
+
+    # ----- genetic-programming baseline -----------------------------------
+    gp_population_size: int = 30
+    gp_max_candidates: int = 600
+
+    # ----- neural baselines ------------------------------------------------
+    nn_epochs: int = 2
+    nn_hidden_sizes: tuple[int, ...] = (16, 32)
+    nn_sequence_lengths: tuple[int, ...] = (4, 8)
+    nn_loss_alphas: tuple[float, ...] = (0.1, 1.0)
+    nn_batch_days: int | None = 60
+    nn_num_seeds: int = 3
+
+    # ----- Table 6 (pruning ablation) --------------------------------------
+    pruning_time_budget_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.num_rounds < 1:
+            raise ConfigurationError("num_rounds must be at least 1")
+        if self.num_stocks < 10:
+            raise ConfigurationError("need at least 10 stocks for a long-short book")
+
+    # ------------------------------------------------------------------
+    def market_config(self) -> MarketConfig:
+        """The synthetic-market parameters for this experiment scale."""
+        return MarketConfig(
+            num_stocks=self.num_stocks,
+            num_days=self.num_days,
+            num_sectors=self.num_sectors,
+            industries_per_sector=self.industries_per_sector,
+        )
+
+    def evolution_config(self, max_candidates: int | None = None,
+                         max_seconds: float | None = None,
+                         use_pruning: bool = True) -> EvolutionConfig:
+        """The evolutionary-search configuration (optionally overridden)."""
+        return EvolutionConfig(
+            population_size=self.population_size,
+            tournament_size=self.tournament_size,
+            max_candidates=self.max_candidates if max_candidates is None else max_candidates,
+            max_seconds=self.max_seconds if max_seconds is None else max_seconds,
+            use_pruning=use_pruning,
+        )
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        """A copy of this configuration with some fields replaced."""
+        return replace(self, **overrides)
+
+
+#: Default laptop-scale configuration used by the benchmark harness.
+LAPTOP = ExperimentConfig()
+
+#: Tiny configuration for CI smoke tests (seconds, not minutes).
+SMOKE = ExperimentConfig(
+    name="smoke",
+    num_stocks=40,
+    num_days=260,
+    split=Split(train=136, valid=40, test=40),
+    population_size=15,
+    tournament_size=5,
+    max_candidates=150,
+    max_train_steps=40,
+    num_rounds=3,
+    round_time_budget_seconds=1.5,
+    gp_population_size=15,
+    gp_max_candidates=150,
+    nn_epochs=1,
+    nn_hidden_sizes=(16,),
+    nn_sequence_lengths=(4,),
+    nn_loss_alphas=(0.1,),
+    nn_batch_days=30,
+    nn_num_seeds=2,
+    pruning_time_budget_seconds=2.0,
+)
+
+#: Paper-scale configuration (documented; not run by the harness).
+PAPER = ExperimentConfig(
+    name="paper",
+    num_stocks=PAPER_NUM_STOCKS,
+    num_days=1220 + 60,
+    split=Split(train=PAPER_TRAIN_DAYS, valid=PAPER_VALID_DAYS, test=PAPER_TEST_DAYS),
+    long_positions=50,
+    short_positions=50,
+    population_size=100,
+    tournament_size=10,
+    max_candidates=1_000_000,
+    max_seconds=60 * 3600.0,
+    max_train_steps=None,
+    round_time_budget_seconds=60 * 3600.0,
+    gp_population_size=100,
+    gp_max_candidates=1_000_000,
+    nn_epochs=50,
+    nn_hidden_sizes=(32, 64, 128, 256),
+    nn_sequence_lengths=(4, 8, 16, 32),
+    nn_loss_alphas=(0.01, 0.1, 1.0, 10.0),
+    nn_batch_days=None,
+    nn_num_seeds=5,
+    pruning_time_budget_seconds=60 * 3600.0,
+)
+
+_TASKSET_CACHE: dict[tuple, TaskSet] = {}
+
+
+def make_taskset(config: ExperimentConfig, use_cache: bool = True) -> TaskSet:
+    """Build (and memoise) the task set for an experiment configuration."""
+    key = (
+        config.num_stocks,
+        config.num_days,
+        config.num_sectors,
+        config.industries_per_sector,
+        config.data_seed,
+        config.split,
+    )
+    if use_cache and key in _TASKSET_CACHE:
+        return _TASKSET_CACHE[key]
+    market = SyntheticMarket(config.market_config(), seed=config.data_seed)
+    panel = market.generate()
+    taskset = build_taskset(panel, split=config.split)
+    if use_cache:
+        _TASKSET_CACHE[key] = taskset
+    return taskset

@@ -1,0 +1,124 @@
+"""Persistence of experiment results and the paper's reference numbers.
+
+Each ``run_table*`` function returns an :class:`ExperimentResult`; the
+recorder can save it as JSON next to the repository's EXPERIMENTS.md so that
+paper-vs-measured tables can be regenerated at any time.
+
+``PAPER_REFERENCE`` stores the headline numbers from the paper's tables so
+the renderers can print them side by side with the measured values.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["ExperimentResult", "save_result", "load_result", "PAPER_REFERENCE"]
+
+
+@dataclass
+class ExperimentResult:
+    """A table (or figure) worth of reproduced results."""
+
+    experiment: str
+    rows: list[dict]
+    rendered: str
+    metadata: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "experiment": self.experiment,
+            "rows": _jsonable(self.rows),
+            "rendered": self.rendered,
+            "metadata": _jsonable(self.metadata),
+        }
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, float) and np.isnan(value):
+        return None
+    return value
+
+
+def save_result(result: ExperimentResult, directory: str | Path) -> Path:
+    """Write the result to ``<directory>/<experiment>.json`` and return the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment}.json"
+    with path.open("w") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+    return path
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Load a previously saved result."""
+    with Path(path).open() as handle:
+        payload = json.load(handle)
+    return ExperimentResult(
+        experiment=payload["experiment"],
+        rows=payload["rows"],
+        rendered=payload["rendered"],
+        metadata=payload.get("metadata", {}),
+    )
+
+
+#: Headline values from the paper, used for side-by-side reporting.
+PAPER_REFERENCE: dict[str, list[dict]] = {
+    "table1": [
+        {"alpha": "alpha_D_0", "sharpe": 4.111784, "ic": 0.013159, "correlation": None},
+        {"alpha": "alpha_AE_D_0", "sharpe": 21.323797, "ic": 0.067358, "correlation": 0.030301},
+        {"alpha": "alpha_G_0", "sharpe": 13.034052, "ic": 0.048853, "correlation": -0.103120},
+    ],
+    "table2": [
+        {"alpha": "alpha_AE_D_0", "sharpe": 21.323797, "ic": 0.067358},
+        {"alpha": "alpha_G_0", "sharpe": 13.034052, "ic": 0.048853},
+        {"alpha": "alpha_AE_D_1", "sharpe": 13.580572, "ic": 0.056703},
+        {"alpha": "alpha_G_1", "sharpe": 4.407823, "ic": 0.037521},
+        {"alpha": "alpha_AE_D_2", "sharpe": 15.067808, "ic": 0.052464},
+        {"alpha": "alpha_G_2", "sharpe": -1.936161, "ic": 0.000779},
+        {"alpha": "alpha_AE_D_3", "sharpe": 4.901069, "ic": 0.028437},
+        {"alpha": "alpha_G_3", "sharpe": -1.971355, "ic": 0.000000},
+        {"alpha": "alpha_AE_B0_4", "sharpe": 9.502871, "ic": 0.032155},
+        {"alpha": "alpha_G_4", "sharpe": None, "ic": None},
+    ],
+    "table4": [
+        {"alpha": "alpha_AE_D_0", "sharpe": 21.323797, "ic": 0.067358},
+        {"alpha": "alpha_AE_D_0_P", "sharpe": 21.516798, "ic": 0.057707},
+        {"alpha": "alpha_AE_R_2", "sharpe": 18.629571, "ic": 0.066962},
+        {"alpha": "alpha_AE_R_2_P", "sharpe": -0.344734, "ic": 0.003149},
+        {"alpha": "alpha_AE_D_3", "sharpe": 4.901069, "ic": 0.028437},
+        {"alpha": "alpha_AE_D_3_P", "sharpe": 5.697408, "ic": 0.026347},
+        {"alpha": "alpha_AE_B0_4", "sharpe": 9.502871, "ic": 0.032155},
+        {"alpha": "alpha_AE_B0_4_P", "sharpe": -0.004294, "ic": -0.001908},
+    ],
+    "table5": [
+        {"alpha": "alpha_AE_D_0", "sharpe": 21.323797, "ic": 0.067358},
+        {"alpha": "alpha_AE_NN_1", "sharpe": 14.175835, "ic": 0.065209},
+        {"alpha": "Rank_LSTM", "sharpe": 5.385036, "ic": 0.027490},
+        {"alpha": "RSR", "sharpe": 5.647131, "ic": 0.018623},
+    ],
+    "table6": [
+        {"alpha": "alpha_AE_D_0", "searched": 309700},
+        {"alpha": "alpha_AE_D_0_N", "searched": 19500},
+        {"alpha": "alpha_AE_NN_1", "searched": 1032700},
+        {"alpha": "alpha_AE_NN_1_N", "searched": 5700},
+        {"alpha": "alpha_AE_R_2", "searched": 429800},
+        {"alpha": "alpha_AE_R_2_N", "searched": 13200},
+        {"alpha": "alpha_AE_D_3", "searched": 910100},
+        {"alpha": "alpha_AE_D_3_N", "searched": 37900},
+        {"alpha": "alpha_AE_B0_4", "searched": 220100},
+        {"alpha": "alpha_AE_B0_4_N", "searched": 17300},
+    ],
+}

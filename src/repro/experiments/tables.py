@@ -1,0 +1,57 @@
+"""Plain-text table rendering in the style of the paper's result tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["format_value", "format_mean_std", "render_table"]
+
+
+def format_value(value, decimals: int = 6) -> str:
+    """Render one cell: floats with fixed decimals, NaN as ``NA``."""
+    if value is None:
+        return "NA"
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "NA"
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def format_mean_std(mean: float, std: float, decimals: int = 6) -> str:
+    """Render a ``mean+/-std`` cell as in Table 5."""
+    return f"{format_value(float(mean), decimals)}+/-{format_value(float(std), decimals)}"
+
+
+def render_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: list[tuple[str, str]],
+    title: str | None = None,
+    decimals: int = 6,
+) -> str:
+    """Render ``rows`` as an aligned text table.
+
+    ``columns`` is a list of ``(key, header)`` pairs; missing keys render as
+    ``NA``.  The output mirrors the layout of the paper's tables so that
+    paper-vs-measured comparisons in EXPERIMENTS.md are easy to eyeball.
+    """
+    rows = list(rows)
+    headers = [header for _, header in columns]
+    body = [
+        [format_value(row.get(key), decimals) for key, _ in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in body)) if body else len(headers[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for line in body:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)

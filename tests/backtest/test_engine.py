@@ -1,0 +1,55 @@
+"""Tests for the backtest engine."""
+
+import numpy as np
+import pytest
+
+from repro.backtest import BacktestEngine
+from repro.errors import BacktestError
+
+
+@pytest.fixture()
+def engine(small_taskset):
+    return BacktestEngine(small_taskset, long_k=5, short_k=5)
+
+
+class TestBacktestEngine:
+    def test_perfect_alpha_on_test_split(self, small_taskset, engine):
+        labels = small_taskset.split_labels("test")
+        result = engine.evaluate(labels, split="test", name="oracle")
+        assert result.ic == pytest.approx(1.0)
+        assert result.sharpe > 5.0
+        assert result.portfolio_returns.shape == (small_taskset.split.test,)
+        assert (result.portfolio_returns > 0).all()
+        assert result.max_drawdown == pytest.approx(0.0)
+
+    def test_inverse_alpha_is_bad(self, small_taskset, engine):
+        labels = small_taskset.split_labels("test")
+        result = engine.evaluate(-labels, split="test")
+        assert result.ic == pytest.approx(-1.0)
+        assert result.sharpe < 0
+
+    def test_summary_keys(self, small_taskset, engine):
+        labels = small_taskset.split_labels("valid")
+        summary = engine.evaluate(labels, split="valid").summary()
+        assert set(summary) == {"sharpe", "ic", "annual_return", "annual_volatility",
+                                "max_drawdown"}
+
+    def test_correlation_between_results(self, small_taskset, engine, rng):
+        labels = small_taskset.split_labels("test")
+        oracle = engine.evaluate(labels, split="test")
+        noise = engine.evaluate(rng.normal(size=labels.shape), split="test")
+        assert abs(oracle.correlation_with(noise)) < 0.6
+        assert oracle.correlation_with(oracle) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self, small_taskset, engine):
+        with pytest.raises(BacktestError):
+            engine.evaluate(np.zeros((3, small_taskset.num_tasks)), split="test")
+        with pytest.raises(BacktestError):
+            engine.portfolio_returns(np.zeros((3, 2)), split="valid")
+
+    def test_portfolio_returns_match_evaluate(self, small_taskset, engine):
+        labels = small_taskset.split_labels("valid")
+        np.testing.assert_allclose(
+            engine.portfolio_returns(labels, split="valid"),
+            engine.evaluate(labels, split="valid").portfolio_returns,
+        )

@@ -1,0 +1,135 @@
+"""Tests for portfolio and prediction metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.backtest import (
+    annualized_return,
+    annualized_volatility,
+    daily_information_coefficient,
+    information_coefficient,
+    max_drawdown,
+    pearson_correlation,
+    sharpe_ratio,
+)
+from repro.errors import BacktestError
+
+
+class TestPearsonCorrelation:
+    def test_matches_numpy(self, rng):
+        x, y = rng.normal(size=100), rng.normal(size=100)
+        np.testing.assert_allclose(
+            pearson_correlation(x, y), np.corrcoef(x, y)[0, 1], rtol=1e-12
+        )
+
+    def test_perfect_and_inverse(self, rng):
+        x = rng.normal(size=50)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_series_returns_zero(self):
+        assert pearson_correlation(np.ones(10), np.arange(10)) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(BacktestError):
+            pearson_correlation(np.ones(5), np.ones(6))
+
+    def test_single_point_returns_zero(self):
+        assert pearson_correlation(np.array([1.0]), np.array([2.0])) == 0.0
+
+    @given(hnp.arrays(np.float64, 30, elements=st.floats(-1e4, 1e4)),
+           hnp.arrays(np.float64, 30, elements=st.floats(-1e4, 1e4)))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded(self, x, y):
+        assert abs(pearson_correlation(x, y)) <= 1.0 + 1e-9
+
+
+class TestSharpeRatio:
+    def test_positive_drift(self):
+        returns = np.full(252, 0.001) + np.linspace(-1e-4, 1e-4, 252)
+        assert sharpe_ratio(returns) > 0
+
+    def test_zero_volatility_returns_zero(self):
+        assert sharpe_ratio(np.full(10, 0.001)) == 0.0
+
+    def test_sign_flip(self, rng):
+        returns = rng.normal(0.001, 0.01, size=252)
+        assert sharpe_ratio(returns) == pytest.approx(-sharpe_ratio(-returns), rel=1e-9)
+
+    def test_matches_manual_formula(self, rng):
+        returns = rng.normal(0.0005, 0.01, size=100)
+        expected = returns.mean() * 252 / (returns.std(ddof=1) * np.sqrt(252))
+        assert sharpe_ratio(returns) == pytest.approx(expected)
+
+    def test_risk_free_rate_subtracted(self, rng):
+        returns = rng.normal(0.001, 0.01, size=100)
+        assert sharpe_ratio(returns, risk_free_rate=0.05) < sharpe_ratio(returns)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BacktestError):
+            sharpe_ratio(np.array([]))
+
+
+class TestAnnualization:
+    def test_annualized_return(self):
+        assert annualized_return(np.full(10, 0.001)) == pytest.approx(0.252)
+
+    def test_annualized_volatility_scaling(self, rng):
+        returns = rng.normal(0, 0.01, size=300)
+        expected = returns.std(ddof=1) * np.sqrt(252)
+        assert annualized_volatility(returns) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BacktestError):
+            annualized_return(np.array([]))
+        with pytest.raises(BacktestError):
+            annualized_volatility(np.array([]))
+
+
+class TestMaxDrawdown:
+    def test_monotone_growth_has_zero_drawdown(self):
+        assert max_drawdown(np.full(50, 0.01)) == pytest.approx(0.0)
+
+    def test_known_drawdown(self):
+        returns = np.array([0.10, -0.50, 0.20])
+        assert max_drawdown(returns) == pytest.approx(0.5)
+
+    def test_bounded_below_one_for_sane_returns(self, rng):
+        returns = rng.normal(0, 0.02, size=500)
+        assert 0.0 <= max_drawdown(returns) < 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(BacktestError):
+            max_drawdown(np.array([]))
+
+
+class TestInformationCoefficient:
+    def test_daily_shape(self, rng):
+        predictions = rng.normal(size=(7, 40))
+        labels = rng.normal(size=(7, 40))
+        assert daily_information_coefficient(predictions, labels).shape == (7,)
+
+    def test_mean_relationship(self, rng):
+        predictions = rng.normal(size=(7, 40))
+        labels = rng.normal(size=(7, 40))
+        np.testing.assert_allclose(
+            information_coefficient(predictions, labels),
+            daily_information_coefficient(predictions, labels).mean(),
+        )
+
+    def test_consistent_with_core_fitness(self, rng):
+        from repro.core import mean_ic
+
+        predictions = rng.normal(size=(6, 25))
+        labels = rng.normal(size=(6, 25))
+        np.testing.assert_allclose(
+            information_coefficient(predictions, labels), mean_ic(predictions, labels),
+            rtol=1e-9,
+        )
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(BacktestError):
+            information_coefficient(rng.normal(size=(5, 4)), rng.normal(size=(4, 5)))

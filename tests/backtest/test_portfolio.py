@@ -1,0 +1,96 @@
+"""Tests for the long-short portfolio construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.backtest import LongShortPortfolio, long_short_returns
+from repro.errors import BacktestError
+
+
+class TestDailyWeights:
+    def test_dollar_neutral(self, rng):
+        portfolio = LongShortPortfolio(long_k=5, short_k=5)
+        books = portfolio.daily_weights(rng.normal(size=40))
+        assert books.weights.sum() == pytest.approx(0.0)
+        assert books.weights[books.long_indices].sum() == pytest.approx(0.5)
+        assert books.weights[books.short_indices].sum() == pytest.approx(-0.5)
+
+    def test_top_and_bottom_selected(self):
+        portfolio = LongShortPortfolio(long_k=2, short_k=2)
+        predictions = np.array([0.5, -0.3, 0.9, 0.0, -0.8, 0.1])
+        books = portfolio.daily_weights(predictions)
+        assert set(books.long_indices) == {0, 2}
+        assert set(books.short_indices) == {1, 4}
+
+    def test_books_never_overlap_small_universe(self, rng):
+        portfolio = LongShortPortfolio(long_k=50, short_k=50)
+        books = portfolio.daily_weights(rng.normal(size=12))
+        assert not set(books.long_indices) & set(books.short_indices)
+
+    def test_effective_books_cap(self):
+        portfolio = LongShortPortfolio(long_k=50, short_k=50)
+        long_k, short_k = portfolio.effective_books(30)
+        assert long_k == short_k == 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(BacktestError):
+            LongShortPortfolio(long_k=0)
+        with pytest.raises(BacktestError):
+            LongShortPortfolio(long_k=5, short_k=-1)
+        with pytest.raises(BacktestError):
+            LongShortPortfolio().effective_books(1)
+
+    @given(hnp.arrays(np.float64, 25, elements=st.floats(-10, 10)))
+    @settings(max_examples=40, deadline=None)
+    def test_weights_always_sum_to_zero(self, predictions):
+        portfolio = LongShortPortfolio(long_k=5, short_k=5)
+        books = portfolio.daily_weights(predictions)
+        assert books.weights.sum() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPortfolioReturns:
+    def test_perfect_foresight_is_profitable(self, rng):
+        realized = rng.normal(0, 0.02, size=(30, 40))
+        returns = long_short_returns(realized, realized, long_k=5, short_k=5)
+        assert (returns > 0).all()
+
+    def test_inverted_foresight_loses(self, rng):
+        realized = rng.normal(0, 0.02, size=(30, 40))
+        returns = long_short_returns(-realized, realized, long_k=5, short_k=5)
+        assert (returns < 0).all()
+
+    def test_random_predictions_near_zero_mean(self, rng):
+        predictions = rng.normal(size=(200, 50))
+        realized = rng.normal(0, 0.02, size=(200, 50))
+        returns = long_short_returns(predictions, realized, long_k=10, short_k=10)
+        assert abs(returns.mean()) < 0.005
+
+    def test_market_neutrality(self, rng):
+        """Adding a common market move to every stock leaves returns unchanged."""
+        portfolio = LongShortPortfolio(long_k=5, short_k=5)
+        predictions = rng.normal(size=(20, 30))
+        realized = rng.normal(0, 0.02, size=(20, 30))
+        base = portfolio.returns(predictions, realized)
+        shifted = portfolio.returns(predictions, realized + 0.05)
+        np.testing.assert_allclose(base, shifted, atol=1e-12)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(BacktestError):
+            long_short_returns(rng.normal(size=(5, 10)), rng.normal(size=(5, 9)))
+
+    def test_net_asset_value_compounds(self, rng):
+        portfolio = LongShortPortfolio(long_k=5, short_k=5)
+        predictions = rng.normal(size=(10, 30))
+        realized = rng.normal(0, 0.02, size=(10, 30))
+        nav = portfolio.net_asset_value(predictions, realized, initial_nav=100.0)
+        returns = portfolio.returns(predictions, realized)
+        np.testing.assert_allclose(nav, 100.0 * np.cumprod(1 + returns))
+
+    def test_invalid_initial_nav(self, rng):
+        portfolio = LongShortPortfolio(long_k=2, short_k=2)
+        with pytest.raises(BacktestError):
+            portfolio.net_asset_value(rng.normal(size=(5, 10)),
+                                      rng.normal(size=(5, 10)), initial_nav=0.0)

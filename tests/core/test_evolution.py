@@ -1,0 +1,137 @@
+"""Tests for the regularised evolutionary search."""
+
+import numpy as np
+import pytest
+
+from repro.backtest import BacktestEngine
+from repro.core import (
+    AlphaEvaluator,
+    CorrelationFilter,
+    EvolutionConfig,
+    EvolutionController,
+    Mutator,
+    domain_expert_alpha,
+)
+from repro.core.fitness import INVALID_FITNESS
+from repro.errors import EvolutionError
+
+
+def make_controller(taskset, dims, max_candidates=80, use_pruning=True,
+                    correlation_filter=None, seed=3):
+    evaluator = AlphaEvaluator(taskset, seed=0, max_train_steps=20)
+    mutator = Mutator(dims, seed=seed)
+    engine = BacktestEngine(taskset, long_k=5, short_k=5) if correlation_filter else None
+    return EvolutionController(
+        evaluator=evaluator,
+        mutator=mutator,
+        config=EvolutionConfig(
+            population_size=10,
+            tournament_size=4,
+            max_candidates=max_candidates,
+            use_pruning=use_pruning,
+        ),
+        correlation_filter=correlation_filter,
+        backtest_engine=engine,
+        seed=seed,
+    )
+
+
+class TestEvolutionConfig:
+    def test_invalid_population(self):
+        with pytest.raises(EvolutionError):
+            EvolutionConfig(population_size=1)
+
+    def test_invalid_tournament(self):
+        with pytest.raises(EvolutionError):
+            EvolutionConfig(population_size=5, tournament_size=10)
+
+    def test_budget_required(self):
+        with pytest.raises(EvolutionError):
+            EvolutionConfig(max_candidates=None, max_seconds=None)
+
+    def test_negative_budgets_rejected(self):
+        with pytest.raises(EvolutionError):
+            EvolutionConfig(max_candidates=0)
+        with pytest.raises(EvolutionError):
+            EvolutionConfig(max_candidates=None, max_seconds=-1.0)
+
+
+class TestEvolutionController:
+    def test_requires_engine_with_filter(self, small_taskset, dims):
+        evaluator = AlphaEvaluator(small_taskset, seed=0, max_train_steps=20)
+        with pytest.raises(EvolutionError):
+            EvolutionController(
+                evaluator=evaluator,
+                mutator=Mutator(dims, seed=0),
+                correlation_filter=CorrelationFilter(),
+                backtest_engine=None,
+            )
+
+    def test_run_respects_candidate_budget(self, small_taskset, dims):
+        controller = make_controller(small_taskset, dims, max_candidates=60)
+        result = controller.run(domain_expert_alpha(dims))
+        assert result.candidates_generated == 60
+        assert result.searched_alphas == 60
+
+    def test_best_is_at_least_initial(self, small_taskset, dims):
+        controller = make_controller(small_taskset, dims, max_candidates=120)
+        initial = controller.evaluator.evaluate(domain_expert_alpha(dims))
+        result = controller.run(domain_expert_alpha(dims))
+        assert result.best_report.fitness >= initial.fitness - 1e-12
+
+    def test_trajectory_monotone_and_aligned(self, small_taskset, dims):
+        controller = make_controller(small_taskset, dims, max_candidates=80)
+        result = controller.run(domain_expert_alpha(dims))
+        fitness_curve = [point.best_fitness for point in result.trajectory]
+        assert fitness_curve == sorted(fitness_curve)
+        candidates = [point.candidates for point in result.trajectory]
+        assert candidates == sorted(candidates)
+        assert candidates[-1] == result.candidates_generated
+
+    def test_pruning_reduces_evaluations(self, small_taskset, dims):
+        with_pruning = make_controller(small_taskset, dims, max_candidates=100,
+                                       use_pruning=True)
+        without_pruning = make_controller(small_taskset, dims, max_candidates=100,
+                                          use_pruning=False)
+        pruned_result = with_pruning.run(domain_expert_alpha(dims))
+        full_result = without_pruning.run(domain_expert_alpha(dims))
+        assert pruned_result.cache_stats.evaluated < full_result.cache_stats.evaluated
+        assert full_result.cache_stats.evaluated == 100
+
+    def test_time_budget_stops_search(self, small_taskset, dims):
+        evaluator = AlphaEvaluator(small_taskset, seed=0, max_train_steps=20)
+        controller = EvolutionController(
+            evaluator=evaluator,
+            mutator=Mutator(dims, seed=1),
+            config=EvolutionConfig(population_size=10, tournament_size=4,
+                                   max_candidates=None, max_seconds=0.5),
+        )
+        result = controller.run(domain_expert_alpha(dims))
+        assert result.elapsed_seconds < 5.0
+        assert result.candidates_generated > 0
+
+    def test_correlation_filter_invalidates_clones(self, small_taskset, dims):
+        """With the initial alpha itself registered as a reference, candidates
+        that behave like it must be discarded as correlated."""
+        evaluator = AlphaEvaluator(small_taskset, seed=0, max_train_steps=20)
+        engine = BacktestEngine(small_taskset, long_k=5, short_k=5)
+        expert = domain_expert_alpha(dims)
+        reference_returns = engine.portfolio_returns(
+            evaluator.run(expert, splits=("valid",))["valid"], split="valid"
+        )
+        correlation_filter = CorrelationFilter()
+        correlation_filter.add_reference("alpha_D_0", reference_returns)
+        controller = make_controller(small_taskset, dims, max_candidates=40,
+                                     correlation_filter=correlation_filter)
+        report = controller.score(expert)
+        assert not report.is_valid
+        assert report.fitness == INVALID_FITNESS
+        assert "cutoff" in report.reason
+
+    def test_deterministic_given_seeds(self, small_taskset, dims):
+        a = make_controller(small_taskset, dims, max_candidates=60, seed=9)
+        b = make_controller(small_taskset, dims, max_candidates=60, seed=9)
+        result_a = a.run(domain_expert_alpha(dims))
+        result_b = b.run(domain_expert_alpha(dims))
+        assert result_a.best_program == result_b.best_program
+        assert result_a.best_report.fitness == pytest.approx(result_b.best_report.fitness)

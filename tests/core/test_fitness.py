@@ -1,0 +1,73 @@
+"""Tests for the IC fitness functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import daily_ic, mean_ic
+from repro.core.fitness import FitnessReport, INVALID_FITNESS
+from repro.errors import ExecutionError
+
+
+class TestDailyIC:
+    def test_perfect_correlation(self, rng):
+        labels = rng.normal(size=(10, 20))
+        np.testing.assert_allclose(daily_ic(labels, labels), 1.0)
+
+    def test_perfect_anticorrelation(self, rng):
+        labels = rng.normal(size=(10, 20))
+        np.testing.assert_allclose(daily_ic(-labels, labels), -1.0)
+
+    def test_constant_predictions_give_zero(self, rng):
+        labels = rng.normal(size=(5, 10))
+        predictions = np.ones_like(labels)
+        np.testing.assert_allclose(daily_ic(predictions, labels), 0.0)
+
+    def test_matches_numpy_corrcoef(self, rng):
+        predictions = rng.normal(size=(6, 30))
+        labels = rng.normal(size=(6, 30))
+        series = daily_ic(predictions, labels)
+        for day in range(6):
+            expected = np.corrcoef(predictions[day], labels[day])[0, 1]
+            np.testing.assert_allclose(series[day], expected, rtol=1e-9)
+
+    def test_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ExecutionError):
+            daily_ic(rng.normal(size=(5, 10)), rng.normal(size=(5, 11)))
+
+    def test_wrong_rank_rejected(self, rng):
+        with pytest.raises(ExecutionError):
+            daily_ic(rng.normal(size=10), rng.normal(size=10))
+
+    @given(hnp.arrays(np.float64, (4, 12), elements=st.floats(-1e3, 1e3)),
+           hnp.arrays(np.float64, (4, 12), elements=st.floats(-1e3, 1e3)))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_in_unit_interval(self, predictions, labels):
+        series = daily_ic(predictions, labels)
+        assert (np.abs(series) <= 1.0 + 1e-9).all()
+
+
+class TestMeanIC:
+    def test_is_mean_of_daily(self, rng):
+        predictions = rng.normal(size=(8, 15))
+        labels = rng.normal(size=(8, 15))
+        np.testing.assert_allclose(
+            mean_ic(predictions, labels), daily_ic(predictions, labels).mean()
+        )
+
+    def test_empty_returns_zero(self):
+        assert mean_ic(np.empty((0, 5)), np.empty((0, 5))) == 0.0
+
+
+class TestFitnessReport:
+    def test_invalid_factory(self):
+        report = FitnessReport.invalid("broke")
+        assert not report.is_valid
+        assert report.fitness == INVALID_FITNESS
+        assert report.reason == "broke"
+        assert np.isnan(report.ic_valid)
+
+    def test_invalid_fitness_below_ic_range(self):
+        assert INVALID_FITNESS < -1.0

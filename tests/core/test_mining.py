@@ -1,0 +1,89 @@
+"""Tests for the multi-round weakly-correlated mining session."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Dimensions,
+    EvolutionConfig,
+    MiningSession,
+    domain_expert_alpha,
+    prune_program,
+)
+from repro.errors import EvolutionError
+
+
+@pytest.fixture()
+def session(small_taskset):
+    return MiningSession(
+        small_taskset,
+        evolution_config=EvolutionConfig(population_size=10, tournament_size=4,
+                                         max_candidates=80),
+        long_k=5,
+        short_k=5,
+        max_train_steps=20,
+        seed=11,
+    )
+
+
+class TestEvaluateAlpha:
+    def test_fixed_alpha_metrics(self, session, dims):
+        mined = session.evaluate_alpha(domain_expert_alpha(dims), name="alpha_D_0")
+        assert mined.name == "alpha_D_0"
+        assert np.isfinite(mined.sharpe)
+        assert np.isfinite(mined.ic)
+        assert mined.valid_returns.shape == (session.taskset.split.valid,)
+        assert np.isnan(mined.correlation_with_accepted)
+
+    def test_use_update_flag_forwarded(self, session, dims):
+        with_update = session.evaluate_alpha(domain_expert_alpha(dims), use_update=True)
+        without_update = session.evaluate_alpha(domain_expert_alpha(dims), use_update=False)
+        # The expert alpha has no parameters, so the ablation changes nothing.
+        assert with_update.ic == pytest.approx(without_update.ic)
+
+    def test_row_format(self, session, dims):
+        row = session.evaluate_alpha(domain_expert_alpha(dims), name="x").row()
+        assert set(row) == {"alpha", "sharpe", "ic", "correlation"}
+
+
+class TestSearch:
+    def test_search_improves_or_matches_initial(self, session, dims):
+        initial = session.evaluate_alpha(domain_expert_alpha(dims), name="alpha_D_0")
+        mined = session.search(domain_expert_alpha(dims), name="alpha_AE_D_0",
+                               enforce_cutoff=False)
+        assert mined.name == "alpha_AE_D_0"
+        assert mined.extras["valid_ic"] >= initial.extras.get("valid_ic", -1.0) - 0.05
+        assert mined.extras["searched_alphas"] == 80
+        assert mined.evolution is not None
+
+    def test_accept_and_cutoff_reference(self, session, dims):
+        first = session.search(domain_expert_alpha(dims), name="alpha_AE_D_0",
+                               enforce_cutoff=False)
+        session.accept(first)
+        assert session.accepted_programs() == [first.program]
+        second = session.search(domain_expert_alpha(dims), name="alpha_AE_D_1",
+                                enforce_cutoff=True)
+        # The correlation of the accepted alpha with itself is 1, so the new
+        # alpha must have been checked against it.
+        assert not np.isnan(second.correlation_with_accepted)
+
+    def test_accept_requires_valid_returns(self, session, dims):
+        mined = session.evaluate_alpha(domain_expert_alpha(dims), name="alpha_D_0")
+        mined.valid_returns = np.empty(0)
+        with pytest.raises(EvolutionError):
+            session.accept(mined)
+
+    def test_describe_accepted(self, session, dims):
+        mined = session.evaluate_alpha(domain_expert_alpha(dims), name="alpha_D_0")
+        session.accept(mined)
+        rows = session.describe_accepted()
+        assert rows[0]["alpha"] == "alpha_D_0"
+
+    def test_simplify_delegates_to_pruning(self, dims):
+        program = domain_expert_alpha(dims)
+        assert MiningSession.simplify(program) == prune_program(program).program
+
+    def test_pruning_ablation_override(self, session, dims):
+        mined = session.search(domain_expert_alpha(dims), name="alpha_AE_D_0_N",
+                               enforce_cutoff=False, use_pruning=False)
+        assert mined.extras["evaluated_alphas"] == mined.extras["searched_alphas"]

@@ -1,0 +1,196 @@
+"""Tests for redundancy pruning (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AlphaEvaluator,
+    AlphaProgram,
+    Dimensions,
+    INPUT_MATRIX,
+    LABEL,
+    Operand,
+    Operation,
+    PREDICTION,
+    backward_liveness,
+    domain_expert_alpha,
+    neural_network_alpha,
+    prune_program,
+    random_alpha,
+)
+
+
+def op(name, inputs, output, params=None):
+    return Operation.make(name, inputs, output, params)
+
+
+class TestBackwardLiveness:
+    def test_marks_only_contributing_operations(self):
+        s2, s3, s4 = Operand.scalar(2), Operand.scalar(3), Operand.scalar(4)
+        operations = [
+            op("s_abs", (s2,), s3),        # contributes
+            op("s_abs", (s2,), s4),        # does not
+            op("s_abs", (s3,), PREDICTION),
+        ]
+        needed, live_in = backward_liveness(operations, {PREDICTION})
+        assert needed == {0, 2}
+        assert s2 in live_in
+
+    def test_overwrite_makes_earlier_write_redundant(self):
+        s2 = Operand.scalar(2)
+        operations = [
+            op("s_abs", (s2,), PREDICTION),   # overwritten later -> redundant
+            op("s_sign", (s2,), PREDICTION),
+        ]
+        needed, _ = backward_liveness(operations, {PREDICTION})
+        assert needed == {1}
+
+    def test_empty_targets(self):
+        operations = [op("s_abs", (Operand.scalar(2),), Operand.scalar(3))]
+        needed, live_in = backward_liveness(operations, set())
+        assert needed == set()
+        assert live_in == set()
+
+
+class TestPruneProgram:
+    def test_figure5a_redundant_operations_removed(self):
+        """Mirrors Figure 5a: overwritten s1 and an unused s8 are pruned."""
+        s1, s8, s3 = PREDICTION, Operand.scalar(8), Operand.scalar(3)
+        program = AlphaProgram(
+            setup=[],
+            predict=[
+                op("get_scalar", (INPUT_MATRIX,), s3, {"row": 0, "col": 0}),
+                op("s_abs", (s3,), s1),          # overwritten below -> redundant
+                op("s_abs", (s3,), s8),          # never used -> redundant
+                op("s_sign", (s3,), s1),         # the real prediction
+            ],
+            update=[],
+        )
+        result = prune_program(program)
+        assert not result.is_redundant
+        assert result.removed_operations == 2
+        assert [operation.render() for operation in result.program.predict] == [
+            "s3 = get_scalar(m0, col=0, row=0)",
+            "s1 = s_sign(s3)",
+        ]
+
+    def test_figure5b_redundant_alpha_detected(self):
+        """Mirrors Figure 5b: a prediction that never uses m0 is redundant."""
+        program = AlphaProgram(
+            setup=[op("s_const", (), Operand.scalar(2), {"constant": 0.3})],
+            predict=[op("s_abs", (Operand.scalar(2),), PREDICTION)],
+            update=[],
+        )
+        result = prune_program(program)
+        assert result.is_redundant
+
+    def test_no_prediction_write_is_redundant(self):
+        program = AlphaProgram(
+            setup=[],
+            predict=[op("get_scalar", (INPUT_MATRIX,), Operand.scalar(2),
+                        {"row": 0, "col": 0})],
+            update=[],
+        )
+        assert prune_program(program).is_redundant
+
+    def test_parameter_chain_through_update_kept(self):
+        """An operand produced by Update() from m0 and read by Predict() is a
+        parameter; the update operations must survive pruning."""
+        s2 = Operand.scalar(2)
+        program = AlphaProgram(
+            setup=[],
+            predict=[op("s_abs", (s2,), PREDICTION)],
+            update=[op("m_norm", (INPUT_MATRIX,), s2)],
+        )
+        result = prune_program(program)
+        assert not result.is_redundant
+        assert len(result.program.update) == 1
+
+    def test_update_only_chain_without_m0_is_redundant(self):
+        s2 = Operand.scalar(2)
+        program = AlphaProgram(
+            setup=[op("s_const", (), s2, {"constant": 1.0})],
+            predict=[op("s_abs", (s2,), PREDICTION)],
+            update=[op("s_add", (s2, LABEL), s2)],
+        )
+        # The prediction depends on the label history but never on m0.
+        assert prune_program(program).is_redundant
+
+    def test_recursive_update_chain_kept(self):
+        """Update operands feeding each other across time steps are retained."""
+        s2, s3 = Operand.scalar(2), Operand.scalar(3)
+        program = AlphaProgram(
+            setup=[],
+            predict=[op("s_abs", (s3,), PREDICTION)],
+            update=[
+                op("s_add", (s2, s3), s3),                 # s3 <- s2 + s3 (recursive)
+                op("m_norm", (INPUT_MATRIX,), s2),          # s2 <- norm(m0)
+            ],
+        )
+        result = prune_program(program)
+        assert not result.is_redundant
+        assert len(result.program.update) == 2
+
+    def test_domain_expert_alpha_prunes_placeholders(self, dims):
+        result = prune_program(domain_expert_alpha(dims))
+        assert not result.is_redundant
+        assert len(result.program.setup) == 0
+        assert len(result.program.update) == 0
+        assert len(result.program.predict) == 4
+
+    def test_neural_network_alpha_not_redundant(self, dims):
+        result = prune_program(neural_network_alpha(dims))
+        assert not result.is_redundant
+        # SGD update operations all contribute to the parameters.
+        assert len(result.program.update) == 8
+
+    def test_counts_are_consistent(self, dims):
+        program = domain_expert_alpha(dims)
+        result = prune_program(program)
+        assert result.total_operations == program.num_operations
+        assert result.kept_operations == result.program.num_operations
+
+
+class TestPruningPreservesSemantics:
+    def test_pruned_random_programs_have_identical_predictions(self, small_taskset, dims):
+        """Pruning must never change what a (non-redundant) alpha predicts."""
+        evaluator = AlphaEvaluator(small_taskset, seed=0, max_train_steps=20)
+        checked = 0
+        for seed in range(60):
+            program = random_alpha(dims, seed=seed)
+            result = prune_program(program)
+            if result.is_redundant:
+                continue
+            original = evaluator.run(program, splits=("valid",))["valid"]
+            pruned = evaluator.run(result.program, splits=("valid",))["valid"]
+            np.testing.assert_allclose(original, pruned, rtol=1e-9, atol=1e-12)
+            checked += 1
+            if checked >= 5:
+                break
+        assert checked >= 3, "expected at least a few non-redundant random programs"
+
+    def test_pruned_mutated_programs_have_identical_predictions(self, small_taskset, dims,
+                                                                mutator):
+        """Pruning children of the expert alpha preserves their predictions."""
+        evaluator = AlphaEvaluator(small_taskset, seed=0, max_train_steps=20)
+        program = domain_expert_alpha(dims)
+        checked = 0
+        for _ in range(40):
+            program = mutator.mutate(program)
+            result = prune_program(program)
+            if result.is_redundant:
+                continue
+            original = evaluator.run(program, splits=("valid",))["valid"]
+            pruned = evaluator.run(result.program, splits=("valid",))["valid"]
+            np.testing.assert_allclose(original, pruned, rtol=1e-9, atol=1e-12)
+            checked += 1
+        assert checked >= 5
+
+    def test_domain_expert_predictions_unchanged(self, small_taskset, dims):
+        program = domain_expert_alpha(dims)
+        pruned = prune_program(program).program
+        evaluator = AlphaEvaluator(small_taskset, seed=0, max_train_steps=20)
+        np.testing.assert_allclose(
+            evaluator.run(program, splits=("valid",))["valid"],
+            evaluator.run(pruned, splits=("valid",))["valid"],
+        )

@@ -1,0 +1,125 @@
+"""Tests for the 13-type feature construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.config import NUM_FEATURES
+from repro.data import FEATURE_NAMES, FeaturePanel, compute_feature_panel
+from repro.data.features import rolling_mean, rolling_std
+from repro.errors import DataError
+
+
+class TestRollingStatistics:
+    def test_rolling_mean_matches_naive(self, rng):
+        values = rng.normal(size=(50, 4))
+        horizon = 5
+        result = rolling_mean(values, horizon)
+        for t in range(values.shape[0]):
+            start = max(0, t - horizon + 1)
+            np.testing.assert_allclose(result[t], values[start:t + 1].mean(axis=0))
+
+    def test_rolling_std_matches_naive(self, rng):
+        values = rng.normal(size=(40, 3))
+        horizon = 7
+        result = rolling_std(values, horizon)
+        for t in range(values.shape[0]):
+            start = max(0, t - horizon + 1)
+            np.testing.assert_allclose(
+                result[t], values[start:t + 1].std(axis=0), atol=1e-10
+            )
+
+    def test_rolling_mean_horizon_one_is_identity(self, rng):
+        values = rng.normal(size=(20, 2))
+        np.testing.assert_allclose(rolling_mean(values, 1), values)
+
+    def test_rolling_std_horizon_one_is_zero(self, rng):
+        values = rng.normal(size=(20, 2))
+        np.testing.assert_allclose(rolling_std(values, 1), 0.0, atol=1e-6)
+
+    def test_invalid_horizon(self):
+        with pytest.raises(DataError):
+            rolling_mean(np.ones((5, 1)), 0)
+        with pytest.raises(DataError):
+            rolling_std(np.ones((5, 1)), -2)
+
+    @given(hnp.arrays(np.float64, (25, 2), elements=st.floats(-100, 100)),
+           st.integers(1, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_rolling_mean_bounded_by_extremes(self, values, horizon):
+        result = rolling_mean(values, horizon)
+        assert (result <= values.max() + 1e-9).all()
+        assert (result >= values.min() - 1e-9).all()
+
+
+class TestComputeFeaturePanel:
+    def test_shapes_and_names(self, small_panel):
+        features = compute_feature_panel(small_panel)
+        assert features.num_features == NUM_FEATURES
+        assert features.feature_names == FEATURE_NAMES
+        assert features.values.shape == (small_panel.num_days, small_panel.num_stocks,
+                                         NUM_FEATURES)
+
+    def test_price_columns_match_panel(self, small_panel):
+        features = compute_feature_panel(small_panel)
+        close_index = FEATURE_NAMES.index("close")
+        np.testing.assert_allclose(features.values[:, :, close_index], small_panel.close)
+        volume_index = FEATURE_NAMES.index("volume")
+        np.testing.assert_allclose(features.values[:, :, volume_index], small_panel.volume)
+
+    def test_ma_columns_are_smoother_than_close(self, small_panel):
+        features = compute_feature_panel(small_panel)
+        close_index = FEATURE_NAMES.index("close")
+        ma30_index = FEATURE_NAMES.index("ma30")
+        close_changes = np.abs(np.diff(features.values[30:, :, close_index], axis=0)).mean()
+        ma_changes = np.abs(np.diff(features.values[30:, :, ma30_index], axis=0)).mean()
+        assert ma_changes < close_changes
+
+    def test_all_finite(self, small_panel):
+        features = compute_feature_panel(small_panel)
+        assert np.isfinite(features.values).all()
+
+
+class TestNormalization:
+    def test_normalized_bounded_on_fit_region(self, small_panel):
+        features = compute_feature_panel(small_panel)
+        normalized = features.normalized()
+        assert np.abs(normalized.values).max() <= 1.0 + 1e-9
+
+    def test_normalized_with_fit_days_keeps_future_unscaled_by_future_max(self, small_panel):
+        features = compute_feature_panel(small_panel)
+        normalized = features.normalized(fit_days=100)
+        # On the fit region values must lie in [-1, 1]; afterwards they may exceed 1.
+        assert np.abs(normalized.values[:100]).max() <= 1.0 + 1e-9
+
+    def test_normalization_is_per_stock(self, small_panel):
+        features = compute_feature_panel(small_panel)
+        normalized = features.normalized()
+        close_index = FEATURE_NAMES.index("close")
+        per_stock_max = np.abs(normalized.values[:, :, close_index]).max(axis=0)
+        np.testing.assert_allclose(per_stock_max, 1.0, rtol=1e-9)
+
+    def test_zero_feature_does_not_divide_by_zero(self):
+        values = np.zeros((10, 2, 3))
+        panel = FeaturePanel(values=values, feature_names=("a", "b", "c"),
+                             dates=np.arange(10))
+        normalized = panel.normalized()
+        assert np.isfinite(normalized.values).all()
+
+    def test_invalid_fit_days(self, small_panel):
+        features = compute_feature_panel(small_panel)
+        with pytest.raises(DataError):
+            features.normalized(fit_days=0)
+
+
+class TestFeaturePanelValidation:
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(DataError):
+            FeaturePanel(values=np.zeros((5, 3)), feature_names=("a",), dates=np.arange(5))
+
+    def test_name_count_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            FeaturePanel(values=np.zeros((5, 3, 2)), feature_names=("a",),
+                         dates=np.arange(5))

@@ -1,0 +1,116 @@
+"""Tests for the CSV OHLCV loader."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_csv_directory, load_sector_map, parse_ohlcv_csv
+from repro.errors import DataError
+
+
+def write_csv(path, days=120, start_price=50.0, missing=()):
+    lines = ["date,open,high,low,close,volume"]
+    price = start_price
+    for day in range(days):
+        if day in missing:
+            continue
+        price *= 1.0 + 0.001 * ((day % 7) - 3)
+        lines.append(
+            f"2017{day:04d},{price:.2f},{price * 1.01:.2f},{price * 0.99:.2f},"
+            f"{price:.2f},{1000 + day}"
+        )
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestParseCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "AAA.csv"
+        write_csv(path, days=30)
+        columns = parse_ohlcv_csv(path)
+        assert set(columns) == {"date", "open", "high", "low", "close", "volume"}
+        assert columns["close"].shape == (30,)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            parse_ohlcv_csv(tmp_path / "nope.csv")
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("date,open,close\n20170101,1,2\n")
+        with pytest.raises(DataError):
+            parse_ohlcv_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("date,open,high,low,close,volume\n")
+        with pytest.raises(DataError):
+            parse_ohlcv_csv(path)
+
+
+class TestSectorMap:
+    def test_load(self, tmp_path):
+        path = tmp_path / "sectors.csv"
+        path.write_text("AAA,Tech,Software\nBBB,Health,Biotech\n# comment\n")
+        mapping = load_sector_map(path)
+        assert mapping["AAA"] == ("Tech", "Software")
+        assert len(mapping) == 2
+
+    def test_missing(self, tmp_path):
+        with pytest.raises(DataError):
+            load_sector_map(tmp_path / "nope.csv")
+
+    def test_malformed_row(self, tmp_path):
+        path = tmp_path / "sectors.csv"
+        path.write_text("AAA,Tech\n")
+        with pytest.raises(DataError):
+            load_sector_map(path)
+
+
+class TestLoadDirectory:
+    def test_basic_alignment(self, tmp_path):
+        for ticker in ("AAA", "BBB", "CCC"):
+            write_csv(tmp_path / f"{ticker}.csv", days=100)
+        panel = load_csv_directory(tmp_path)
+        assert panel.num_stocks == 3
+        assert panel.num_days == 100
+        assert set(panel.tickers) == {"AAA", "BBB", "CCC"}
+
+    def test_sector_map_applied(self, tmp_path):
+        for ticker in ("AAA", "BBB"):
+            write_csv(tmp_path / f"{ticker}.csv", days=80)
+        sector_map = {"AAA": ("Tech", "Software"), "BBB": ("Tech", "Hardware")}
+        panel = load_csv_directory(tmp_path, sector_map=sector_map)
+        taxonomy = panel.taxonomy
+        assert taxonomy.num_sectors == 1
+        assert taxonomy.num_industries == 2
+
+    def test_without_sector_map_single_sector(self, tmp_path):
+        for ticker in ("AAA", "BBB"):
+            write_csv(tmp_path / f"{ticker}.csv", days=80)
+        panel = load_csv_directory(tmp_path)
+        assert panel.taxonomy.num_sectors == 1
+
+    def test_sparse_stock_dropped(self, tmp_path):
+        write_csv(tmp_path / "AAA.csv", days=100)
+        write_csv(tmp_path / "BBB.csv", days=100)
+        write_csv(tmp_path / "CCC.csv", days=100, missing=set(range(10, 90)))
+        panel = load_csv_directory(tmp_path)
+        assert "CCC" not in panel.tickers
+
+    def test_missing_days_forward_filled(self, tmp_path):
+        write_csv(tmp_path / "AAA.csv", days=100)
+        write_csv(tmp_path / "BBB.csv", days=100, missing={50, 51})
+        panel = load_csv_directory(tmp_path)
+        assert np.isfinite(panel.close).all()
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(DataError):
+            load_csv_directory(tmp_path)
+
+    def test_not_a_directory(self, tmp_path):
+        with pytest.raises(DataError):
+            load_csv_directory(tmp_path / "missing")
+
+    def test_too_few_covered_stocks(self, tmp_path):
+        write_csv(tmp_path / "AAA.csv", days=100)
+        with pytest.raises(DataError):
+            load_csv_directory(tmp_path)

@@ -1,0 +1,145 @@
+"""Tests for the synthetic market simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data import MarketConfig, StockPanel, SyntheticMarket, random_taxonomy
+from repro.errors import DataError
+
+
+class TestMarketConfig:
+    def test_defaults_valid(self):
+        config = MarketConfig()
+        assert config.num_stocks > 1
+        assert config.num_days >= 60
+
+    def test_too_few_stocks_rejected(self):
+        with pytest.raises(DataError):
+            MarketConfig(num_stocks=1)
+
+    def test_too_few_days_rejected(self):
+        with pytest.raises(DataError):
+            MarketConfig(num_days=10)
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(DataError):
+            MarketConfig(penny_stock_fraction=1.5)
+        with pytest.raises(DataError):
+            MarketConfig(illiquid_fraction=-0.1)
+
+    def test_bad_vol_range_rejected(self):
+        with pytest.raises(DataError):
+            MarketConfig(idio_vol_range=(0.0, 0.01))
+        with pytest.raises(DataError):
+            MarketConfig(idio_vol_range=(0.05, 0.01))
+
+
+class TestSyntheticMarket:
+    def test_panel_shapes(self, small_panel):
+        assert small_panel.close.shape == (220, 30)
+        assert small_panel.num_days == 220
+        assert small_panel.num_stocks == 30
+        assert len(small_panel.tickers) == 30
+
+    def test_prices_positive(self, small_panel):
+        assert (small_panel.close > 0).all()
+        assert (small_panel.open > 0).all()
+
+    def test_high_low_bracket_open_close(self, small_panel):
+        assert (small_panel.high >= small_panel.close - 1e-12).all()
+        assert (small_panel.high >= small_panel.open - 1e-12).all()
+        assert (small_panel.low <= small_panel.close + 1e-12).all()
+        assert (small_panel.low <= small_panel.open + 1e-12).all()
+
+    def test_volume_non_negative(self, small_panel):
+        assert (small_panel.volume >= 0).all()
+
+    def test_deterministic_given_seed(self):
+        config = MarketConfig(num_stocks=10, num_days=80)
+        a = SyntheticMarket(config, seed=9).generate()
+        b = SyntheticMarket(config, seed=9).generate()
+        np.testing.assert_allclose(a.close, b.close)
+        np.testing.assert_allclose(a.volume, b.volume)
+
+    def test_different_seeds_differ(self):
+        config = MarketConfig(num_stocks=10, num_days=80)
+        a = SyntheticMarket(config, seed=1).generate()
+        b = SyntheticMarket(config, seed=2).generate()
+        assert not np.allclose(a.close, b.close)
+
+    def test_returns_definition(self, small_panel):
+        returns = small_panel.returns()
+        assert returns.shape == small_panel.close.shape
+        np.testing.assert_allclose(returns[0], 0.0)
+        expected = (small_panel.close[5] - small_panel.close[4]) / small_panel.close[4]
+        np.testing.assert_allclose(returns[5], expected)
+
+    def test_returns_are_noisy_but_bounded(self, small_panel):
+        returns = small_panel.returns()[1:]
+        assert np.abs(returns).max() < 1.0
+        assert returns.std() > 1e-4
+
+    def test_taxonomy_attached(self, small_panel):
+        assert small_panel.taxonomy.num_stocks == small_panel.num_stocks
+
+
+class TestStockPanelContainer:
+    def test_mismatched_shapes_rejected(self, small_panel):
+        with pytest.raises(DataError):
+            StockPanel(
+                open=small_panel.open,
+                high=small_panel.high,
+                low=small_panel.low,
+                close=small_panel.close[:-1],
+                volume=small_panel.volume,
+                tickers=small_panel.tickers,
+                dates=small_panel.dates,
+                taxonomy=small_panel.taxonomy,
+            )
+
+    def test_wrong_ticker_count_rejected(self, small_panel):
+        with pytest.raises(DataError):
+            StockPanel(
+                open=small_panel.open,
+                high=small_panel.high,
+                low=small_panel.low,
+                close=small_panel.close,
+                volume=small_panel.volume,
+                tickers=small_panel.tickers[:-1],
+                dates=small_panel.dates,
+                taxonomy=small_panel.taxonomy,
+            )
+
+    def test_select_stocks(self, small_panel):
+        subset = small_panel.select_stocks(np.array([0, 3, 5]))
+        assert subset.num_stocks == 3
+        np.testing.assert_allclose(subset.close[:, 1], small_panel.close[:, 3])
+
+    def test_select_stocks_empty_rejected(self, small_panel):
+        with pytest.raises(DataError):
+            small_panel.select_stocks(np.array([], dtype=int))
+
+    def test_select_days(self, small_panel):
+        window = small_panel.select_days(10, 60)
+        assert window.num_days == 50
+        np.testing.assert_allclose(window.close[0], small_panel.close[10])
+
+    def test_select_days_invalid_range(self, small_panel):
+        with pytest.raises(DataError):
+            small_panel.select_days(50, 20)
+        with pytest.raises(DataError):
+            small_panel.select_days(0, small_panel.num_days + 1)
+
+    def test_taxonomy_size_mismatch_rejected(self, small_panel):
+        bad_taxonomy = random_taxonomy(5, seed=0)
+        with pytest.raises(DataError):
+            StockPanel(
+                open=small_panel.open,
+                high=small_panel.high,
+                low=small_panel.low,
+                close=small_panel.close,
+                volume=small_panel.volume,
+                tickers=small_panel.tickers,
+                dates=small_panel.dates,
+                taxonomy=bad_taxonomy,
+            )

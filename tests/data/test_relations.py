@@ -1,0 +1,118 @@
+"""Tests for the sector/industry taxonomy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import SectorTaxonomy, random_taxonomy
+from repro.errors import DataError
+
+
+def make_taxonomy():
+    return SectorTaxonomy(
+        sector_ids=np.array([0, 0, 1, 1, 2]),
+        industry_ids=np.array([0, 1, 2, 2, 3]),
+    )
+
+
+class TestSectorTaxonomy:
+    def test_basic_counts(self):
+        taxonomy = make_taxonomy()
+        assert taxonomy.num_stocks == 5
+        assert taxonomy.num_sectors == 3
+        assert taxonomy.num_industries == 4
+
+    def test_sector_and_industry_lookup(self):
+        taxonomy = make_taxonomy()
+        assert taxonomy.sector_of(2) == 1
+        assert taxonomy.industry_of(4) == 3
+
+    def test_stocks_in_sector(self):
+        taxonomy = make_taxonomy()
+        np.testing.assert_array_equal(taxonomy.stocks_in_sector(0), [0, 1])
+        np.testing.assert_array_equal(taxonomy.stocks_in_industry(2), [2, 3])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DataError):
+            SectorTaxonomy(sector_ids=np.array([0, 1]), industry_ids=np.array([0]))
+
+    def test_industry_spanning_sectors_rejected(self):
+        with pytest.raises(DataError):
+            SectorTaxonomy(
+                sector_ids=np.array([0, 1]), industry_ids=np.array([5, 5])
+            )
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(DataError):
+            SectorTaxonomy(sector_ids=np.array([-1, 0]), industry_ids=np.array([0, 1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            SectorTaxonomy(sector_ids=np.array([]), industry_ids=np.array([]))
+
+    def test_group_matrix_shape_and_membership(self):
+        taxonomy = make_taxonomy()
+        matrix = taxonomy.group_matrix("sector")
+        assert matrix.shape == (3, 5)
+        assert matrix.sum() == 5  # every stock in exactly one sector
+        assert matrix[0, 0] and matrix[0, 1]
+
+    def test_group_index_is_dense(self):
+        taxonomy = make_taxonomy()
+        index = taxonomy.group_index("industry")
+        assert index.min() == 0
+        assert index.max() == taxonomy.num_industries - 1
+
+    def test_group_index_unknown_level(self):
+        with pytest.raises(DataError):
+            make_taxonomy().group_index("country")
+
+    def test_adjacency_symmetric_with_unit_diagonal(self):
+        adjacency = make_taxonomy().adjacency("sector")
+        np.testing.assert_array_equal(adjacency, adjacency.T)
+        np.testing.assert_array_equal(np.diag(adjacency), np.ones(5))
+
+    def test_adjacency_industry_finer_than_sector(self):
+        taxonomy = make_taxonomy()
+        sector_adj = taxonomy.adjacency("sector")
+        industry_adj = taxonomy.adjacency("industry")
+        assert (industry_adj <= sector_adj).all()
+
+    def test_subset_preserves_relations(self):
+        taxonomy = make_taxonomy()
+        subset = taxonomy.subset(np.array([2, 3]))
+        assert subset.num_stocks == 2
+        assert subset.sector_of(0) == subset.sector_of(1)
+
+
+class TestRandomTaxonomy:
+    def test_shape_and_determinism(self):
+        a = random_taxonomy(50, num_sectors=5, industries_per_sector=2, seed=3)
+        b = random_taxonomy(50, num_sectors=5, industries_per_sector=2, seed=3)
+        assert a.num_stocks == 50
+        np.testing.assert_array_equal(a.sector_ids, b.sector_ids)
+        np.testing.assert_array_equal(a.industry_ids, b.industry_ids)
+
+    def test_all_sectors_present(self):
+        taxonomy = random_taxonomy(50, num_sectors=7, seed=0)
+        assert taxonomy.num_sectors == 7
+
+    def test_more_sectors_than_stocks_is_capped(self):
+        taxonomy = random_taxonomy(3, num_sectors=10, seed=0)
+        assert taxonomy.num_sectors <= 3
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DataError):
+            random_taxonomy(0)
+        with pytest.raises(DataError):
+            random_taxonomy(10, num_sectors=0)
+
+    @given(num_stocks=st.integers(2, 60), num_sectors=st.integers(1, 8),
+           industries=st.integers(1, 4), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_industries_nest_inside_sectors(self, num_stocks, num_sectors, industries, seed):
+        taxonomy = random_taxonomy(num_stocks, num_sectors, industries, seed=seed)
+        for industry in np.unique(taxonomy.industry_ids):
+            sectors = np.unique(taxonomy.sector_ids[taxonomy.industry_ids == industry])
+            assert sectors.size == 1

@@ -1,0 +1,56 @@
+"""Tests for the Section 5.1 universe-filtering rules."""
+
+import numpy as np
+import pytest
+
+from repro.data import MarketConfig, SyntheticMarket, UniverseFilter
+from repro.errors import UniverseError
+
+
+class TestUniverseFilter:
+    def test_defaults_keep_most_stocks(self, small_panel):
+        filtered, report = UniverseFilter().apply(small_panel)
+        assert report.total_stocks == small_panel.num_stocks
+        assert report.kept_stocks == filtered.num_stocks
+        assert report.kept_stocks >= small_panel.num_stocks * 0.7
+
+    def test_report_matches_apply(self, small_panel):
+        universe_filter = UniverseFilter(min_price=1.0, max_missing_fraction=0.1)
+        report = universe_filter.report(small_panel)
+        filtered, applied_report = universe_filter.apply(small_panel)
+        assert applied_report.kept_stocks == report.kept_stocks
+        np.testing.assert_array_equal(applied_report.kept_indices, report.kept_indices)
+
+    def test_low_price_stocks_removed(self, small_panel):
+        # Force one stock's prices below the threshold.
+        panel = small_panel.select_stocks(np.arange(small_panel.num_stocks))
+        panel.close[:, 0] = 0.5
+        report = UniverseFilter(min_price=1.0).report(panel)
+        assert 0 not in report.kept_indices
+
+    def test_illiquid_stocks_removed(self, small_panel):
+        panel = small_panel.select_stocks(np.arange(small_panel.num_stocks))
+        panel.volume[:, 1] = 0.0
+        report = UniverseFilter(max_missing_fraction=0.1).report(panel)
+        assert 1 not in report.kept_indices
+        assert report.removed_insufficient_samples >= 1
+
+    def test_removed_counts_sum(self, small_panel):
+        report = UniverseFilter().report(small_panel)
+        assert report.removed_stocks == report.total_stocks - report.kept_stocks
+
+    def test_too_aggressive_filter_raises(self, small_panel):
+        with pytest.raises(UniverseError):
+            UniverseFilter(min_price=1e9).apply(small_panel)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(UniverseError):
+            UniverseFilter(min_price=-1.0)
+        with pytest.raises(UniverseError):
+            UniverseFilter(max_missing_fraction=2.0)
+
+    def test_penny_generator_stocks_eventually_filtered(self):
+        config = MarketConfig(num_stocks=60, num_days=400, penny_stock_fraction=0.1)
+        panel = SyntheticMarket(config, seed=11).generate()
+        report = UniverseFilter(min_price=1.0).report(panel)
+        assert report.removed_stocks >= 1

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, resolve_config
+from repro.experiments import LAPTOP, SMOKE
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.scale == "laptop"
+        assert args.output is None
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--scale", "huge"])
+
+
+class TestResolveConfig:
+    def test_scale_selection(self):
+        args = build_parser().parse_args(["table1", "--scale", "smoke"])
+        assert resolve_config(args) == SMOKE
+
+    def test_no_overrides_returns_builtin(self):
+        args = build_parser().parse_args(["table1"])
+        assert resolve_config(args) == LAPTOP
+
+    def test_overrides_applied(self):
+        args = build_parser().parse_args(
+            ["table2", "--scale", "smoke", "--stocks", "44", "--candidates", "99",
+             "--rounds", "2", "--seed", "123"]
+        )
+        config = resolve_config(args)
+        assert config.num_stocks == 44
+        assert config.max_candidates == 99
+        assert config.num_rounds == 2
+        assert config.search_seed == 123
+
+
+class TestMain:
+    def test_table1_end_to_end(self, capsys, tmp_path):
+        exit_code = main([
+            "table1", "--scale", "smoke", "--stocks", "40", "--candidates", "60",
+            "--output", str(tmp_path), "--show-reference",
+        ])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "Table 1" in captured
+        assert "alpha_AE_D_0" in captured
+        assert "Paper reference" in captured
+        payload = json.loads((tmp_path / "table1.json").read_text())
+        assert payload["experiment"] == "table1"
+        assert len(payload["rows"]) == 3

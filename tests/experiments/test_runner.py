@@ -1,0 +1,126 @@
+"""Integration tests for the experiment runners (tiny budgets).
+
+These tests exercise the full table/figure pipelines end-to-end on a very
+small configuration; they check structure and internal consistency rather
+than the magnitude of the results (that is what ``benchmarks/`` and
+EXPERIMENTS.md are for).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    GeneticStudy,
+    MiningStudy,
+    SMOKE,
+    run_figure6,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table6,
+)
+from repro.experiments.runner import run_study
+
+TINY = SMOKE.scaled(
+    name="tiny",
+    num_stocks=40,
+    num_days=260,
+    population_size=8,
+    tournament_size=3,
+    max_candidates=60,
+    max_train_steps=20,
+    num_rounds=2,
+    gp_population_size=10,
+    gp_max_candidates=60,
+    round_time_budget_seconds=0.5,
+    pruning_time_budget_seconds=0.5,
+    nn_num_seeds=1,
+    nn_epochs=1,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_study():
+    return run_study(TINY, initializations=("D", "R"))
+
+
+class TestMiningStudy:
+    def test_rounds_and_accepted(self, tiny_study):
+        assert len(tiny_study.rounds) == TINY.num_rounds
+        assert len(tiny_study.session.accepted) == TINY.num_rounds
+        for record in tiny_study.rounds:
+            assert record.best_code in record.results
+
+    def test_last_round_uses_accepted_initializations(self, tiny_study):
+        last = tiny_study.rounds[-1]
+        assert all(code.startswith("B") for code in last.results)
+
+    def test_rows_structure(self, tiny_study):
+        rows = tiny_study.rows()
+        assert len(rows) >= TINY.num_rounds
+        for row in rows:
+            assert {"alpha", "sharpe", "ic", "correlation", "round"} <= set(row)
+
+    def test_correlation_reported_after_first_round(self, tiny_study):
+        later_rows = [row for row in tiny_study.rows() if row["round"] > 0]
+        assert all(np.isfinite(row["correlation"]) for row in later_rows)
+
+
+class TestGeneticStudy:
+    def test_rounds_structure(self):
+        study = GeneticStudy(TINY, use_time_budget=True)
+        rounds = study.run(2)
+        assert len(rounds) == 2
+        assert rounds[0].name == "alpha_G_0"
+        assert np.isfinite(rounds[0].sharpe)
+
+    def test_bad_rounds_lead_to_skip(self):
+        study = GeneticStudy(TINY, stop_after_bad_rounds=1, bad_sharpe_threshold=np.inf)
+        rounds = study.run(3)
+        # With an impossible threshold every round counts as bad, so the later
+        # rounds are skipped and reported as NA.
+        assert rounds[-1].skipped
+
+
+class TestTableRunners:
+    def test_table1_rows(self):
+        result = run_table1(TINY)
+        names = [row["alpha"] for row in result.rows]
+        assert names == ["alpha_D_0", "alpha_AE_D_0", "alpha_G_0"]
+        assert "Table 1" in result.rendered
+        assert np.isnan(result.rows[0]["correlation"])
+
+    def test_table2_interleaves_ae_and_gp(self):
+        result = run_table2(TINY.scaled(num_rounds=2))
+        names = [row["alpha"] for row in result.rows]
+        assert "alpha_AE_D_0" in names[0]
+        assert any(name.startswith("alpha_G_") for name in names)
+
+    def test_table3_uses_study(self, tiny_study):
+        result = run_table3(TINY, study=tiny_study)
+        assert len(result.rows) == len(tiny_study.rows())
+        assert result.metadata["best_per_round"]
+
+    def test_table4_pairs_ablation_rows(self, tiny_study):
+        result = run_table4(TINY, study=tiny_study)
+        names = [row["alpha"] for row in result.rows]
+        assert len(names) == 2 * TINY.num_rounds
+        assert names[1] == f"{names[0]}_P"
+
+    def test_table6_reports_searched_counts(self):
+        result = run_table6(TINY, initializations=("D",))
+        assert len(result.rows) == 2
+        with_pruning, without_pruning = result.rows
+        assert with_pruning["pruning"] and not without_pruning["pruning"]
+        assert with_pruning["searched"] > 0
+        assert without_pruning["alpha"].endswith("_N")
+        assert with_pruning["searched"] >= without_pruning["searched"]
+
+    def test_figure6_trajectories(self, tiny_study):
+        result = run_figure6(TINY, study=tiny_study)
+        assert set(result.metadata["series"]) == {
+            record.best.name for record in tiny_study.rounds
+        }
+        for row in result.rows:
+            assert row["at_100"] >= row["at_25"] - 1e-12

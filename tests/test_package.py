@@ -1,0 +1,42 @@
+"""Package-level smoke tests: imports, version, public API surface."""
+
+import repro
+
+
+class TestPackage:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_importable(self):
+        import repro.backtest
+        import repro.baselines
+        import repro.core
+        import repro.data
+        import repro.experiments
+
+        for module in (repro.backtest, repro.baselines, repro.core, repro.data,
+                       repro.experiments):
+            assert module.__doc__
+
+    def test_core_all_exports_exist(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_config_constants_match_paper(self):
+        from repro import config
+
+        assert config.NUM_FEATURES == 13
+        assert config.WINDOW == 13
+        assert config.POPULATION_SIZE == 100
+        assert config.TOURNAMENT_SIZE == 10
+        assert config.MUTATION_PROBABILITY == 0.9
+        assert config.CORRELATION_CUTOFF == 0.15
+        assert (config.MAX_SETUP_OPS, config.MAX_PREDICT_OPS, config.MAX_UPDATE_OPS) == (
+            21, 21, 45)
+        assert (config.NUM_SCALARS, config.NUM_VECTORS, config.NUM_MATRICES) == (10, 16, 4)
