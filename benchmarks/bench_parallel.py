@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Benchmark: parallel candidate-evaluation throughput.
+
+Evaluates one fixed list of candidate alphas (equal candidate budget) with
+an :class:`repro.parallel.pool.EvaluationPool` of 1, 2 and 4 workers and
+records candidates/second for each, next to a pure in-process serial
+baseline.  The run also verifies the subsystem's correctness contract: the
+pool's fitness reports must be **bitwise identical** to serial
+``AlphaEvaluator.evaluate`` results for every program.
+
+Results are written to ``BENCH_parallel.json`` at the repository root (and
+mirrored under ``benchmarks/results/``).  The achievable speedup is bounded
+by the machine — ``cpu_count`` is recorded in the payload so a 1-core CI
+container reporting ~1x is interpretable.
+
+Run with::
+
+    python benchmarks/bench_parallel.py [--programs N] [--workers 1 2 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np
+
+from repro.core import AlphaEvaluator, Dimensions, Mutator, get_initialization
+from repro.experiments.configs import SMOKE, make_taskset
+from repro.parallel import EvaluationPool
+
+#: Evaluator settings shared by the serial baseline and every pool, so all
+#: timings cover identical work and the parity check is meaningful.
+EVALUATOR_KWARGS = {"max_train_steps": SMOKE.max_train_steps, "evaluate_test": False}
+EVALUATOR_SEED = 0
+
+
+def build_programs(dims: Dimensions, count: int, seed: int = 11) -> list:
+    """A deterministic mixed bag of initialisation alphas and mutants."""
+    mutator = Mutator(dims, seed=seed)
+    bases = [get_initialization(code, dims, seed=seed) for code in ("D", "NN", "R")]
+    programs = []
+    while len(programs) < count:
+        program = bases[len(programs) % len(bases)]
+        for _ in range(len(programs) % 5):
+            program = mutator.mutate(program)
+        programs.append(program)
+    return programs
+
+
+def reports_identical(left, right) -> bool:
+    """Bitwise comparison of two fitness reports (NaN-aware)."""
+    same_ic = (left.ic_valid == right.ic_valid) or (
+        np.isnan(left.ic_valid) and np.isnan(right.ic_valid)
+    )
+    return (
+        left.fitness == right.fitness
+        and same_ic
+        and left.is_valid == right.is_valid
+        and left.reason == right.reason
+        and np.array_equal(left.daily_ic_valid, right.daily_ic_valid)
+    )
+
+
+def run_benchmark(num_programs: int = 48, worker_counts: tuple[int, ...] = (1, 2, 4)) -> dict:
+    """Time the fixed program list at every worker count; return the payload."""
+    taskset = make_taskset(SMOKE, use_cache=False)
+    dims = Dimensions(taskset.num_features, taskset.window)
+    programs = build_programs(dims, num_programs)
+
+    serial_evaluator = AlphaEvaluator(taskset, seed=EVALUATOR_SEED, **EVALUATOR_KWARGS)
+    start = time.perf_counter()
+    serial_reports = [serial_evaluator.evaluate(program).report for program in programs]
+    serial_seconds = time.perf_counter() - start
+
+    workers_payload: dict[str, dict] = {}
+    bitwise_identical = True
+    for num_workers in worker_counts:
+        with EvaluationPool(
+            taskset,
+            num_workers=num_workers,
+            evaluator_seed=EVALUATOR_SEED,
+            **EVALUATOR_KWARGS,
+        ) as pool:
+            # Prime the pool so worker start-up cost is not billed to the
+            # steady-state throughput measurement.
+            pool.evaluate(programs[:num_workers])
+            start = time.perf_counter()
+            reports = pool.evaluate(programs)
+            seconds = time.perf_counter() - start
+        bitwise_identical &= all(
+            reports_identical(got, want) for got, want in zip(reports, serial_reports)
+        )
+        workers_payload[str(num_workers)] = {
+            "seconds": round(seconds, 4),
+            "candidates_per_second": round(len(programs) / seconds, 3),
+        }
+        print(
+            f"workers={num_workers}: {seconds:.2f}s "
+            f"({len(programs) / seconds:.2f} candidates/s)"
+        )
+
+    first = str(worker_counts[0])
+    last = str(worker_counts[-1])
+    speedup = (
+        workers_payload[last]["candidates_per_second"]
+        / workers_payload[first]["candidates_per_second"]
+    )
+    return {
+        "benchmark": "parallel candidate-evaluation throughput",
+        "scale": SMOKE.name,
+        "num_programs": len(programs),
+        "equal_candidate_budget": True,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "serial_baseline": {
+            "seconds": round(serial_seconds, 4),
+            "candidates_per_second": round(len(programs) / serial_seconds, 3),
+        },
+        "workers": workers_payload,
+        f"speedup_{last}_vs_{first}_workers": round(speedup, 3),
+        "bitwise_identical_to_serial": bitwise_identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--programs", type=int, default=48,
+                        help="number of candidate alphas in the fixed budget")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="worker counts to benchmark")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(args.programs, tuple(args.workers))
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    output = ROOT / "BENCH_parallel.json"
+    output.write_text(text + "\n")
+    results_dir = Path(__file__).resolve().parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_parallel.json").write_text(text + "\n")
+    print(text)
+    print(f"\nsaved {output}")
+    if not payload["bitwise_identical_to_serial"]:
+        print("ERROR: pool reports differ from serial evaluation", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,13 @@ Public API highlights
 * :mod:`repro.data`       — synthetic NASDAQ-like market, features, task sets
 * :mod:`repro.core`       — the alpha language, evaluator, pruning and search
 * :mod:`repro.backtest`   — long-short portfolio backtesting and metrics
+* :mod:`repro.parallel`   — worker-pool evaluation, island evolution and
+  checkpoint/resume for the search
 * :mod:`repro.baselines`  — genetic-programming, Rank_LSTM and RSR baselines
 * :mod:`repro.experiments`— runners that regenerate every table and figure
 """
 
-from . import backtest, config, core, data, errors
+from . import backtest, config, core, data, errors, parallel
 from .backtest import BacktestEngine, BacktestResult, sharpe_ratio
 from .core import (
     AlphaEvaluator,
@@ -75,6 +77,7 @@ __all__ = [
     "data",
     "domain_expert_alpha",
     "errors",
+    "parallel",
     "get_initialization",
     "neural_network_alpha",
     "prune_program",

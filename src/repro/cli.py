@@ -80,6 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the search seed",
     )
     parser.add_argument(
+        "--workers", type=int, default=None,
+        help="evaluate candidates on this many worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--islands", type=int, default=None,
+        help="run each search as this many evolution islands with migration (default: 1)",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="checkpoint island searches into DIR and resume from existing checkpoints",
+    )
+    parser.add_argument(
         "--output", default=None,
         help="directory to write <experiment>.json result files into",
     )
@@ -102,6 +114,12 @@ def resolve_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["num_rounds"] = args.rounds
     if args.seed is not None:
         overrides["search_seed"] = args.seed
+    if args.workers is not None:
+        overrides["num_workers"] = args.workers
+    if args.islands is not None:
+        overrides["num_islands"] = args.islands
+    if args.checkpoint is not None:
+        overrides["checkpoint_dir"] = args.checkpoint
     if overrides:
         config = config.scaled(**overrides)
     return config

@@ -4,6 +4,7 @@ from .cache import CacheStats, FingerprintCache, fingerprint
 from .correlation import CorrelationFilter
 from .evolution import (
     Candidate,
+    CandidateScorer,
     EvolutionConfig,
     EvolutionController,
     EvolutionResult,
@@ -43,6 +44,7 @@ __all__ = [
     "CLIP_VALUE",
     "CacheStats",
     "Candidate",
+    "CandidateScorer",
     "ComponentLimits",
     "CorrelationFilter",
     "Dimensions",

@@ -9,6 +9,7 @@ the mined set ``A``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -86,3 +87,18 @@ class CorrelationFilter:
     def passes(self, portfolio_returns: np.ndarray) -> bool:
         """True when the candidate respects the cutoff against all references."""
         return self.max_correlation(portfolio_returns) <= self.cutoff
+
+    def fingerprint(self) -> str:
+        """A digest of the cutoff and every reference series.
+
+        Two filters with equal fingerprints reject exactly the same
+        candidates; search checkpoints record it so a resume under a changed
+        cutoff or accepted set fails loudly instead of reusing cached
+        cutoff decisions that no longer hold.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"{self.cutoff!r}|{self.use_absolute!r}".encode())
+        for name, series in self._references:
+            digest.update(name.encode())
+            digest.update(series.tobytes())
+        return digest.hexdigest()

@@ -17,13 +17,19 @@ supplied, through the 15 % correlation cutoff
 receives the invalid sentinel fitness and effectively drops out of
 tournament selection, exactly like the paper's "candidate alphas are
 eliminated if they are correlated with a given set of alphas".
+
+That prune → cache → evaluate → cutoff pipeline lives in
+:class:`CandidateScorer` so that the serial :class:`EvolutionController` and
+the island-model controller in :mod:`repro.parallel.islands` share one
+scoring path; the scorer optionally dispatches evaluations to a
+:class:`repro.parallel.pool.EvaluationPool` of worker processes.
 """
 
 from __future__ import annotations
 
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -38,7 +44,7 @@ from .mutation import Mutator
 from .program import AlphaProgram
 
 __all__ = ["EvolutionConfig", "Candidate", "TrajectoryPoint", "EvolutionResult",
-           "EvolutionController"]
+           "CandidateScorer", "EvolutionController"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +56,12 @@ class EvolutionConfig:
     the paper's "searched alphas") and/or a wall-clock limit in seconds
     (``max_seconds``, the paper uses 60 hours per round); the search stops at
     whichever limit is hit first.
+
+    ``num_workers`` and ``num_islands`` configure the parallel search
+    subsystem (:mod:`repro.parallel`): with either above one,
+    :meth:`repro.core.mining.MiningSession.search` runs the island-model
+    controller, fanning candidate evaluation out to ``num_workers``
+    processes.  Both default to one, which selects the serial controller.
     """
 
     population_size: int = POPULATION_SIZE
@@ -58,6 +70,8 @@ class EvolutionConfig:
     max_seconds: float | None = None
     use_pruning: bool = True
     log_every: int = 0
+    num_workers: int = 1
+    num_islands: int = 1
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -72,6 +86,10 @@ class EvolutionConfig:
             raise EvolutionError("max_candidates must be positive")
         if self.max_seconds is not None and self.max_seconds <= 0:
             raise EvolutionError("max_seconds must be positive")
+        if self.num_workers < 1:
+            raise EvolutionError("num_workers must be at least 1")
+        if self.num_islands < 1:
+            raise EvolutionError("num_islands must be at least 1")
 
 
 @dataclass
@@ -116,6 +134,178 @@ class EvolutionResult:
         return self.cache_stats.searched
 
 
+@dataclass
+class _PendingEvaluation:
+    """A cache miss awaiting evaluation, plus every batch slot it fills."""
+
+    key: str | None
+    program: AlphaProgram
+    slots: list[int]
+
+
+class CandidateScorer:
+    """The shared prune → cache → evaluate → cutoff scoring pipeline.
+
+    Both the serial :class:`EvolutionController` and the island-model
+    controller (:mod:`repro.parallel.islands`) funnel every candidate through
+    one scorer, so pruning, fingerprint caching, correlation cutoffs and the
+    searched-alpha accounting behave identically in both search modes.
+
+    Parameters
+    ----------
+    evaluator:
+        Evaluates cache misses when no ``pool`` is supplied.
+    correlation_filter / backtest_engine:
+        When a filter with references is present, a valid candidate whose
+        validation portfolio returns correlate above the cutoff with any
+        reference is invalidated.  The engine computes those returns in the
+        serial path; a pool must be constructed with
+        ``compute_valid_returns=True`` so its workers return them instead.
+    use_pruning:
+        Disables the prune-before-evaluate fingerprint cache (Table 6's
+        ``*_N`` ablation) when False.
+    pool:
+        Optional :class:`repro.parallel.pool.EvaluationPool`; cache misses in
+        a batch are then evaluated by worker processes instead of
+        ``evaluator``.
+    """
+
+    def __init__(
+        self,
+        evaluator: AlphaEvaluator,
+        correlation_filter: CorrelationFilter | None = None,
+        backtest_engine: BacktestEngine | None = None,
+        use_pruning: bool = True,
+        pool=None,
+    ) -> None:
+        if correlation_filter is not None and backtest_engine is None and pool is None:
+            raise EvolutionError(
+                "a backtest engine is required when a correlation filter is used"
+            )
+        if correlation_filter is not None and pool is not None \
+                and not pool.compute_valid_returns:
+            raise EvolutionError(
+                "the evaluation pool must be built with compute_valid_returns=True "
+                "when a correlation filter is used"
+            )
+        self.evaluator = evaluator
+        self.correlation_filter = correlation_filter
+        self.backtest_engine = backtest_engine
+        self.use_pruning = use_pruning
+        self.pool = pool
+        self.cache = FingerprintCache(enabled=use_pruning)
+        self.candidates_generated = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all cached fingerprints and restart the candidate counter.
+
+        Called at the start of every search run so that back-to-back runs do
+        not share stale fingerprints (cached reports embed correlation-cutoff
+        decisions that may no longer hold).
+        """
+        self.cache = FingerprintCache(enabled=self.use_pruning)
+        self.candidates_generated = 0
+
+    # ------------------------------------------------------------------
+    def score(self, program: AlphaProgram) -> FitnessReport:
+        """Score one candidate through pruning, cache, evaluation and cutoff."""
+        return self.score_batch([program])[0]
+
+    def score_batch(self, programs: list[AlphaProgram]) -> list[FitnessReport]:
+        """Score a batch of candidates, dispatching cache misses together.
+
+        Semantics match scoring the programs one by one with :meth:`score`:
+        a program whose pruned fingerprint already appeared earlier in the
+        batch reuses that evaluation (and counts as a fingerprint hit), so
+        serial and batched scoring produce identical reports and cache
+        statistics.
+        """
+        reports: list[FitnessReport | None] = [None] * len(programs)
+        pending: list[_PendingEvaluation] = []
+        pending_by_key: dict[str, int] = {}
+        for index, program in enumerate(programs):
+            self.candidates_generated += 1
+            prune_result, key, cached = self.cache.prepare(program)
+            if cached is not None:
+                reports[index] = cached
+                continue
+            if key is not None and key in pending_by_key:
+                # An identical pruned program is already queued in this batch;
+                # scored one-by-one the later copy would hit the cache.
+                self.cache.stats.fingerprint_hits += 1
+                pending[pending_by_key[key]].slots.append(index)
+                continue
+            # With pruning enabled the evaluator runs the pruned program,
+            # which is cheaper and numerically identical for the prediction;
+            # with the technique disabled (Table 6 ablation) the full program
+            # runs.
+            to_run = prune_result.program if prune_result is not None else program
+            if key is not None:
+                pending_by_key[key] = len(pending)
+            pending.append(_PendingEvaluation(key=key, program=to_run, slots=[index]))
+
+        for item, (report, valid_returns) in zip(pending, self._evaluate_pending(pending)):
+            report = self._apply_cutoff(report, valid_returns)
+            self.cache.record(item.key, report)
+            for slot in item.slots:
+                reports[slot] = report
+        return reports
+
+    # ------------------------------------------------------------------
+    def _evaluate_pending(
+        self, pending: list[_PendingEvaluation]
+    ) -> list[tuple[FitnessReport, np.ndarray | None]]:
+        """Evaluate cache misses, in the pool when available.
+
+        Returns ``(report, valid_returns)`` pairs where ``valid_returns`` is
+        the validation portfolio-return series needed by the correlation
+        cutoff (``None`` when no cutoff is active or the report is invalid).
+        """
+        if not pending:
+            return []
+        if self.pool is not None:
+            outcomes = self.pool.evaluate_detailed([item.program for item in pending])
+            return [(outcome.report, outcome.valid_returns) for outcome in outcomes]
+        cutoff_active = (
+            self.correlation_filter is not None
+            and self.correlation_filter.num_references > 0
+        )
+        results = []
+        for item in pending:
+            result = self.evaluator.evaluate(item.program)
+            valid_returns = None
+            if cutoff_active and result.is_valid:
+                valid_returns = self.backtest_engine.portfolio_returns(
+                    result.predictions["valid"], split="valid"
+                )
+            results.append((result.report, valid_returns))
+        return results
+
+    def _apply_cutoff(
+        self, report: FitnessReport, valid_returns: np.ndarray | None
+    ) -> FitnessReport:
+        """Invalidate a valid report that violates the correlation cutoff."""
+        if not report.is_valid or self.correlation_filter is None \
+                or not self.correlation_filter.num_references:
+            return report
+        if valid_returns is None:
+            return report
+        max_corr = self.correlation_filter.max_correlation(valid_returns)
+        if max_corr <= self.correlation_filter.cutoff:
+            return report
+        return FitnessReport(
+            fitness=INVALID_FITNESS,
+            ic_valid=report.ic_valid,
+            daily_ic_valid=report.daily_ic_valid,
+            is_valid=False,
+            reason=(
+                f"correlation {max_corr:.3f} with an accepted alpha exceeds "
+                f"the {self.correlation_filter.cutoff:.0%} cutoff"
+            ),
+        )
+
+
 class EvolutionController:
     """Runs regularised evolution for one alpha-mining round."""
 
@@ -132,60 +322,33 @@ class EvolutionController:
         self.mutator = mutator
         self.config = config or EvolutionConfig()
         self.correlation_filter = correlation_filter
-        if correlation_filter is not None and backtest_engine is None:
-            raise EvolutionError(
-                "a backtest engine is required when a correlation filter is used"
-            )
         self.backtest_engine = backtest_engine
         self.rng = make_rng(seed)
-        self.cache = FingerprintCache(enabled=self.config.use_pruning)
-        self._candidates_generated = 0
+        self.scorer = CandidateScorer(
+            evaluator,
+            correlation_filter=correlation_filter,
+            backtest_engine=backtest_engine,
+            use_pruning=self.config.use_pruning,
+        )
         self._start_time = 0.0
         self._best_ever: Candidate | None = None
         self._trajectory: list[TrajectoryPoint] = []
 
     # ------------------------------------------------------------------
-    # Candidate scoring
-    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> FingerprintCache:
+        """The scorer's fingerprint cache (reset at the start of each run)."""
+        return self.scorer.cache
+
     def score(self, program: AlphaProgram) -> FitnessReport:
         """Score one candidate through pruning, cache, evaluation and cutoff."""
-        self._candidates_generated += 1
-        prune_result, key, cached = self.cache.prepare(program)
-        if cached is not None:
-            return cached
-
-        # With pruning enabled the evaluator runs the pruned program, which
-        # is cheaper and numerically identical for the prediction; with the
-        # technique disabled (Table 6 ablation) the full program runs.
-        to_run = prune_result.program if prune_result is not None else program
-        result = self.evaluator.evaluate(to_run)
-        report = result.report
-
-        if report.is_valid and self.correlation_filter is not None \
-                and self.correlation_filter.num_references:
-            returns = self.backtest_engine.portfolio_returns(
-                result.predictions["valid"], split="valid"
-            )
-            max_corr = self.correlation_filter.max_correlation(returns)
-            if max_corr > self.correlation_filter.cutoff:
-                report = FitnessReport(
-                    fitness=INVALID_FITNESS,
-                    ic_valid=report.ic_valid,
-                    daily_ic_valid=report.daily_ic_valid,
-                    is_valid=False,
-                    reason=(
-                        f"correlation {max_corr:.3f} with an accepted alpha exceeds "
-                        f"the {self.correlation_filter.cutoff:.0%} cutoff"
-                    ),
-                )
-        self.cache.record(key, report)
-        return report
+        return self.scorer.score(program)
 
     # ------------------------------------------------------------------
     def _budget_exhausted(self) -> bool:
         config = self.config
         if config.max_candidates is not None and \
-                self._candidates_generated >= config.max_candidates:
+                self.scorer.candidates_generated >= config.max_candidates:
             return True
         if config.max_seconds is not None and \
                 time.perf_counter() - self._start_time >= config.max_seconds:
@@ -197,7 +360,7 @@ class EvolutionController:
             self._best_ever = candidate
         self._trajectory.append(
             TrajectoryPoint(
-                candidates=self._candidates_generated,
+                candidates=self.scorer.candidates_generated,
                 evaluations=self.cache.stats.evaluated,
                 best_fitness=self._best_ever.fitness,
                 elapsed_seconds=time.perf_counter() - self._start_time,
@@ -206,10 +369,16 @@ class EvolutionController:
 
     # ------------------------------------------------------------------
     def run(self, initial_program: AlphaProgram) -> EvolutionResult:
-        """Evolve ``initial_program`` until the budget is exhausted."""
+        """Evolve ``initial_program`` until the budget is exhausted.
+
+        ``run`` is reusable: every call starts from a fresh fingerprint cache
+        and candidate counter, so back-to-back runs never reuse stale cached
+        fitness reports (the mutator and tournament RNGs do advance across
+        calls, as independent restarts should).
+        """
         config = self.config
         self._start_time = time.perf_counter()
-        self._candidates_generated = 0
+        self.scorer.reset()
         self._best_ever = None
         self._trajectory = []
 
@@ -218,7 +387,7 @@ class EvolutionController:
         parent = Candidate(
             program=parent_program,
             report=self.score(parent_program),
-            born_at=self._candidates_generated,
+            born_at=self.scorer.candidates_generated,
         )
         population.append(parent)
         self._register(parent)
@@ -229,7 +398,7 @@ class EvolutionController:
             child = Candidate(
                 program=child_program,
                 report=self.score(child_program),
-                born_at=self._candidates_generated,
+                born_at=self.scorer.candidates_generated,
             )
             population.append(child)
             self._register(child)
@@ -247,7 +416,7 @@ class EvolutionController:
             child = Candidate(
                 program=child_program,
                 report=self.score(child_program),
-                born_at=self._candidates_generated,
+                born_at=self.scorer.candidates_generated,
             )
             population.append(child)
             population.popleft()
@@ -266,6 +435,6 @@ class EvolutionController:
             best_in_population=best_in_population,
             trajectory=self._trajectory,
             cache_stats=self.cache.stats,
-            candidates_generated=self._candidates_generated,
+            candidates_generated=self.scorer.candidates_generated,
             elapsed_seconds=time.perf_counter() - self._start_time,
         )

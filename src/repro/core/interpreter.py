@@ -113,6 +113,17 @@ class AlphaEvaluator:
         self._industry_index = taskset.taxonomy.group_index("industry")
 
     # ------------------------------------------------------------------
+    @property
+    def base_seed(self) -> int:
+        """The derived seed all evaluation RNGs start from.
+
+        Two evaluators with equal ``base_seed`` (and equal settings) produce
+        bitwise-identical results; search checkpoints record it to detect a
+        resume under a different evaluator.
+        """
+        return self._base_seed
+
+    # ------------------------------------------------------------------
     def _make_context(self) -> ExecutionContext:
         return ExecutionContext(
             num_tasks=self.taskset.num_tasks,

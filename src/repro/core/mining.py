@@ -15,7 +15,8 @@ cutoffs and reports the paper's metrics for the evolved alpha.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -76,12 +77,18 @@ class MiningSession:
         short_k: int = SHORT_POSITIONS,
         max_train_steps: int | None = None,
         seed: int | np.random.Generator | None = 0,
+        checkpoint_dir: str | None = None,
+        checkpoint_interval: int = 500,
     ) -> None:
         self.taskset = taskset
         self.evolution_config = evolution_config or EvolutionConfig()
         self.mutation_config = mutation_config or MutationConfig()
         self.correlation_cutoff = correlation_cutoff
         self.max_train_steps = max_train_steps
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_interval = checkpoint_interval
+        self.long_k = long_k
+        self.short_k = short_k
         self.rng = make_rng(seed)
         self.engine = BacktestEngine(taskset, long_k=long_k, short_k=short_k)
         self.dims = Dimensions(
@@ -166,43 +173,107 @@ class MiningSession:
         evolution_config / use_pruning:
             Optional overrides of the session-level configuration (used by
             the pruning ablation of Table 6).
+
+        With ``num_islands`` or ``num_workers`` above one in the effective
+        configuration — or a session ``checkpoint_dir``, which requires the
+        checkpointable controller — the search runs on the island-model
+        controller of :mod:`repro.parallel` (fanning evaluation out to a
+        worker pool when ``num_workers > 1``).  With a ``checkpoint_dir``
+        the search state is checkpointed to ``<dir>/<name>.ckpt`` and an
+        existing checkpoint of that name is resumed automatically.
         """
         config = evolution_config or self.evolution_config
         if use_pruning is not None:
-            config = EvolutionConfig(
-                population_size=config.population_size,
-                tournament_size=config.tournament_size,
-                max_candidates=config.max_candidates,
-                max_seconds=config.max_seconds,
-                use_pruning=use_pruning,
-                log_every=config.log_every,
-            )
+            config = replace(config, use_pruning=use_pruning)
+        evaluator_seed = int(self.rng.integers(0, 2**31 - 1))
         evaluator = AlphaEvaluator(
             self.taskset,
-            seed=int(self.rng.integers(0, 2**31 - 1)),
+            seed=evaluator_seed,
             max_train_steps=self.max_train_steps,
         )
-        mutator = Mutator(
-            self.dims,
-            config=self.mutation_config,
-            seed=int(self.rng.integers(0, 2**31 - 1)),
-        )
-        controller = EvolutionController(
-            evaluator=evaluator,
-            mutator=mutator,
-            config=config,
-            correlation_filter=self._correlation_filter(enforce_cutoff),
-            backtest_engine=self.engine,
-            seed=int(self.rng.integers(0, 2**31 - 1)),
-        )
-        evolution = controller.run(initial_program)
+        mutation_seed = int(self.rng.integers(0, 2**31 - 1))
+        controller_seed = int(self.rng.integers(0, 2**31 - 1))
+        correlation_filter = self._correlation_filter(enforce_cutoff)
+        # The serial controller cannot checkpoint; a configured checkpoint
+        # directory therefore also selects the island controller (with a
+        # single island it runs plain regularised evolution).
+        if config.num_islands > 1 or config.num_workers > 1 \
+                or self.checkpoint_dir is not None:
+            evolution = self._run_island_search(
+                initial_program, name, config, evaluator,
+                correlation_filter, evaluator_seed, mutation_seed, controller_seed,
+            )
+        else:
+            controller = EvolutionController(
+                evaluator=evaluator,
+                mutator=Mutator(self.dims, config=self.mutation_config, seed=mutation_seed),
+                config=config,
+                correlation_filter=correlation_filter,
+                backtest_engine=self.engine,
+                seed=controller_seed,
+            )
+            evolution = controller.run(initial_program)
         evolved = evolution.best_program.copy(name=name)
         mined = self._assess(name, evolved, evaluator, evolution=evolution)
         mined.extras["searched_alphas"] = float(evolution.searched_alphas)
         mined.extras["evaluated_alphas"] = float(evolution.cache_stats.evaluated)
         mined.extras["elapsed_seconds"] = float(evolution.elapsed_seconds)
         mined.extras["valid_ic"] = float(evolution.best_report.ic_valid)
+        mined.extras["num_islands"] = float(config.num_islands)
+        mined.extras["num_workers"] = float(config.num_workers)
         return mined
+
+    def _run_island_search(
+        self,
+        initial_program: AlphaProgram,
+        name: str,
+        config: EvolutionConfig,
+        evaluator: AlphaEvaluator,
+        correlation_filter: CorrelationFilter | None,
+        evaluator_seed: int,
+        mutation_seed: int,
+        controller_seed: int,
+    ) -> EvolutionResult:
+        """Run one search on the parallel island controller."""
+        # Imported lazily: repro.parallel depends on repro.core submodules.
+        from ..parallel.islands import IslandConfig, IslandEvolutionController
+        from ..parallel.pool import EvaluationPool
+
+        checkpoint_path = None
+        if self.checkpoint_dir is not None:
+            checkpoint_path = os.path.join(self.checkpoint_dir, f"{name}.ckpt")
+        pool = None
+        try:
+            if config.num_workers > 1:
+                pool = EvaluationPool(
+                    self.taskset,
+                    num_workers=config.num_workers,
+                    evaluator_seed=evaluator_seed,
+                    max_train_steps=self.max_train_steps,
+                    long_k=self.long_k,
+                    short_k=self.short_k,
+                    # The cutoff needs validation portfolio returns; without
+                    # references the workers skip that backtest entirely.
+                    compute_valid_returns=correlation_filter is not None,
+                )
+            controller = IslandEvolutionController(
+                evaluator=evaluator,
+                dims=self.dims,
+                config=config,
+                island_config=IslandConfig(num_islands=config.num_islands),
+                mutation_config=self.mutation_config,
+                correlation_filter=correlation_filter,
+                backtest_engine=self.engine,
+                seed=controller_seed,
+                mutation_seed=mutation_seed,
+                pool=pool,
+                checkpoint_path=checkpoint_path,
+                checkpoint_interval=self.checkpoint_interval,
+            )
+            return controller.run(initial_program)
+        finally:
+            if pool is not None:
+                pool.close()
 
     # ------------------------------------------------------------------
     def accept(self, alpha: MinedAlpha) -> None:

@@ -143,6 +143,12 @@ class OpSpec:
             )
         return sanitize(self.func(ctx, inputs, params))
 
+    def __reduce__(self):
+        # ``func`` is often a closure, which pickle cannot serialise; specs
+        # are registry singletons, so (de)serialise them by name instead.
+        # Search checkpoints and pool submissions rely on this.
+        return (get_op, (self.name,))
+
 
 OP_REGISTRY: dict[str, OpSpec] = {}
 

@@ -44,6 +44,14 @@ class EvolutionError(ReproError):
     """Raised for invalid evolutionary-search configurations or states."""
 
 
+class ParallelError(ReproError):
+    """Raised when the parallel evaluation subsystem is misused."""
+
+
+class CheckpointError(ReproError):
+    """Raised when a search checkpoint cannot be saved, loaded or resumed."""
+
+
 class BacktestError(ReproError):
     """Raised when a backtest cannot be carried out (e.g. empty universe)."""
 

@@ -61,6 +61,14 @@ class ExperimentConfig:
     max_train_steps: int | None = 60
     num_rounds: int = 5
     search_seed: int = 7
+    #: Parallel-search subsystem (:mod:`repro.parallel`): number of
+    #: evaluation worker processes and of evolution islands per search, and
+    #: an optional directory for search checkpoints (one file per search
+    #: name; an existing checkpoint is resumed automatically).  The defaults
+    #: select the serial controller, which every table was calibrated on.
+    num_workers: int = 1
+    num_islands: int = 1
+    checkpoint_dir: str | None = None
     #: Wall-clock budget per mining round used when AlphaEvolve and the GP
     #: baseline are compared under the same time budget (Tables 1 and 2); the
     #: paper uses 60 hours per round.
@@ -86,6 +94,10 @@ class ExperimentConfig:
             raise ConfigurationError("num_rounds must be at least 1")
         if self.num_stocks < 10:
             raise ConfigurationError("need at least 10 stocks for a long-short book")
+        if self.num_workers < 1:
+            raise ConfigurationError("num_workers must be at least 1")
+        if self.num_islands < 1:
+            raise ConfigurationError("num_islands must be at least 1")
 
     # ------------------------------------------------------------------
     def market_config(self) -> MarketConfig:
@@ -107,6 +119,8 @@ class ExperimentConfig:
             max_candidates=self.max_candidates if max_candidates is None else max_candidates,
             max_seconds=self.max_seconds if max_seconds is None else max_seconds,
             use_pruning=use_pruning,
+            num_workers=self.num_workers,
+            num_islands=self.num_islands,
         )
 
     def scaled(self, **overrides) -> "ExperimentConfig":

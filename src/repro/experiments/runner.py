@@ -115,6 +115,7 @@ class MiningStudy:
             short_k=config.short_positions,
             max_train_steps=config.max_train_steps,
             seed=config.search_seed,
+            checkpoint_dir=config.checkpoint_dir,
         )
         self.dims = Dimensions(self.taskset.num_features, self.taskset.window)
         self.rounds: list[RoundRecord] = []
@@ -327,6 +328,7 @@ def run_table1(config: ExperimentConfig = LAPTOP) -> ExperimentResult:
         short_k=config.short_positions,
         max_train_steps=config.max_train_steps,
         seed=config.search_seed,
+        checkpoint_dir=config.checkpoint_dir,
     )
     dims = Dimensions(taskset.num_features, taskset.window)
 
@@ -454,6 +456,7 @@ def run_table5(config: ExperimentConfig = LAPTOP) -> ExperimentResult:
         short_k=config.short_positions,
         max_train_steps=config.max_train_steps,
         seed=config.search_seed,
+        checkpoint_dir=config.checkpoint_dir,
     )
     dims = Dimensions(taskset.num_features, taskset.window)
     engine = session.engine
@@ -559,12 +562,15 @@ def run_table6(config: ExperimentConfig = LAPTOP,
                     max_candidates=None,
                     max_seconds=config.pruning_time_budget_seconds,
                     use_pruning=use_pruning,
+                    num_workers=config.num_workers,
+                    num_islands=config.num_islands,
                 ),
                 correlation_cutoff=config.correlation_cutoff,
                 long_k=config.long_positions,
                 short_k=config.short_positions,
                 max_train_steps=config.max_train_steps,
                 seed=config.search_seed + index,
+                checkpoint_dir=config.checkpoint_dir,
             )
             suffix = "" if use_pruning else "_N"
             name = f"alpha_AE_{code}_{index}{suffix}"

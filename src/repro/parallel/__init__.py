@@ -1,0 +1,46 @@
+"""Parallel alpha-search subsystem.
+
+The paper evaluates candidate alphas on a fleet of workers for 60-hour
+search rounds; this package reproduces that architecture on one machine:
+
+* :mod:`repro.parallel.pool`       — a process pool that evaluates candidate
+  batches concurrently, shipping the task-set arrays to workers once;
+* :mod:`repro.parallel.islands`    — an island-model controller running
+  several regularised-evolution populations with ring migration;
+* :mod:`repro.parallel.checkpoint` — atomic checkpoint/resume of the full
+  search state, so long runs survive restarts.
+
+The subsystem plugs into :class:`repro.core.mining.MiningSession` through
+``EvolutionConfig(num_workers=..., num_islands=...)`` and the CLI flags
+``--workers`` / ``--islands`` / ``--checkpoint``.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointManager,
+    SearchCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .islands import (
+    Island,
+    IslandConfig,
+    IslandEvolutionController,
+    IslandEvolutionResult,
+)
+from .pool import EvaluationPool, PoolEvaluation, PoolSpec
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointManager",
+    "EvaluationPool",
+    "Island",
+    "IslandConfig",
+    "IslandEvolutionController",
+    "IslandEvolutionResult",
+    "PoolEvaluation",
+    "PoolSpec",
+    "SearchCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+]

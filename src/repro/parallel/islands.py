@@ -1,0 +1,469 @@
+"""Island-model evolutionary search with periodic best-candidate migration.
+
+Instead of one aging population, the search runs ``M`` independent
+regularised-evolution populations ("islands"), each with its own tournament
+RNG and mutator stream.  Every main-loop step each island proposes one child
+(tournament → mutate), and the ``M`` proposals are scored as one batch
+through the shared :class:`~repro.core.evolution.CandidateScorer` — which is
+what lets a :class:`~repro.parallel.pool.EvaluationPool` evaluate them
+concurrently.  Every ``migration_interval`` steps the islands exchange their
+best candidates along a ring (island ``i`` receives from island ``i-1``),
+replacing their worst members, so good genetic material spreads without
+collapsing the scenario diversity that independent populations provide.
+
+The controller mirrors the paper's distributed search loop: a fleet of
+evaluation workers, several concurrent populations, and checkpoints so a
+60-hour round survives restarts (:mod:`repro.parallel.checkpoint`).  Budgets
+and results are expressed exactly as in the serial
+:class:`~repro.core.evolution.EvolutionController`, so the two controllers
+are drop-in interchangeable for :class:`~repro.core.mining.MiningSession`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..backtest.engine import BacktestEngine
+from ..config import AddressSpace, DEFAULT_ADDRESS_SPACE, make_rng
+from ..core.correlation import CorrelationFilter
+from ..core.evolution import (
+    Candidate,
+    CandidateScorer,
+    EvolutionConfig,
+    EvolutionResult,
+    TrajectoryPoint,
+)
+from ..core.fitness import INVALID_FITNESS
+from ..core.interpreter import AlphaEvaluator
+from ..core.mutation import MutationConfig, Mutator
+from ..core.ops import Dimensions
+from ..core.program import AlphaProgram, ComponentLimits
+from ..errors import CheckpointError, EvolutionError
+from .checkpoint import CHECKPOINT_VERSION, CheckpointManager, SearchCheckpoint
+from .pool import EvaluationPool
+
+__all__ = ["IslandConfig", "Island", "IslandEvolutionResult", "IslandEvolutionController"]
+
+
+@dataclass(frozen=True)
+class IslandConfig:
+    """Topology parameters of the island model.
+
+    ``migration_interval`` counts main-loop steps (one step = one child per
+    island); ``migration_size`` is how many of the donor island's best
+    candidates are offered to its ring neighbour at each migration.
+    """
+
+    num_islands: int = 4
+    migration_interval: int = 25
+    migration_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_islands < 1:
+            raise EvolutionError("num_islands must be at least 1")
+        if self.migration_interval < 1:
+            raise EvolutionError("migration_interval must be at least 1")
+        if self.migration_size < 1:
+            raise EvolutionError("migration_size must be at least 1")
+
+
+@dataclass
+class Island:
+    """One independent population with its own RNG and mutation stream."""
+
+    index: int
+    population: deque
+    rng: np.random.Generator
+    mutator: Mutator
+
+    @property
+    def best(self) -> Candidate:
+        """The fittest member of the population (first of equals)."""
+        return max(self.population, key=lambda candidate: candidate.fitness)
+
+
+@dataclass
+class IslandEvolutionResult(EvolutionResult):
+    """An :class:`EvolutionResult` plus island-level diagnostics."""
+
+    num_islands: int = 1
+    migrations: int = 0
+    island_best_fitness: list[float] = field(default_factory=list)
+
+
+class IslandEvolutionController:
+    """Runs ``M`` regularised-evolution islands over one shared scorer.
+
+    Parameters
+    ----------
+    evaluator:
+        Scores cache misses when no ``pool`` is given; its seed should match
+        the pool's ``evaluator_seed`` so serial and pooled runs agree.
+    dims:
+        Problem dimensions used to build the per-island mutators.
+    config:
+        The usual evolutionary hyper-parameters; ``population_size`` and the
+        tournament apply per island, the budget is global across islands.
+    island_config:
+        Topology; defaults to ``IslandConfig(num_islands=config.num_islands)``.
+    seed / mutation_seed:
+        ``seed`` drives the per-island tournament RNGs, ``mutation_seed``
+        (defaulting to the same stream) the per-island mutators.
+    pool:
+        Optional :class:`EvaluationPool`; per-step proposal batches are then
+        evaluated by worker processes.  Results are identical with or
+        without a pool (and for any worker count).
+    checkpoint_path / checkpoint_interval:
+        When a path is given, the full search state is checkpointed every
+        ``checkpoint_interval`` searched candidates and once more at the
+        end; :meth:`run` can resume from it.
+    """
+
+    def __init__(
+        self,
+        evaluator: AlphaEvaluator,
+        dims: Dimensions,
+        config: EvolutionConfig | None = None,
+        island_config: IslandConfig | None = None,
+        mutation_config: MutationConfig | None = None,
+        address_space: AddressSpace = DEFAULT_ADDRESS_SPACE,
+        limits: ComponentLimits | None = None,
+        correlation_filter: CorrelationFilter | None = None,
+        backtest_engine: BacktestEngine | None = None,
+        seed: int | np.random.Generator | None = None,
+        mutation_seed: int | np.random.Generator | None = None,
+        pool: EvaluationPool | None = None,
+        checkpoint_path: str | None = None,
+        checkpoint_interval: int = 500,
+    ) -> None:
+        self.evaluator = evaluator
+        self.dims = dims
+        self.config = config or EvolutionConfig()
+        self.island_config = island_config or IslandConfig(
+            num_islands=self.config.num_islands
+        )
+        self.mutation_config = mutation_config or MutationConfig()
+        self.address_space = address_space
+        self.limits = limits
+        self.rng = make_rng(seed)
+        self._mutation_rng = self.rng if mutation_seed is None else make_rng(mutation_seed)
+        # Integer seeds identify the search for the checkpoint configuration
+        # echo; generator/None seeds have no stable identity to compare.
+        self._seed_echo = int(seed) if isinstance(seed, (int, np.integer)) else "external"
+        self._mutation_seed_echo = (
+            int(mutation_seed)
+            if isinstance(mutation_seed, (int, np.integer))
+            else "external"
+        )
+        self.scorer = CandidateScorer(
+            evaluator,
+            correlation_filter=correlation_filter,
+            backtest_engine=backtest_engine,
+            use_pruning=self.config.use_pruning,
+            pool=pool,
+        )
+        self.checkpoint = (
+            CheckpointManager(checkpoint_path, interval=checkpoint_interval)
+            if checkpoint_path is not None
+            else None
+        )
+        self.islands: list[Island] = []
+        self._step = 0
+        self._migrations = 0
+        self._best_ever: Candidate | None = None
+        self._trajectory: list[TrajectoryPoint] = []
+        self._elapsed_offset = 0.0
+        self._start_time = 0.0
+        self._initial_program: AlphaProgram | None = None
+
+    # ------------------------------------------------------------------
+    # Run / resume entry point
+    # ------------------------------------------------------------------
+    def run(
+        self, initial_program: AlphaProgram, resume: bool | None = None
+    ) -> IslandEvolutionResult:
+        """Evolve ``initial_program`` on all islands until the budget runs out.
+
+        ``resume=None`` (the default) resumes automatically when a
+        checkpoint file exists at the configured path; ``resume=True``
+        requires one; ``resume=False`` always starts fresh.  A resumed run
+        continues bit-for-bit where the checkpointed one stopped, so a
+        killed search finishes with the same best program as an
+        uninterrupted run under the same seed and worker count.
+        """
+        if resume is None:
+            resume = self.checkpoint is not None and self.checkpoint.exists()
+        self._start_time = time.perf_counter()
+        self._initial_program = initial_program
+        if resume:
+            if self.checkpoint is None:
+                raise CheckpointError(
+                    "cannot resume: no checkpoint path was configured"
+                )
+            self._restore(self.checkpoint.load(), initial_program)
+        else:
+            self._fresh_start(initial_program)
+        self._seed_phase(initial_program)
+        self._main_phase()
+        if self.checkpoint is not None:
+            self._save_checkpoint()
+        return self._result()
+
+    # ------------------------------------------------------------------
+    # State initialisation and restoration
+    # ------------------------------------------------------------------
+    def _fresh_start(self, initial_program: AlphaProgram) -> None:
+        self.scorer.reset()
+        self._step = 0
+        self._migrations = 0
+        self._best_ever = None
+        self._trajectory = []
+        self._elapsed_offset = 0.0
+        num_islands = self.island_config.num_islands
+        mutator_seeds = self._mutation_rng.integers(0, 2**63 - 1, size=num_islands)
+        rng_seeds = self.rng.integers(0, 2**63 - 1, size=num_islands)
+        self.islands = [
+            Island(
+                index=index,
+                population=deque(),
+                rng=np.random.default_rng(int(rng_seeds[index])),
+                mutator=Mutator(
+                    self.dims,
+                    address_space=self.address_space,
+                    limits=self.limits,
+                    config=self.mutation_config,
+                    seed=int(mutator_seeds[index]),
+                ),
+            )
+            for index in range(num_islands)
+        ]
+        # The initial parent is scored once and shared by every island, just
+        # as the serial controller scores it once.
+        root = Candidate(
+            program=initial_program,
+            report=self.scorer.score(initial_program),
+            born_at=self.scorer.candidates_generated,
+        )
+        for island in self.islands:
+            island.population.append(root)
+        self._register(root)
+
+    def _config_echo(self) -> dict:
+        return {
+            "population_size": self.config.population_size,
+            "tournament_size": self.config.tournament_size,
+            "use_pruning": self.config.use_pruning,
+            "num_islands": self.island_config.num_islands,
+            "migration_interval": self.island_config.migration_interval,
+            "migration_size": self.island_config.migration_size,
+            "seed": self._seed_echo,
+            "mutation_seed": self._mutation_seed_echo,
+            "evaluator_base_seed": self.evaluator.base_seed,
+            "max_train_steps": self.evaluator.max_train_steps,
+            "use_update": self.evaluator.use_update,
+            # Cached reports embed cutoff decisions, so the cutoff and the
+            # accepted reference series are part of the search's identity.
+            "correlation": (
+                self.scorer.correlation_filter.fingerprint()
+                if self.scorer.correlation_filter is not None
+                else None
+            ),
+        }
+
+    def _restore(self, state: SearchCheckpoint, initial_program: AlphaProgram) -> None:
+        if state.initial_key != initial_program.structural_key():
+            raise CheckpointError(
+                "checkpoint was taken for a different initial program; "
+                "resume with the same initial alpha or start fresh"
+            )
+        echo = self._config_echo()
+        if state.config_echo != echo:
+            changed = sorted(
+                key for key in set(echo) | set(state.config_echo)
+                if echo.get(key) != state.config_echo.get(key)
+            )
+            raise CheckpointError(
+                f"checkpoint configuration differs from this controller's "
+                f"({', '.join(changed)}); resuming would silently diverge"
+            )
+        self.islands = state.islands
+        self.scorer.cache = state.cache
+        self.scorer.candidates_generated = state.candidates_generated
+        self._step = state.step
+        self._migrations = state.migrations
+        self._best_ever = state.best_ever
+        self._trajectory = list(state.trajectory)
+        self._elapsed_offset = state.elapsed_seconds
+
+    # ------------------------------------------------------------------
+    # Budget / bookkeeping helpers
+    # ------------------------------------------------------------------
+    def _elapsed(self) -> float:
+        return self._elapsed_offset + (time.perf_counter() - self._start_time)
+
+    def _budget_exhausted(self) -> bool:
+        config = self.config
+        if config.max_candidates is not None and \
+                self.scorer.candidates_generated >= config.max_candidates:
+            return True
+        if config.max_seconds is not None and self._elapsed() >= config.max_seconds:
+            return True
+        return False
+
+    def _remaining_candidates(self) -> int | None:
+        if self.config.max_candidates is None:
+            return None
+        return max(0, self.config.max_candidates - self.scorer.candidates_generated)
+
+    def _register(self, candidate: Candidate) -> None:
+        if self._best_ever is None or candidate.fitness > self._best_ever.fitness:
+            self._best_ever = candidate
+        self._trajectory.append(
+            TrajectoryPoint(
+                candidates=self.scorer.candidates_generated,
+                evaluations=self.scorer.cache.stats.evaluated,
+                best_fitness=self._best_ever.fitness,
+                elapsed_seconds=self._elapsed(),
+            )
+        )
+
+    def _maybe_checkpoint(self) -> None:
+        if self.checkpoint is not None and \
+                self.checkpoint.due(self.scorer.candidates_generated):
+            self._save_checkpoint()
+
+    def _save_checkpoint(self) -> None:
+        self.checkpoint.save(
+            SearchCheckpoint(
+                version=CHECKPOINT_VERSION,
+                candidates_generated=self.scorer.candidates_generated,
+                step=self._step,
+                migrations=self._migrations,
+                elapsed_seconds=self._elapsed(),
+                cache=self.scorer.cache,
+                islands=self.islands,
+                best_ever=self._best_ever,
+                trajectory=list(self._trajectory),
+                initial_key=self._initial_program.structural_key(),
+                config_echo=self._config_echo(),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Search phases
+    # ------------------------------------------------------------------
+    def _seed_phase(self, initial_program: AlphaProgram) -> None:
+        """Fill every island's population by mutating the initial parent."""
+        target = self.config.population_size
+        while not self._budget_exhausted():
+            needy = [isl for isl in self.islands if len(isl.population) < target]
+            if not needy:
+                break
+            remaining = self._remaining_candidates()
+            if remaining is not None:
+                needy = needy[:remaining]
+            programs = [island.mutator.mutate(initial_program) for island in needy]
+            reports = self.scorer.score_batch(programs)
+            for island, program, report in zip(needy, programs, reports):
+                child = Candidate(
+                    program=program,
+                    report=report,
+                    born_at=self.scorer.candidates_generated,
+                )
+                island.population.append(child)
+                self._register(child)
+            self._maybe_checkpoint()
+
+    def _main_phase(self) -> None:
+        """Tournament → mutate → batch-score → age, one child per island."""
+        config = self.config
+        while not self._budget_exhausted():
+            active = self.islands
+            remaining = self._remaining_candidates()
+            if remaining is not None:
+                active = active[:remaining]
+            proposals = []
+            for island in active:
+                population = island.population
+                indices = island.rng.choice(
+                    len(population),
+                    size=min(config.tournament_size, len(population)),
+                    replace=False,
+                )
+                parent = max(
+                    (population[int(i)] for i in indices),
+                    key=lambda candidate: candidate.fitness,
+                )
+                proposals.append(island.mutator.mutate(parent.program))
+            reports = self.scorer.score_batch(proposals)
+            for island, program, report in zip(active, proposals, reports):
+                child = Candidate(
+                    program=program,
+                    report=report,
+                    born_at=self.scorer.candidates_generated,
+                )
+                island.population.append(child)
+                island.population.popleft()
+                self._register(child)
+            self._step += 1
+            if len(self.islands) > 1 and \
+                    self._step % self.island_config.migration_interval == 0:
+                self._migrate()
+            self._maybe_checkpoint()
+
+    def _migrate(self) -> None:
+        """Ring migration: island ``i`` receives island ``i-1``'s best.
+
+        A migrant replaces the receiving island's worst member, and only if
+        it is fitter and not already present, so population sizes are
+        invariant and clones do not pile up.
+        """
+        size = self.island_config.migration_size
+        offers = []
+        for island in self.islands:
+            ranked = sorted(
+                island.population,
+                key=lambda candidate: candidate.fitness,
+                reverse=True,
+            )
+            offers.append(ranked[:size])
+        for index, island in enumerate(self.islands):
+            migrants = offers[(index - 1) % len(self.islands)]
+            members = list(island.population)
+            for migrant in migrants:
+                if any(member.program == migrant.program for member in members):
+                    continue
+                worst = min(
+                    range(len(members)), key=lambda j: members[j].fitness
+                )
+                if migrant.fitness <= members[worst].fitness:
+                    continue
+                members[worst] = migrant
+            island.population = deque(members)
+        self._migrations += 1
+
+    # ------------------------------------------------------------------
+    def _result(self) -> IslandEvolutionResult:
+        candidates = [
+            candidate for island in self.islands for candidate in island.population
+        ]
+        best_in_population = max(candidates, key=lambda candidate: candidate.fitness)
+        best = best_in_population
+        if best.fitness <= INVALID_FITNESS and self._best_ever is not None:
+            best = self._best_ever
+        return IslandEvolutionResult(
+            best_program=best.program,
+            best_report=best.report,
+            best_in_population=best_in_population,
+            trajectory=self._trajectory,
+            cache_stats=self.scorer.cache.stats,
+            candidates_generated=self.scorer.candidates_generated,
+            elapsed_seconds=self._elapsed(),
+            num_islands=len(self.islands),
+            migrations=self._migrations,
+            island_best_fitness=[island.best.fitness for island in self.islands],
+        )

@@ -1,0 +1,247 @@
+"""Worker-pool evaluation of candidate alphas.
+
+The paper's search is distributed: candidate alphas are scored on a fleet of
+evaluation workers for 60-hour rounds.  :class:`EvaluationPool` reproduces
+that shape on one machine with a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+The expensive state — the :class:`~repro.data.dataset.TaskSet` feature and
+label arrays — is shipped to each worker exactly **once**, at pool startup,
+through the executor's ``initializer``: the worker stores an
+:class:`~repro.core.interpreter.AlphaEvaluator` built from the
+:class:`PoolSpec` in a module global and reuses it for every batch.  On
+platforms with the ``fork`` start method (Linux) even that one-time transfer
+is free, because the spec is inherited through the forked address space
+instead of being pickled.  Per-candidate traffic is then just the (tiny)
+:class:`~repro.core.program.AlphaProgram` payload out and a
+:class:`PoolEvaluation` back.
+
+Determinism: every worker builds its evaluator from the same
+``evaluator_seed``, and :meth:`AlphaEvaluator.evaluate` derives its RNG from
+that seed per call, so a program's fitness report is bitwise identical no
+matter which worker evaluates it — and identical to a serial
+``AlphaEvaluator`` built from the same seed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..backtest.engine import BacktestEngine
+from ..config import LONG_POSITIONS, SHORT_POSITIONS
+from ..core.fitness import FitnessReport
+from ..core.interpreter import AlphaEvaluator
+from ..core.program import AlphaProgram
+from ..data.dataset import TaskSet
+from ..errors import ConfigurationError, ParallelError
+
+__all__ = ["PoolSpec", "PoolEvaluation", "EvaluationPool"]
+
+
+@dataclass(frozen=True)
+class PoolSpec:
+    """Everything a worker needs to rebuild the evaluation stack.
+
+    Shipped to each worker once at pool startup; see the module docstring.
+    """
+
+    taskset: TaskSet
+    evaluator_seed: int = 0
+    max_train_steps: int | None = None
+    use_update: bool = True
+    evaluate_test: bool = True
+    long_k: int = LONG_POSITIONS
+    short_k: int = SHORT_POSITIONS
+    compute_valid_returns: bool = False
+
+
+@dataclass
+class PoolEvaluation:
+    """One worker-evaluated candidate.
+
+    ``valid_returns`` carries the validation long-short portfolio-return
+    series when the pool was built with ``compute_valid_returns=True`` and
+    the report is valid; the parent process needs it to apply the
+    correlation cutoff without re-running the program.
+    """
+
+    report: FitnessReport
+    valid_returns: np.ndarray | None = None
+
+
+@dataclass
+class _WorkerState:
+    """Per-process evaluation stack, built once by the pool initializer."""
+
+    evaluator: AlphaEvaluator
+    engine: BacktestEngine | None
+
+    @classmethod
+    def from_spec(cls, spec: PoolSpec) -> "_WorkerState":
+        evaluator = AlphaEvaluator(
+            spec.taskset,
+            seed=spec.evaluator_seed,
+            max_train_steps=spec.max_train_steps,
+            use_update=spec.use_update,
+            evaluate_test=spec.evaluate_test,
+        )
+        engine = None
+        if spec.compute_valid_returns:
+            engine = BacktestEngine(spec.taskset, long_k=spec.long_k, short_k=spec.short_k)
+        return cls(evaluator=evaluator, engine=engine)
+
+
+_WORKER: _WorkerState | None = None
+
+
+def _init_worker(spec: PoolSpec) -> None:
+    """Executor initializer: build the per-process evaluation stack."""
+    global _WORKER
+    _WORKER = _WorkerState.from_spec(spec)
+
+
+def _evaluate_batch(programs: list[AlphaProgram]) -> list[PoolEvaluation]:
+    """Evaluate a batch of programs inside a worker process."""
+    state = _WORKER
+    if state is None:  # pragma: no cover - initializer always runs first
+        raise ParallelError("evaluation worker was not initialised")
+    evaluations: list[PoolEvaluation] = []
+    for program in programs:
+        result = state.evaluator.evaluate(program)
+        valid_returns = None
+        if state.engine is not None and result.is_valid:
+            valid_returns = state.engine.portfolio_returns(
+                result.predictions["valid"], split="valid"
+            )
+        evaluations.append(PoolEvaluation(report=result.report, valid_returns=valid_returns))
+    return evaluations
+
+
+def _pool_context(start_method: str | None) -> multiprocessing.context.BaseContext:
+    """Pick the multiprocessing context; prefer ``fork`` for zero-copy startup."""
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+class EvaluationPool:
+    """Fans candidate-alpha evaluation out to ``num_workers`` processes.
+
+    Parameters
+    ----------
+    taskset:
+        The task set candidates are evaluated on (shipped to workers once).
+    num_workers:
+        Number of worker processes; defaults to the machine's CPU count.
+    evaluator_seed / max_train_steps / use_update / evaluate_test:
+        Forwarded to each worker's :class:`AlphaEvaluator`; use the same
+        values as the serial evaluator to get bitwise-identical reports.
+    long_k / short_k / compute_valid_returns:
+        With ``compute_valid_returns=True`` workers also return the
+        validation long-short portfolio-return series of every valid
+        candidate (needed by the correlation cutoff).
+    batch_size:
+        Programs per worker task.  Batching amortises the per-task dispatch
+        overhead; results always come back in input order.
+    start_method:
+        Optional multiprocessing start method override (default: ``fork``
+        where available, the platform default elsewhere).
+
+    The pool is a context manager; :meth:`close` shuts the workers down.
+    """
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        num_workers: int | None = None,
+        *,
+        evaluator_seed: int = 0,
+        max_train_steps: int | None = None,
+        use_update: bool = True,
+        evaluate_test: bool = True,
+        long_k: int = LONG_POSITIONS,
+        short_k: int = SHORT_POSITIONS,
+        compute_valid_returns: bool = False,
+        batch_size: int = 8,
+        start_method: str | None = None,
+    ) -> None:
+        if num_workers is None:
+            num_workers = os.cpu_count() or 1
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be at least 1")
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be at least 1")
+        self.spec = PoolSpec(
+            taskset=taskset,
+            evaluator_seed=evaluator_seed,
+            max_train_steps=max_train_steps,
+            use_update=use_update,
+            evaluate_test=evaluate_test,
+            long_k=long_k,
+            short_k=short_k,
+            compute_valid_returns=compute_valid_returns,
+        )
+        self.num_workers = num_workers
+        self.batch_size = batch_size
+        self._executor = ProcessPoolExecutor(
+            max_workers=num_workers,
+            mp_context=_pool_context(start_method),
+            initializer=_init_worker,
+            initargs=(self.spec,),
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def compute_valid_returns(self) -> bool:
+        """Whether workers return validation portfolio-return series."""
+        return self.spec.compute_valid_returns
+
+    # ------------------------------------------------------------------
+    def evaluate_detailed(self, programs: list[AlphaProgram]) -> list[PoolEvaluation]:
+        """Evaluate ``programs`` across the workers, preserving input order."""
+        if self._closed:
+            raise ParallelError("the evaluation pool has been closed")
+        programs = list(programs)
+        if not programs:
+            return []
+        # Cap the chunk size so a small batch (e.g. one proposal per island
+        # from the island controller) still spreads across all workers;
+        # batch_size only bounds the per-task payload for large lists.
+        chunk_size = min(
+            self.batch_size,
+            max(1, (len(programs) + self.num_workers - 1) // self.num_workers),
+        )
+        chunks = [
+            programs[start:start + chunk_size]
+            for start in range(0, len(programs), chunk_size)
+        ]
+        futures = [self._executor.submit(_evaluate_batch, chunk) for chunk in chunks]
+        evaluations: list[PoolEvaluation] = []
+        for future in futures:
+            evaluations.extend(future.result())
+        return evaluations
+
+    def evaluate(self, programs: list[AlphaProgram]) -> list[FitnessReport]:
+        """Evaluate ``programs`` and return just their fitness reports."""
+        return [evaluation.report for evaluation in self.evaluate_detailed(programs)]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker processes (idempotent)."""
+        if not self._closed:
+            self._executor.shutdown(wait=True)
+            self._closed = True
+
+    def __enter__(self) -> "EvaluationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

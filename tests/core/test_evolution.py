@@ -6,11 +6,13 @@ import pytest
 from repro.backtest import BacktestEngine
 from repro.core import (
     AlphaEvaluator,
+    CandidateScorer,
     CorrelationFilter,
     EvolutionConfig,
     EvolutionController,
     Mutator,
     domain_expert_alpha,
+    get_initialization,
 )
 from repro.core.fitness import INVALID_FITNESS
 from repro.errors import EvolutionError
@@ -48,6 +50,12 @@ class TestEvolutionConfig:
     def test_budget_required(self):
         with pytest.raises(EvolutionError):
             EvolutionConfig(max_candidates=None, max_seconds=None)
+
+    def test_invalid_parallel_settings(self):
+        with pytest.raises(EvolutionError):
+            EvolutionConfig(num_workers=0)
+        with pytest.raises(EvolutionError):
+            EvolutionConfig(num_islands=0)
 
     def test_negative_budgets_rejected(self):
         with pytest.raises(EvolutionError):
@@ -135,3 +143,49 @@ class TestEvolutionController:
         result_b = b.run(domain_expert_alpha(dims))
         assert result_a.best_program == result_b.best_program
         assert result_a.best_report.fitness == pytest.approx(result_b.best_report.fitness)
+
+    def test_run_is_reusable_with_fresh_cache(self, small_taskset, dims):
+        controller = make_controller(small_taskset, dims, max_candidates=40)
+        first = controller.run(domain_expert_alpha(dims))
+        second = controller.run(domain_expert_alpha(dims))
+        # Each run starts from a fresh fingerprint cache and counter, so the
+        # per-run statistics do not accumulate across calls.
+        assert first.candidates_generated == second.candidates_generated == 40
+        assert first.cache_stats.searched == 40
+        assert second.cache_stats.searched == 40
+        assert len(controller.cache) <= second.cache_stats.evaluated
+
+
+class TestCandidateScorer:
+    def test_score_batch_matches_sequential_scoring(self, small_taskset, dims):
+        mutator = Mutator(dims, seed=4)
+        programs = [get_initialization(code, dims, seed=2) for code in ("D", "NOOP", "R")]
+        for _ in range(4):
+            programs.append(mutator.mutate(programs[-1]))
+        programs += programs[:2]  # duplicates exercise the cache paths
+
+        sequential = CandidateScorer(AlphaEvaluator(small_taskset, seed=0, max_train_steps=20))
+        expected = [sequential.score(program) for program in programs]
+        batched = CandidateScorer(AlphaEvaluator(small_taskset, seed=0, max_train_steps=20))
+        got = batched.score_batch(programs)
+
+        for left, right in zip(got, expected):
+            assert left.fitness == right.fitness
+            assert left.is_valid == right.is_valid
+            assert np.array_equal(left.daily_ic_valid, right.daily_ic_valid)
+        assert batched.cache.stats.as_dict() == sequential.cache.stats.as_dict()
+        assert batched.candidates_generated == sequential.candidates_generated
+
+    def test_reset_clears_cache_and_counter(self, small_taskset, dims):
+        scorer = CandidateScorer(AlphaEvaluator(small_taskset, seed=0, max_train_steps=20))
+        scorer.score(domain_expert_alpha(dims))
+        assert scorer.candidates_generated == 1
+        scorer.reset()
+        assert scorer.candidates_generated == 0
+        assert len(scorer.cache) == 0
+        assert scorer.cache.stats.searched == 0
+
+    def test_requires_engine_with_filter(self, small_taskset):
+        evaluator = AlphaEvaluator(small_taskset, seed=0, max_train_steps=20)
+        with pytest.raises(EvolutionError):
+            CandidateScorer(evaluator, correlation_filter=CorrelationFilter())

@@ -87,3 +87,61 @@ class TestSearch:
         mined = session.search(domain_expert_alpha(dims), name="alpha_AE_D_0_N",
                                enforce_cutoff=False, use_pruning=False)
         assert mined.extras["evaluated_alphas"] == mined.extras["searched_alphas"]
+
+    def test_use_pruning_override_keeps_other_config_fields(self, small_taskset, dims):
+        """The override rebuild must not drop fields (e.g. num_islands)."""
+        session = MiningSession(
+            small_taskset,
+            evolution_config=EvolutionConfig(population_size=8, tournament_size=3,
+                                             max_candidates=40, num_islands=2),
+            long_k=5,
+            short_k=5,
+            max_train_steps=20,
+            seed=11,
+        )
+        mined = session.search(domain_expert_alpha(dims), name="alpha_AE_D_0_N",
+                               enforce_cutoff=False, use_pruning=False)
+        # Were num_islands dropped by the rebuild, the serial controller
+        # would run and report num_islands == 1.
+        assert mined.extras["num_islands"] == 2
+        assert mined.extras["searched_alphas"] == 40
+        assert mined.extras["evaluated_alphas"] == mined.extras["searched_alphas"]
+
+    def test_checkpoint_dir_alone_enables_checkpointing(self, small_taskset, dims,
+                                                        tmp_path):
+        """--checkpoint without --islands/--workers must not be ignored."""
+        import os
+
+        session = MiningSession(
+            small_taskset,
+            evolution_config=EvolutionConfig(population_size=8, tournament_size=3,
+                                             max_candidates=40),
+            long_k=5,
+            short_k=5,
+            max_train_steps=20,
+            seed=11,
+            checkpoint_dir=str(tmp_path),
+        )
+        mined = session.search(domain_expert_alpha(dims), name="alpha_AE_D_0",
+                               enforce_cutoff=False)
+        assert os.path.exists(tmp_path / "alpha_AE_D_0.ckpt")
+        assert mined.extras["searched_alphas"] == 40
+
+    def test_island_search_through_session(self, small_taskset, dims):
+        session = MiningSession(
+            small_taskset,
+            evolution_config=EvolutionConfig(population_size=8, tournament_size=3,
+                                             max_candidates=40, num_islands=3),
+            long_k=5,
+            short_k=5,
+            max_train_steps=20,
+            seed=11,
+        )
+        first = session.search(domain_expert_alpha(dims), name="alpha_AE_D_0",
+                               enforce_cutoff=False)
+        session.accept(first)
+        # The island controller must honour the accepted-set cutoff too.
+        second = session.search(domain_expert_alpha(dims), name="alpha_AE_D_1",
+                                enforce_cutoff=True)
+        assert first.extras["num_islands"] == 3
+        assert not np.isnan(second.correlation_with_accepted)

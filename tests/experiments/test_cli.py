@@ -44,6 +44,25 @@ class TestResolveConfig:
         assert config.num_rounds == 2
         assert config.search_seed == 123
 
+    def test_parallel_overrides_applied(self, tmp_path):
+        args = build_parser().parse_args(
+            ["table1", "--scale", "smoke", "--workers", "2", "--islands", "4",
+             "--checkpoint", str(tmp_path)]
+        )
+        config = resolve_config(args)
+        assert config.num_workers == 2
+        assert config.num_islands == 4
+        assert config.checkpoint_dir == str(tmp_path)
+        evolution = config.evolution_config()
+        assert evolution.num_workers == 2
+        assert evolution.num_islands == 4
+
+    def test_parallel_defaults_are_serial(self):
+        config = resolve_config(build_parser().parse_args(["table1"]))
+        assert config.num_workers == 1
+        assert config.num_islands == 1
+        assert config.checkpoint_dir is None
+
 
 class TestMain:
     def test_table1_end_to_end(self, capsys, tmp_path):
