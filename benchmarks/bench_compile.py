@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Benchmark: compiled-tape execution vs the reference interpreter.
+
+Evaluates one fixed, deterministic list of candidate alphas twice — once on
+``AlphaEvaluator(compiled=False)`` (the per-day, per-operation interpreter
+loop) and once on ``AlphaEvaluator(compiled=True)`` (the
+:mod:`repro.compile` pipeline: flat tape, pre-resolved dispatch, static
+hoisting and fused batched inference) — and records:
+
+* full-evaluation throughput (train + inference) for both paths;
+* **inference-stage** throughput for both paths, measured as the difference
+  between a run producing the valid+test splits and a run producing none
+  (training always executes), which is the stage the fused batch targets;
+* a hard **parity check**: every prediction array must be bit-for-bit
+  identical between the two paths (the whole design contract).
+
+Results are written to ``BENCH_compile.json`` at the repository root (and
+mirrored under ``benchmarks/results/``).  ``cpu_count`` is recorded so
+single-core CI numbers are interpretable; the compiled speedup is
+single-process by nature and does not depend on core count.
+
+Run with::
+
+    python benchmarks/bench_compile.py [--programs N] [--repeats R] [--smoke]
+
+``--smoke`` shrinks the program list and skips nothing else — CI uses it as
+a fast compile-parity gate (non-zero exit on any parity violation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np
+
+from repro.compile import compile_program
+from repro.core import AlphaEvaluator, Dimensions, Mutator, get_initialization
+from repro.experiments.configs import SMOKE, make_taskset
+
+#: Shared evaluator settings so both paths time identical work.
+EVALUATOR_KWARGS = {"max_train_steps": SMOKE.max_train_steps}
+EVALUATOR_SEED = 0
+SPLITS = ("valid", "test")
+
+
+def build_programs(dims: Dimensions, count: int, seed: int = 11) -> list:
+    """A deterministic mixed bag of initialisation alphas and mutants."""
+    mutator = Mutator(dims, seed=seed)
+    bases = [get_initialization(code, dims, seed=seed) for code in ("D", "NN", "R")]
+    programs = []
+    while len(programs) < count:
+        program = bases[len(programs) % len(bases)]
+        for _ in range(len(programs) % 5):
+            program = mutator.mutate(program)
+        programs.append(program)
+    return programs
+
+
+def reports_identical(left, right) -> bool:
+    """Bitwise comparison of two fitness reports (NaN-aware)."""
+    same_ic = (left.ic_valid == right.ic_valid) or (
+        np.isnan(left.ic_valid) and np.isnan(right.ic_valid)
+    )
+    return (
+        left.fitness == right.fitness
+        and same_ic
+        and left.is_valid == right.is_valid
+        and left.reason == right.reason
+        and np.array_equal(left.daily_ic_valid, right.daily_ic_valid)
+    )
+
+
+def time_runs(evaluator, programs, splits, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock for running every program."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for program in programs:
+            evaluator.run(program, splits=splits)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(num_programs: int = 32, repeats: int = 3) -> dict:
+    taskset = make_taskset(SMOKE, use_cache=False)
+    dims = Dimensions(taskset.num_features, taskset.window)
+    programs = build_programs(dims, num_programs)
+    fused_eligible = sum(
+        1 for program in programs if compile_program(program).fused_inference
+    )
+
+    interpreter = AlphaEvaluator(
+        taskset, seed=EVALUATOR_SEED, compiled=False, **EVALUATOR_KWARGS
+    )
+    compiled = AlphaEvaluator(
+        taskset, seed=EVALUATOR_SEED, compiled=True, **EVALUATOR_KWARGS
+    )
+
+    # ----- parity: the hard contract --------------------------------------
+    parity = True
+    for program in programs:
+        left = interpreter.run(program, splits=SPLITS)
+        right = compiled.run(program, splits=SPLITS)
+        for split in SPLITS:
+            parity &= left[split].tobytes() == right[split].tobytes()
+        parity &= reports_identical(
+            interpreter.evaluate(program).report, compiled.evaluate(program).report
+        )
+
+    # ----- timing ----------------------------------------------------------
+    interp_full = time_runs(interpreter, programs, SPLITS, repeats)
+    compiled_full = time_runs(compiled, programs, SPLITS, repeats)
+    # Training always runs; a no-split run isolates the inference stage.
+    interp_train = time_runs(interpreter, programs, (), repeats)
+    compiled_train = time_runs(compiled, programs, (), repeats)
+    interp_inference = max(interp_full - interp_train, 1e-9)
+    compiled_inference = max(compiled_full - compiled_train, 1e-9)
+
+    def throughput(seconds: float) -> float:
+        return round(len(programs) / seconds, 3)
+
+    payload = {
+        "benchmark": "compiled-tape execution vs interpreter",
+        "scale": SMOKE.name,
+        "num_programs": len(programs),
+        "fused_eligible_programs": fused_eligible,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "interpreter": {
+            "full_seconds": round(interp_full, 4),
+            "full_candidates_per_second": throughput(interp_full),
+            "inference_seconds": round(interp_inference, 4),
+            "inference_candidates_per_second": throughput(interp_inference),
+        },
+        "compiled": {
+            "full_seconds": round(compiled_full, 4),
+            "full_candidates_per_second": throughput(compiled_full),
+            "inference_seconds": round(compiled_inference, 4),
+            "inference_candidates_per_second": throughput(compiled_inference),
+        },
+        "full_speedup": round(interp_full / compiled_full, 3),
+        "inference_speedup": round(interp_inference / compiled_inference, 3),
+        "bitwise_identical_to_interpreter": parity,
+    }
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--programs", type=int, default=32,
+                        help="number of candidate alphas in the fixed budget")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions (best is reported)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small program list; used as the CI parity gate")
+    args = parser.parse_args(argv)
+
+    num_programs = 8 if args.smoke else args.programs
+    repeats = 1 if args.smoke else args.repeats
+    payload = run_benchmark(num_programs, repeats)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+
+    if not args.smoke:
+        output = ROOT / "BENCH_compile.json"
+        output.write_text(text + "\n")
+        results_dir = Path(__file__).resolve().parent / "results"
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / "BENCH_compile.json").write_text(text + "\n")
+        print(f"\nsaved {output}")
+
+    if not payload["bitwise_identical_to_interpreter"]:
+        print("ERROR: compiled execution differs from the interpreter",
+              file=sys.stderr)
+        return 1
+    if args.smoke:
+        print("\ncompile-parity smoke check passed "
+              f"({payload['num_programs']} programs, "
+              f"{payload['fused_eligible_programs']} fused-eligible)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ Public API highlights
 ---------------------
 * :mod:`repro.data`       — synthetic NASDAQ-like market, features, task sets
 * :mod:`repro.core`       — the alpha language, evaluator, pruning and search
+* :mod:`repro.compile`    — SSA IR, optimiser passes and the fused executor
 * :mod:`repro.backtest`   — long-short portfolio backtesting and metrics
 * :mod:`repro.parallel`   — worker-pool evaluation, island evolution and
   checkpoint/resume for the search
@@ -18,7 +19,7 @@ Public API highlights
 * :mod:`repro.experiments`— runners that regenerate every table and figure
 """
 
-from . import backtest, config, core, data, errors, parallel
+from . import backtest, compile, config, core, data, errors, parallel
 from .backtest import BacktestEngine, BacktestResult, sharpe_ratio
 from .core import (
     AlphaEvaluator,
@@ -72,6 +73,7 @@ __all__ = [
     "__version__",
     "backtest",
     "build_taskset",
+    "compile",
     "config",
     "core",
     "data",

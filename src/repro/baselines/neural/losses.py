@@ -12,7 +12,6 @@ search of Section 5.2.
 
 from __future__ import annotations
 
-import numpy as np
 
 from ...errors import BaselineError
 from .autograd import Tensor, as_tensor

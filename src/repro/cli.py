@@ -5,17 +5,24 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli table1                 # regenerate Table 1 (laptop scale)
     python -m repro.cli table3 --scale smoke   # quick pass of Table 3
     python -m repro.cli all --output results/  # everything, saved as JSON
+    python -m repro.cli inspect alpha.json     # show pruned/compiled forms
 
-Each command prints the regenerated table (in the paper's layout) and, when
-``--output`` is given, stores the structured rows as JSON through
+Each experiment command prints the regenerated table (in the paper's layout)
+and, when ``--output`` is given, stores the structured rows as JSON through
 :mod:`repro.experiments.recorder` so they can be inspected or re-rendered
 later without re-running the search.
+
+``inspect`` takes a program serialised with
+:meth:`repro.core.AlphaProgram.to_json` and renders it next to its pruned
+form, its compiled/canonical IR and the per-pass optimiser statistics
+(:mod:`repro.compile`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from .experiments import (
     ExperimentConfig,
@@ -51,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the AlphaEvolve paper's tables and figure.",
+        epilog="Additional subcommand: 'repro inspect <program.json>' renders "
+               "a saved alpha next to its pruned and compiled forms with "
+               "per-pass optimiser statistics.",
     )
     parser.add_argument(
         "experiment",
@@ -92,6 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint island searches into DIR and resume from existing checkpoints",
     )
     parser.add_argument(
+        "--no-compile", action="store_true",
+        help="execute candidates on the reference interpreter instead of the "
+             "compiled tape (results are bitwise identical either way)",
+    )
+    parser.add_argument(
         "--output", default=None,
         help="directory to write <experiment>.json result files into",
     )
@@ -120,9 +135,40 @@ def resolve_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["num_islands"] = args.islands
     if args.checkpoint is not None:
         overrides["checkpoint_dir"] = args.checkpoint
+    if args.no_compile:
+        overrides["use_compile"] = False
     if overrides:
         config = config.scaled(**overrides)
     return config
+
+
+def build_inspect_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``inspect`` subcommand (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro inspect",
+        description="Render an alpha program alongside its pruned and "
+                    "compiled forms with per-pass optimiser statistics.",
+    )
+    parser.add_argument(
+        "program",
+        help="path to a program JSON file (AlphaProgram.to_json output)",
+    )
+    return parser
+
+
+def run_inspect(argv: list[str]) -> int:
+    """Entry point of ``repro inspect <program.json>``."""
+    from .compile import describe_compilation
+    from .core import AlphaProgram
+
+    args = build_inspect_parser().parse_args(argv)
+    path = Path(args.program)
+    if not path.exists():
+        print(f"error: no such program file: {path}", file=sys.stderr)
+        return 2
+    program = AlphaProgram.from_json(path.read_text())
+    print(describe_compilation(program))
+    return 0
 
 
 def _emit(result, args: argparse.Namespace) -> None:
@@ -139,6 +185,10 @@ def _emit(result, args: argparse.Namespace) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "inspect":
+        return run_inspect(argv[1:])
     args = build_parser().parse_args(argv)
     config = resolve_config(args)
     if args.experiment == "all":

@@ -1,0 +1,149 @@
+"""The alpha compilation pipeline: lower → optimise → (bind and) execute.
+
+Two pipelines share the IR and the passes:
+
+* **execution** (:func:`compile_program`) — lower, exact-match CSE, dead-code
+  elimination.  Operand order is never touched, so every value the tape
+  computes is the result of a computation the interpreter would have
+  performed literally, which is what makes the compiled executor
+  (:class:`~repro.compile.executor.CompiledAlpha`) bitwise identical.
+* **fingerprinting** (:func:`canonical_ir` / :func:`canonical_key`) — lower,
+  constant folding, commutative canonicalisation, canonical CSE, dead-code
+  elimination, then render.  The rendering names values by position instead
+  of by operand address, so programs that differ only in operand order of
+  commutative operations, in duplicated subexpressions, in folded constants
+  or in intermediate register naming all share one key — strictly more
+  collisions (never fewer) than the historical render-based fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.memory import LABEL
+from ..core.program import AlphaProgram
+from ..core.pruning import prune_program
+from .ir import IRProgram, lower_program
+from .passes import (
+    DataflowInfo,
+    PassStats,
+    canonicalize_commutative,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "compile_program",
+    "canonical_ir",
+    "canonical_key",
+    "describe_compilation",
+]
+
+
+@dataclass
+class CompiledProgram:
+    """An optimised, shape-independent compilation artefact."""
+
+    program: AlphaProgram
+    ir: IRProgram
+    pass_stats: list[PassStats] = field(default_factory=list)
+    dataflow: DataflowInfo | None = None
+    #: Whether the inference stage may run as one batched tape pass: true
+    #: when ``Predict()`` neither reads the label nor reads an operand it
+    #: also writes, i.e. the trained memory is static across inference days.
+    fused_inference: bool = False
+
+    @property
+    def num_instructions(self) -> int:
+        """Instructions surviving optimisation."""
+        return self.ir.num_instructions
+
+
+def _fused_eligible(ir: IRProgram, dataflow: DataflowInfo) -> bool:
+    predict = ir.components["predict"]
+    live_in = dataflow.live_in["predict"]
+    if LABEL in live_in:
+        return False
+    return not (live_in & set(predict.exports))
+
+
+def compile_program(program: AlphaProgram) -> CompiledProgram:
+    """Compile ``program`` through the execution pipeline."""
+    ir = lower_program(program)
+    stats: list[PassStats] = []
+    ir, cse_stats = eliminate_common_subexpressions(ir)
+    stats.append(cse_stats)
+    ir, dse_stats, dataflow = eliminate_dead_code(ir)
+    stats.append(dse_stats)
+    return CompiledProgram(
+        program=program,
+        ir=ir,
+        pass_stats=stats,
+        dataflow=dataflow,
+        fused_inference=_fused_eligible(ir, dataflow),
+    )
+
+
+def canonical_ir(program: AlphaProgram) -> tuple[IRProgram, list[PassStats]]:
+    """Compile ``program`` through the fingerprint (canonicalisation) pipeline."""
+    ir = lower_program(program)
+    stats: list[PassStats] = []
+    for run_pass in (fold_constants, canonicalize_commutative,
+                     eliminate_common_subexpressions):
+        ir, pass_stats = run_pass(ir)
+        stats.append(pass_stats)
+    ir, dse_stats, _ = eliminate_dead_code(ir)
+    stats.append(dse_stats)
+    return ir, stats
+
+
+def canonical_key(program: AlphaProgram) -> str:
+    """The canonical-IR string the fingerprint cache hashes."""
+    return canonical_ir(program)[0].render()
+
+
+def describe_compilation(program: AlphaProgram) -> str:
+    """A human-readable report for the ``repro inspect`` CLI command.
+
+    Shows the program next to its pruned form, the canonicalised IR and the
+    per-pass statistics of both pipelines.
+    """
+    lines: list[str] = []
+    lines.append(f"# program: {program.name}")
+    lines.append(f"operations: {program.num_operations}")
+    lines.append("")
+    lines.append("## original")
+    lines.append(program.render())
+
+    prune_result = prune_program(program)
+    lines.append("")
+    lines.append("## pruned (Section 4.2 backward liveness)")
+    lines.append(
+        f"removed {prune_result.removed_operations} of "
+        f"{prune_result.total_operations} operations"
+        + ("; REDUNDANT (prediction independent of m0)"
+           if prune_result.is_redundant else "")
+    )
+    lines.append(prune_result.program.render())
+
+    compiled = compile_program(program)
+    lines.append("")
+    lines.append("## compiled (execution pipeline)")
+    for stats in compiled.pass_stats:
+        lines.append(f"pass {stats.describe()}")
+    lines.append(
+        "fused batched inference: "
+        + ("yes" if compiled.fused_inference else "no (predict reads its own "
+           "writes or the label)")
+    )
+    lines.append(compiled.ir.render())
+
+    ir, stats_list = canonical_ir(program)
+    lines.append("")
+    lines.append("## canonical IR (fingerprint pipeline)")
+    for stats in stats_list:
+        lines.append(f"pass {stats.describe()}")
+    lines.append(ir.render())
+    return "\n".join(lines)

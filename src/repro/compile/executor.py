@@ -1,0 +1,303 @@
+"""Flat-tape execution of compiled alpha programs.
+
+:class:`CompiledAlpha` binds an optimised IR (:mod:`.compiler`) to one
+problem shape and executes it without any of the interpreter's per-operation
+bookkeeping:
+
+* **pre-resolved dispatch** — every instruction becomes one tape entry
+  ``(func, input_arrays, output_array, params)`` with the
+  :class:`~repro.core.ops.OpSpec` function looked up once at bind time;
+* **preallocated memory slots** — each SSA value owns one preallocated
+  buffer and each live operand one state array, so the per-day loop performs
+  no allocation, address checking or dict construction;
+* **static hoisting** — instructions whose transitive inputs are constants
+  or parameter-free initialisers (they produce the same value on every
+  execution) run once in a prologue instead of once per day;
+* **fused batched inference** — when the trained memory is static across
+  inference days (``Predict()`` neither reads the label nor reads an operand
+  it also writes), the whole inference stage collapses into a single tape
+  execution over a leading *day* axis instead of a Python loop over days.
+
+Bitwise parity with the interpreter is a hard contract (the fingerprint
+cache and the search both rely on it).  The fused path therefore only
+batches operators whose elementwise results are exact and shape-independent
+(IEEE basic arithmetic, comparisons, slicing, broadcasting); every other
+operator — transcendentals, reductions, cross-sectional ranks — falls back
+to a per-day slice loop *inside* its tape entry, which reproduces the
+interpreter's arithmetic exactly while still eliminating the per-day
+dispatch of the batched majority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.memory import INPUT_MATRIX, LABEL, Operand, OperandType, PREDICTION
+from ..core.ops import ExecutionContext, get_op, sanitize
+from .compiler import CompiledProgram
+
+__all__ = ["CompiledAlpha"]
+
+
+# ---------------------------------------------------------------------------
+# Batched kernels for the fused inference path
+# ---------------------------------------------------------------------------
+
+#: Operators whose registry implementation is already shape-agnostic *and*
+#: elementwise-exact, so running them over a leading day axis is bit-for-bit
+#: identical to running them day by day.
+_BATCH_SAFE = frozenset({
+    "s_add", "s_sub", "s_mul", "s_div", "s_min", "s_max",
+    "s_abs", "s_sign", "s_heaviside",
+    "v_add", "v_sub", "v_mul", "v_div", "v_min", "v_max",
+    "v_abs", "v_heaviside",
+    "m_add", "m_sub", "m_mul", "m_div", "m_min", "m_max",
+    "m_abs", "m_heaviside",
+    "transpose",
+})
+
+#: Batched re-implementations (leading-axis-aware indexing) of exact
+#: operators whose registry form hard-codes the task axis.  Each one is
+#: elementwise identical to the registry implementation on a day slice.
+_BATCH_OVERRIDES = {
+    "v_scale": lambda ctx, inputs, params: inputs[0][..., None] * inputs[1],
+    "m_scale": lambda ctx, inputs, params: inputs[0][..., None, None] * inputs[1],
+    "v_outer": lambda ctx, inputs, params: (
+        inputs[0][..., :, None] * inputs[1][..., None, :]
+    ),
+    "ts_rank": lambda ctx, inputs, params: (
+        (inputs[0] < inputs[0][..., -1:]).sum(axis=-1)
+        / max(inputs[0].shape[-1] - 1, 1)
+    ),
+    "v_broadcast": lambda ctx, inputs, params: np.repeat(
+        inputs[0][..., None], ctx.window, axis=-1
+    ),
+    "m_broadcast": lambda ctx, inputs, params: (
+        np.repeat(inputs[0][..., None, :], ctx.num_features, axis=-2)
+        if params["axis"] == 0
+        else np.repeat(inputs[0][..., :, None], ctx.window, axis=-1)
+    ),
+    "get_scalar": lambda ctx, inputs, params: inputs[0][
+        ..., params["row"] % ctx.num_features, params["col"] % ctx.window
+    ],
+    "get_row": lambda ctx, inputs, params: inputs[0][
+        ..., params["row"] % ctx.num_features, :
+    ],
+    "get_column": lambda ctx, inputs, params: inputs[0][
+        ..., :, params["col"] % ctx.window
+    ],
+}
+
+
+def _batched_func(name: str):
+    """The day-batched kernel for operator ``name`` (``None`` → per-day loop)."""
+    if name in _BATCH_SAFE:
+        return get_op(name).func
+    return _BATCH_OVERRIDES.get(name)
+
+
+@dataclass(frozen=True, eq=False)
+class _TapeEntry:
+    """One pre-resolved instruction of the flat execution tape."""
+
+    op: str
+    func: object                 # the OpSpec function, dispatch pre-resolved
+    inputs: tuple[np.ndarray, ...]
+    input_ids: tuple[int, ...]
+    output: np.ndarray
+    output_id: int
+    params: dict
+
+
+class CompiledAlpha:
+    """Executable form of one compiled alpha, bound to a problem shape.
+
+    Parameters
+    ----------
+    compiled:
+        The optimised program from :func:`repro.compile.compile_program`.
+    ctx:
+        The evaluation context (task count, dimensions, relation indices and
+        base seed) the tape executes under — the same object the interpreter
+        would hand to every operator.
+    """
+
+    def __init__(self, compiled: CompiledProgram, ctx: ExecutionContext) -> None:
+        self.compiled = compiled
+        self.ctx = ctx
+        shapes = {
+            OperandType.SCALAR: (ctx.num_tasks,),
+            OperandType.VECTOR: (ctx.num_tasks, ctx.window),
+            OperandType.MATRIX: (ctx.num_tasks, ctx.num_features, ctx.window),
+        }
+        ir = compiled.ir
+        carried = compiled.dataflow.carried
+
+        #: Operand state arrays: the loop-carried memory between components
+        #: and days.  Allocated for every operand the program observes plus
+        #: the three reserved addresses.
+        self._state: dict[Operand, np.ndarray] = {}
+
+        def state_array(operand: Operand) -> np.ndarray:
+            array = self._state.get(operand)
+            if array is None:
+                array = np.zeros(shapes[operand.type])
+                self._state[operand] = array
+            return array
+
+        for operand in (INPUT_MATRIX, LABEL, PREDICTION):
+            state_array(operand)
+
+        self._buffers: dict[int, np.ndarray] = {}
+        self._static_tape: list[_TapeEntry] = []
+        self._tapes: dict[str, list[_TapeEntry]] = {}
+        self._copies: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+
+        for name, component in ir.components.items():
+            static_ids: set[int] = set()
+            tape: list[_TapeEntry] = []
+            for instr in component.instructions:
+                arrays = []
+                for vid in instr.inputs:
+                    value = ir.values[vid]
+                    if value.operand is not None:
+                        arrays.append(state_array(value.operand))
+                    else:
+                        arrays.append(self._buffers[vid])
+                output = np.zeros(shapes[ir.values[instr.result].type])
+                self._buffers[instr.result] = output
+                entry = _TapeEntry(
+                    op=instr.op,
+                    func=instr.spec.func,
+                    inputs=tuple(arrays),
+                    input_ids=instr.inputs,
+                    output=output,
+                    output_id=instr.result,
+                    params=instr.param_dict,
+                )
+                # Setup already runs exactly once; hoisting only pays off for
+                # the components inside the per-day loops.
+                is_static = name != "setup" and all(
+                    vid in static_ids for vid in instr.inputs
+                )
+                if is_static:
+                    static_ids.add(instr.result)
+                    self._static_tape.append(entry)
+                else:
+                    tape.append(entry)
+            self._tapes[name] = tape
+            self._copies[name] = [
+                (state_array(operand), self._buffers[vid])
+                for operand, vid in component.exports.items()
+                if operand in carried
+            ]
+
+        predict = ir.components["predict"]
+        prediction_value = predict.exports.get(PREDICTION)
+        if prediction_value is not None:
+            self._prediction = self._buffers[prediction_value]
+        else:
+            self._prediction = self._state[PREDICTION]
+        self._prediction_id = prediction_value
+
+    # ------------------------------------------------------------------
+    @property
+    def prediction(self) -> np.ndarray:
+        """The ``(K,)`` prediction left by the last ``run_predict`` call."""
+        return self._prediction
+
+    @property
+    def supports_fused_inference(self) -> bool:
+        """Whether the inference stage can run as one batched tape pass."""
+        return self.compiled.fused_inference
+
+    # ------------------------------------------------------------------
+    def set_input(self, features: np.ndarray) -> None:
+        """Load one day's feature matrices into ``m0``."""
+        self._state[INPUT_MATRIX][...] = features
+
+    def set_label(self, labels: np.ndarray) -> None:
+        """Reveal one day's labels into ``s0``."""
+        self._state[LABEL][...] = labels
+
+    # ------------------------------------------------------------------
+    def _run_tape(self, entries: list[_TapeEntry]) -> None:
+        ctx = self.ctx
+        for entry in entries:
+            entry.output[...] = sanitize(entry.func(ctx, entry.inputs, entry.params))
+
+    @staticmethod
+    def _write_back(copies: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        for target, source in copies:
+            target[...] = source
+
+    def run_setup(self) -> None:
+        """Run ``Setup()`` once, plus the hoisted static prologue."""
+        self._run_tape(self._tapes["setup"])
+        self._write_back(self._copies["setup"])
+        self._run_tape(self._static_tape)
+
+    def run_predict(self) -> None:
+        """Run ``Predict()`` for the current day."""
+        self._run_tape(self._tapes["predict"])
+        self._write_back(self._copies["predict"])
+
+    def run_update(self) -> None:
+        """Run ``Update()`` for the current day."""
+        self._run_tape(self._tapes["update"])
+        self._write_back(self._copies["update"])
+
+    # ------------------------------------------------------------------
+    def run_inference_batch(self, features: np.ndarray) -> np.ndarray:
+        """Run the whole inference stage in one batched tape pass.
+
+        ``features`` has shape ``(D, K, f, w)``; the return value holds the
+        ``(D, K)`` predictions, bit-for-bit equal to looping ``set_input`` /
+        ``run_predict`` over the days.  Only valid when
+        :attr:`supports_fused_inference` is True.
+        """
+        if not self.compiled.fused_inference:
+            raise ValueError(
+                "program is not eligible for fused inference; run day by day"
+            )
+        ctx = self.ctx
+        num_days = features.shape[0]
+        predict = self.compiled.ir.components["predict"]
+        batched: dict[int, np.ndarray] = {}
+        input_matrix_value = predict.inputs.get(INPUT_MATRIX)
+        if input_matrix_value is not None:
+            batched[input_matrix_value] = features
+
+        for entry in self._tapes["predict"]:
+            if not any(vid in batched for vid in entry.input_ids):
+                # Depends only on static memory: one day's worth of work
+                # covers every day.
+                entry.output[...] = sanitize(entry.func(ctx, entry.inputs, entry.params))
+                continue
+            inputs = tuple(
+                batched.get(vid, array)
+                for vid, array in zip(entry.input_ids, entry.inputs)
+            )
+            output = np.empty((num_days,) + entry.output.shape)
+            batched_func = _batched_func(entry.op)
+            if batched_func is not None:
+                output[...] = sanitize(batched_func(ctx, inputs, entry.params))
+            else:
+                day_flags = tuple(vid in batched for vid in entry.input_ids)
+                for day in range(num_days):
+                    day_inputs = tuple(
+                        array[day] if is_batched else array
+                        for array, is_batched in zip(inputs, day_flags)
+                    )
+                    output[day] = sanitize(entry.func(ctx, day_inputs, entry.params))
+            batched[entry.output_id] = output
+
+        if self._prediction_id is not None and self._prediction_id in batched:
+            return batched[self._prediction_id]
+        # The prediction does not depend on the input matrix: every day sees
+        # the same (static) value.
+        return np.broadcast_to(
+            self._prediction, (num_days,) + self._prediction.shape
+        ).copy()

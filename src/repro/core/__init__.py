@@ -35,7 +35,7 @@ from .ops import (
     sample_params,
 )
 from .program import AlphaProgram, ComponentLimits, Operation, COMPONENTS
-from .pruning import PruneResult, backward_liveness, prune_program
+from .pruning import PruneResult, backward_liveness, liveness_fixpoint, prune_program
 
 __all__ = [
     "AlphaEvaluator",
@@ -80,6 +80,7 @@ __all__ = [
     "get_initialization",
     "get_op",
     "list_ops",
+    "liveness_fixpoint",
     "mean_ic",
     "neural_network_alpha",
     "noop_alpha",

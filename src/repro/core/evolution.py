@@ -69,6 +69,11 @@ class EvolutionConfig:
     max_candidates: int | None = 2000
     max_seconds: float | None = None
     use_pruning: bool = True
+    #: Execute candidates through the compilation pipeline
+    #: (:mod:`repro.compile`) instead of the reference interpreter loop.
+    #: Results are bitwise identical; the CLI exposes ``--no-compile`` as an
+    #: escape hatch.
+    use_compile: bool = True
     log_every: int = 0
     num_workers: int = 1
     num_islands: int = 1
@@ -168,6 +173,10 @@ class CandidateScorer:
         Optional :class:`repro.parallel.pool.EvaluationPool`; cache misses in
         a batch are then evaluated by worker processes instead of
         ``evaluator``.
+    canonical_fingerprint:
+        Whether the cache fingerprints the canonicalised IR (the default) or
+        uses the historical render-based key; see
+        :class:`~repro.core.cache.FingerprintCache`.
     """
 
     def __init__(
@@ -177,6 +186,7 @@ class CandidateScorer:
         backtest_engine: BacktestEngine | None = None,
         use_pruning: bool = True,
         pool=None,
+        canonical_fingerprint: bool = True,
     ) -> None:
         if correlation_filter is not None and backtest_engine is None and pool is None:
             raise EvolutionError(
@@ -193,7 +203,9 @@ class CandidateScorer:
         self.backtest_engine = backtest_engine
         self.use_pruning = use_pruning
         self.pool = pool
-        self.cache = FingerprintCache(enabled=use_pruning)
+        self.canonical_fingerprint = canonical_fingerprint
+        self.cache = FingerprintCache(enabled=use_pruning,
+                                      canonical=canonical_fingerprint)
         self.candidates_generated = 0
 
     # ------------------------------------------------------------------
@@ -204,7 +216,8 @@ class CandidateScorer:
         not share stale fingerprints (cached reports embed correlation-cutoff
         decisions that may no longer hold).
         """
-        self.cache = FingerprintCache(enabled=self.use_pruning)
+        self.cache = FingerprintCache(enabled=self.use_pruning,
+                                      canonical=self.canonical_fingerprint)
         self.candidates_generated = 0
 
     # ------------------------------------------------------------------

@@ -86,6 +86,14 @@ class AlphaEvaluator:
         function).
     evaluate_test:
         Whether :meth:`evaluate` also produces test-split predictions.
+    compiled:
+        When True (the default) programs execute through the compilation
+        pipeline (:mod:`repro.compile`): a flat instruction tape with
+        pre-resolved dispatch and preallocated slots, and a fused batched
+        inference stage when the trained memory is static across days.
+        Results are bitwise identical to the interpreter loop
+        (``compiled=False``, the reference implementation and the
+        ``--no-compile`` escape hatch).
     """
 
     def __init__(
@@ -96,6 +104,7 @@ class AlphaEvaluator:
         max_train_steps: int | None = None,
         use_update: bool = True,
         evaluate_test: bool = True,
+        compiled: bool = True,
     ) -> None:
         if taskset.num_features != taskset.window:
             raise ExecutionError(
@@ -109,6 +118,7 @@ class AlphaEvaluator:
         self.max_train_steps = max_train_steps
         self.use_update = use_update
         self.evaluate_test = evaluate_test
+        self.compiled = bool(compiled)
         self._sector_index = taskset.taxonomy.group_index("sector")
         self._industry_index = taskset.taxonomy.group_index("industry")
 
@@ -158,6 +168,8 @@ class AlphaEvaluator:
         program.validate(self.address_space)
 
         ctx = self._make_context()
+        if self.compiled:
+            return self._run_compiled(program, splits, use_update, ctx)
         memory = Memory(
             num_tasks=self.taskset.num_tasks,
             num_features=self.taskset.num_features,
@@ -204,6 +216,64 @@ class AlphaEvaluator:
                 execute(predict_ops)
                 split_predictions[day] = memory.read(PREDICTION)
                 memory.write(LABEL, labels[day])
+            predictions[split] = split_predictions
+        return predictions
+
+    # ------------------------------------------------------------------
+    def _run_compiled(
+        self,
+        program: AlphaProgram,
+        splits: tuple[str, ...],
+        use_update: bool,
+        ctx,
+    ) -> dict[str, np.ndarray]:
+        """The compiled counterpart of :meth:`run` (bitwise identical).
+
+        The training stage keeps its sequential per-day loop (labels are
+        revealed between days) but runs on the flat tape; the inference
+        stage collapses into one batched tape pass whenever the program is
+        eligible (see :mod:`repro.compile.executor`).
+        """
+        # Imported lazily: repro.compile depends on repro.core submodules.
+        from ..compile import CompiledAlpha, compile_program
+
+        executor = CompiledAlpha(compile_program(program), ctx)
+        executor.run_setup()
+
+        # ----- training stage (single epoch, Section 5.2) -----
+        train_features = self.taskset.split_features("train")
+        train_labels = self.taskset.split_labels("train")
+        train_predictions = np.zeros((train_features.shape[0], self.taskset.num_tasks))
+        for day in self._train_day_indices():
+            executor.set_input(train_features[day])
+            executor.run_predict()
+            train_predictions[day] = executor.prediction
+            executor.set_label(train_labels[day])
+            if use_update:
+                executor.run_update()
+
+        predictions: dict[str, np.ndarray] = {}
+        if "train" in splits:
+            predictions["train"] = train_predictions
+
+        # ----- inference stage (fused into one batched pass if eligible) ---
+        for split in ("valid", "test"):
+            if split not in splits:
+                continue
+            features = self.taskset.split_features(split)
+            labels = self.taskset.split_labels(split)
+            if executor.supports_fused_inference:
+                # Predict() reads neither the label nor its own writes, so
+                # the day loop (and the post-prediction label reveal) is
+                # unobservable — all days batch into one tape pass.
+                predictions[split] = executor.run_inference_batch(features)
+                continue
+            split_predictions = np.zeros((features.shape[0], self.taskset.num_tasks))
+            for day in range(features.shape[0]):
+                executor.set_input(features[day])
+                executor.run_predict()
+                split_predictions[day] = executor.prediction
+                executor.set_label(labels[day])
             predictions[split] = split_predictions
         return predictions
 

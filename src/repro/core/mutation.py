@@ -19,7 +19,7 @@ and ``alpha_AE_R``) and the insert mutation all need it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

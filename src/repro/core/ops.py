@@ -129,6 +129,12 @@ class OpSpec:
     param_names: tuple[str, ...] = ()
     components: frozenset = frozenset({"setup", "predict", "update"})
     symbol: str | None = None
+    #: Whether swapping the two inputs leaves the result unchanged (e.g.
+    #: ``a + b == b + a``).  Canonicalisation — in
+    #: :meth:`repro.core.program.AlphaProgram.structural_key` and in the
+    #: compile pipeline (:mod:`repro.compile.passes`) — sorts the operands of
+    #: commutative operators so mirror-image programs share one fingerprint.
+    commutative: bool = False
 
     @property
     def arity(self) -> int:
@@ -277,12 +283,16 @@ def _binary(fn):
     return lambda ctx, inputs, params: fn(inputs[0], inputs[1])
 
 
-_register(OpSpec("s_add", OpKind.ARITHMETIC, (_S, _S), _S, _binary(np.add), symbol="+"))
+_register(OpSpec("s_add", OpKind.ARITHMETIC, (_S, _S), _S, _binary(np.add), symbol="+",
+                  commutative=True))
 _register(OpSpec("s_sub", OpKind.ARITHMETIC, (_S, _S), _S, _binary(np.subtract), symbol="-"))
-_register(OpSpec("s_mul", OpKind.ARITHMETIC, (_S, _S), _S, _binary(np.multiply), symbol="*"))
+_register(OpSpec("s_mul", OpKind.ARITHMETIC, (_S, _S), _S, _binary(np.multiply), symbol="*",
+                  commutative=True))
 _register(OpSpec("s_div", OpKind.ARITHMETIC, (_S, _S), _S, _binary(_protected_divide), symbol="/"))
-_register(OpSpec("s_min", OpKind.ARITHMETIC, (_S, _S), _S, _binary(np.minimum)))
-_register(OpSpec("s_max", OpKind.ARITHMETIC, (_S, _S), _S, _binary(np.maximum)))
+_register(OpSpec("s_min", OpKind.ARITHMETIC, (_S, _S), _S, _binary(np.minimum),
+                  commutative=True))
+_register(OpSpec("s_max", OpKind.ARITHMETIC, (_S, _S), _S, _binary(np.maximum),
+                  commutative=True))
 _register(OpSpec("s_abs", OpKind.ARITHMETIC, (_S,), _S, _unary(np.abs)))
 _register(OpSpec("s_sign", OpKind.ARITHMETIC, (_S,), _S, _unary(np.sign)))
 _register(OpSpec("s_sin", OpKind.ARITHMETIC, (_S,), _S, _unary(np.sin)))
@@ -317,12 +327,16 @@ _register(OpSpec(
 # Vector operators
 # ---------------------------------------------------------------------------
 
-_register(OpSpec("v_add", OpKind.ARITHMETIC, (_V, _V), _V, _binary(np.add), symbol="+"))
+_register(OpSpec("v_add", OpKind.ARITHMETIC, (_V, _V), _V, _binary(np.add), symbol="+",
+                  commutative=True))
 _register(OpSpec("v_sub", OpKind.ARITHMETIC, (_V, _V), _V, _binary(np.subtract), symbol="-"))
-_register(OpSpec("v_mul", OpKind.ARITHMETIC, (_V, _V), _V, _binary(np.multiply), symbol="*"))
+_register(OpSpec("v_mul", OpKind.ARITHMETIC, (_V, _V), _V, _binary(np.multiply), symbol="*",
+                  commutative=True))
 _register(OpSpec("v_div", OpKind.ARITHMETIC, (_V, _V), _V, _binary(_protected_divide), symbol="/"))
-_register(OpSpec("v_min", OpKind.ARITHMETIC, (_V, _V), _V, _binary(np.minimum)))
-_register(OpSpec("v_max", OpKind.ARITHMETIC, (_V, _V), _V, _binary(np.maximum)))
+_register(OpSpec("v_min", OpKind.ARITHMETIC, (_V, _V), _V, _binary(np.minimum),
+                  commutative=True))
+_register(OpSpec("v_max", OpKind.ARITHMETIC, (_V, _V), _V, _binary(np.maximum),
+                  commutative=True))
 _register(OpSpec("v_abs", OpKind.ARITHMETIC, (_V,), _V, _unary(np.abs)))
 _register(OpSpec(
     "v_heaviside", OpKind.ARITHMETIC, (_V,), _V, _unary(lambda x: np.heaviside(x, 1.0)),
@@ -334,6 +348,7 @@ _register(OpSpec(
 _register(OpSpec(
     "v_dot", OpKind.ARITHMETIC, (_V, _V), _S,
     lambda ctx, inputs, params: np.einsum("kw,kw->k", inputs[0], inputs[1]),
+    commutative=True,
 ))
 _register(OpSpec(
     "v_outer", OpKind.ARITHMETIC, (_V, _V), _M,
@@ -379,12 +394,16 @@ _register(OpSpec(
 # Matrix operators
 # ---------------------------------------------------------------------------
 
-_register(OpSpec("m_add", OpKind.ARITHMETIC, (_M, _M), _M, _binary(np.add), symbol="+"))
+_register(OpSpec("m_add", OpKind.ARITHMETIC, (_M, _M), _M, _binary(np.add), symbol="+",
+                  commutative=True))
 _register(OpSpec("m_sub", OpKind.ARITHMETIC, (_M, _M), _M, _binary(np.subtract), symbol="-"))
-_register(OpSpec("m_mul", OpKind.ARITHMETIC, (_M, _M), _M, _binary(np.multiply), symbol="*"))
+_register(OpSpec("m_mul", OpKind.ARITHMETIC, (_M, _M), _M, _binary(np.multiply), symbol="*",
+                  commutative=True))
 _register(OpSpec("m_div", OpKind.ARITHMETIC, (_M, _M), _M, _binary(_protected_divide), symbol="/"))
-_register(OpSpec("m_min", OpKind.ARITHMETIC, (_M, _M), _M, _binary(np.minimum)))
-_register(OpSpec("m_max", OpKind.ARITHMETIC, (_M, _M), _M, _binary(np.maximum)))
+_register(OpSpec("m_min", OpKind.ARITHMETIC, (_M, _M), _M, _binary(np.minimum),
+                  commutative=True))
+_register(OpSpec("m_max", OpKind.ARITHMETIC, (_M, _M), _M, _binary(np.maximum),
+                  commutative=True))
 _register(OpSpec("m_abs", OpKind.ARITHMETIC, (_M,), _M, _unary(np.abs)))
 _register(OpSpec(
     "m_heaviside", OpKind.ARITHMETIC, (_M,), _M, _unary(lambda x: np.heaviside(x, 1.0)),

@@ -139,6 +139,24 @@ class Operation:
         )
 
 
+def _canonical_operation(operation: Operation) -> Operation:
+    """Return ``operation`` with commutative operands in sorted order.
+
+    Only the rendering/identity changes: execution always uses the written
+    operand order, so the numerical results are untouched.
+    """
+    if not operation.spec.commutative or len(operation.inputs) != 2:
+        return operation
+    if operation.inputs[0] <= operation.inputs[1]:
+        return operation
+    return Operation(
+        op=operation.op,
+        inputs=(operation.inputs[1], operation.inputs[0]),
+        output=operation.output,
+        params=operation.params,
+    )
+
+
 @dataclass
 class AlphaProgram:
     """A full alpha: Setup / Predict / Update operation lists."""
@@ -255,16 +273,26 @@ class AlphaProgram:
         return cls.from_dict(json.loads(text))
 
     # ------------------------------------------------------------------
-    def structural_key(self) -> str:
+    def structural_key(self, canonical: bool = True) -> str:
         """Canonical string of all operations (used for exact-duplicate checks).
 
+        With ``canonical=True`` (the default) the operands of commutative
+        operators are sorted, so mirror-image programs (``add(s2, s3)`` vs
+        ``add(s3, s2)``) share one key and stop consuming duplicate
+        evaluations.  ``canonical=False`` preserves the written operand order
+        (the historical behaviour, kept for fingerprint A/B comparisons).
+
         This is *not* the search fingerprint — the fingerprint in
-        :mod:`repro.core.cache` is computed on the *pruned* program so that
-        alphas differing only in redundant operations collide.
+        :mod:`repro.core.cache` is computed on the canonicalised IR of the
+        *pruned* program so that alphas differing only in redundant
+        operations (or in operand naming of intermediates) collide.
         """
         parts = []
         for component, operations in self.components().items():
-            rendered = ";".join(op.render() for op in operations)
+            rendered = ";".join(
+                (_canonical_operation(op) if canonical else op).render()
+                for op in operations
+            )
             parts.append(f"{component}:{rendered}")
         return "|".join(parts)
 

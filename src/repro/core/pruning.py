@@ -27,11 +27,16 @@ only in redundant operations share a cache entry and are never re-evaluated.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from .memory import INPUT_MATRIX, LABEL, Operand, PREDICTION
 from .program import AlphaProgram, Operation
 
-__all__ = ["PruneResult", "backward_liveness", "prune_program"]
+__all__ = ["PruneResult", "backward_liveness", "liveness_fixpoint", "prune_program"]
+
+#: Operands whose values arrive from outside the program (the feature matrix
+#: and the label); they are never carried across time steps by the program.
+EXTERNAL_OPERANDS = frozenset({INPUT_MATRIX, LABEL})
 
 
 @dataclass(frozen=True)
@@ -81,6 +86,60 @@ def backward_liveness(
     return needed, live
 
 
+def liveness_fixpoint(
+    run_component: Callable[[str, set[Operand]], tuple[set[int], set[Operand]]],
+) -> tuple[dict[str, set[int]], set[Operand]]:
+    """Cross-time-step liveness fixpoint over Setup/Predict/Update.
+
+    ``run_component(name, targets)`` performs a backward liveness pass over
+    one component (for operation lists this is :func:`backward_liveness`; the
+    dead-store-elimination pass of :mod:`repro.compile.passes` supplies an
+    IR-level equivalent) and returns ``(needed, live_in)``.
+
+    The fixpoint mirrors the module docstring: operands live at the start of
+    ``Predict()`` are carried across time steps — they become targets for
+    ``Update()`` (previous step), whose own carried-in operands become
+    targets for ``Predict()`` again, until nothing changes; ``Setup()`` is
+    analysed last with the final carried-operand set.  Each pass can only
+    grow the needed sets, and both are bounded by the component sizes, so
+    the loop terminates.
+
+    Returns ``(needed, carried)`` where ``needed`` maps each component name
+    to the indices it reported and ``carried`` is the final set of operands
+    carried across time steps.
+    """
+    needed_predict: set[int] = set()
+    needed_update: set[int] = set()
+    carried: set[Operand] = set()
+    while True:
+        predict_targets = {PREDICTION} | carried
+        new_needed_predict, live_in_predict = run_component("predict", predict_targets)
+
+        update_targets = set(live_in_predict - EXTERNAL_OPERANDS) | carried
+        new_needed_update, live_in_update = run_component("update", update_targets)
+
+        new_carried = (live_in_predict | live_in_update) - EXTERNAL_OPERANDS
+        if (
+            new_needed_predict == needed_predict
+            and new_needed_update == needed_update
+            and new_carried == carried
+        ):
+            break
+        needed_predict, needed_update, carried = (
+            new_needed_predict,
+            new_needed_update,
+            new_carried,
+        )
+
+    needed_setup, _ = run_component("setup", set(carried))
+    needed = {
+        "setup": needed_setup,
+        "predict": needed_predict,
+        "update": needed_update,
+    }
+    return needed, carried
+
+
 def prune_program(program: AlphaProgram) -> PruneResult:
     """Prune redundant operations and detect redundant alphas.
 
@@ -100,41 +159,15 @@ def prune_program(program: AlphaProgram) -> PruneResult:
             kept_operations=0,
         )
 
-    external = {INPUT_MATRIX, LABEL}
-
-    needed_predict: set[int] = set()
-    needed_update: set[int] = set()
-    carried: set[Operand] = set()
-
-    # Fixpoint over the cross-time-step dependency loop between Predict() and
-    # Update().  Each pass can only grow the needed sets, and both are bounded
-    # by the component sizes, so the loop terminates.
-    while True:
-        predict_targets = {PREDICTION} | carried
-        new_needed_predict, live_in_predict = backward_liveness(predict_ops, predict_targets)
-
-        update_targets = set(live_in_predict - external) | carried
-        new_needed_update, live_in_update = backward_liveness(program.update, update_targets)
-
-        new_carried = (live_in_predict | live_in_update) - external
-        if (
-            new_needed_predict == needed_predict
-            and new_needed_update == needed_update
-            and new_carried == carried
-        ):
-            break
-        needed_predict, needed_update, carried = (
-            new_needed_predict,
-            new_needed_update,
-            new_carried,
-        )
-
-    needed_setup, _ = backward_liveness(program.setup, set(carried))
+    components = program.components()
+    needed, _ = liveness_fixpoint(
+        lambda name, targets: backward_liveness(components[name], targets)
+    )
 
     pruned = AlphaProgram(
-        setup=[op for i, op in enumerate(program.setup) if i in needed_setup],
-        predict=[op for i, op in enumerate(predict_ops) if i in needed_predict],
-        update=[op for i, op in enumerate(program.update) if i in needed_update],
+        setup=[op for i, op in enumerate(program.setup) if i in needed["setup"]],
+        predict=[op for i, op in enumerate(predict_ops) if i in needed["predict"]],
+        update=[op for i, op in enumerate(program.update) if i in needed["update"]],
         name=program.name,
     )
 

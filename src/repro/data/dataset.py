@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..config import NUM_FEATURES, WINDOW
+from ..config import WINDOW
 from ..errors import DataError
 from .features import WARMUP_DAYS, FeaturePanel, compute_feature_panel
 from .market_sim import StockPanel

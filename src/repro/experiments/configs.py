@@ -18,7 +18,7 @@ market simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from ..config import (
     CORRELATION_CUTOFF,
@@ -69,6 +69,10 @@ class ExperimentConfig:
     num_workers: int = 1
     num_islands: int = 1
     checkpoint_dir: str | None = None
+    #: Execute candidates through the compilation pipeline
+    #: (:mod:`repro.compile`); bitwise identical to the interpreter, so the
+    #: default is on.  ``--no-compile`` on the CLI flips it off.
+    use_compile: bool = True
     #: Wall-clock budget per mining round used when AlphaEvolve and the GP
     #: baseline are compared under the same time budget (Tables 1 and 2); the
     #: paper uses 60 hours per round.
@@ -119,6 +123,7 @@ class ExperimentConfig:
             max_candidates=self.max_candidates if max_candidates is None else max_candidates,
             max_seconds=self.max_seconds if max_seconds is None else max_seconds,
             use_pruning=use_pruning,
+            use_compile=self.use_compile,
             num_workers=self.num_workers,
             num_islands=self.num_islands,
         )

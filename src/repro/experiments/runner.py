@@ -16,7 +16,7 @@ The heavy lifting is shared by two protocol classes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

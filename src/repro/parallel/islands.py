@@ -275,7 +275,13 @@ class IslandEvolutionController:
         }
 
     def _restore(self, state: SearchCheckpoint, initial_program: AlphaProgram) -> None:
-        if state.initial_key != initial_program.structural_key():
+        # Accept the historical (non-canonical) key too, so checkpoints taken
+        # before structural_key canonicalised commutative operands resume.
+        accepted_keys = {
+            initial_program.structural_key(),
+            initial_program.structural_key(canonical=False),
+        }
+        if state.initial_key not in accepted_keys:
             raise CheckpointError(
                 "checkpoint was taken for a different initial program; "
                 "resume with the same initial alpha or start fresh"

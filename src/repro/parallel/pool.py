@@ -57,6 +57,9 @@ class PoolSpec:
     long_k: int = LONG_POSITIONS
     short_k: int = SHORT_POSITIONS
     compute_valid_returns: bool = False
+    #: Whether workers execute candidates through the compilation pipeline
+    #: (bitwise identical to the interpreter; see :mod:`repro.compile`).
+    compiled: bool = True
 
 
 @dataclass
@@ -88,6 +91,7 @@ class _WorkerState:
             max_train_steps=spec.max_train_steps,
             use_update=spec.use_update,
             evaluate_test=spec.evaluate_test,
+            compiled=spec.compiled,
         )
         engine = None
         if spec.compute_valid_returns:
@@ -147,6 +151,9 @@ class EvaluationPool:
         With ``compute_valid_returns=True`` workers also return the
         validation long-short portfolio-return series of every valid
         candidate (needed by the correlation cutoff).
+    compiled:
+        Whether workers execute candidates through the compilation pipeline
+        (:mod:`repro.compile`); bitwise identical either way.
     batch_size:
         Programs per worker task.  Batching amortises the per-task dispatch
         overhead; results always come back in input order.
@@ -169,6 +176,7 @@ class EvaluationPool:
         long_k: int = LONG_POSITIONS,
         short_k: int = SHORT_POSITIONS,
         compute_valid_returns: bool = False,
+        compiled: bool = True,
         batch_size: int = 8,
         start_method: str | None = None,
     ) -> None:
@@ -187,6 +195,7 @@ class EvaluationPool:
             long_k=long_k,
             short_k=short_k,
             compute_valid_returns=compute_valid_returns,
+            compiled=compiled,
         )
         self.num_workers = num_workers
         self.batch_size = batch_size

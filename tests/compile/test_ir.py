@@ -1,0 +1,107 @@
+"""Tests for SSA lowering of alpha programs."""
+
+from repro.compile import lower_program
+from repro.core import (
+    AlphaProgram,
+    INPUT_MATRIX,
+    LABEL,
+    Operand,
+    Operation,
+    PREDICTION,
+    domain_expert_alpha,
+    neural_network_alpha,
+)
+
+
+def expert(dims):
+    return domain_expert_alpha(dims)
+
+
+class TestLowering:
+    def test_instruction_count_matches_program(self, dims):
+        program = neural_network_alpha(dims)
+        ir = lower_program(program)
+        assert ir.num_instructions == program.num_operations
+
+    def test_component_inputs_are_reads_before_writes(self, dims):
+        ir = lower_program(expert(dims))
+        predict = ir.component("predict")
+        assert set(predict.inputs) == {INPUT_MATRIX}
+        # setup/update only write constants, so they read nothing
+        assert ir.component("setup").inputs == {}
+        assert ir.component("update").inputs == {}
+
+    def test_exports_point_at_final_writes(self, dims):
+        s2 = Operand.scalar(2)
+        program = AlphaProgram(
+            setup=[],
+            predict=[
+                Operation.make("get_scalar", (INPUT_MATRIX,), s2,
+                               {"row": 0, "col": 0}),
+                Operation.make("s_abs", (s2,), s2),
+                Operation.make("s_sign", (s2,), PREDICTION),
+            ],
+            update=[],
+        )
+        predict = lower_program(program).component("predict")
+        # the export of s2 is the s_abs result, not the extraction
+        assert predict.exports[s2] == predict.instructions[1].result
+        assert predict.exports[PREDICTION] == predict.instructions[2].result
+
+    def test_within_component_reads_resolve_to_latest_write(self, dims):
+        s2 = Operand.scalar(2)
+        program = AlphaProgram(
+            setup=[],
+            predict=[
+                Operation.make("get_scalar", (INPUT_MATRIX,), s2,
+                               {"row": 0, "col": 0}),
+                Operation.make("s_abs", (s2,), s2),
+                Operation.make("s_sign", (s2,), PREDICTION),
+            ],
+            update=[],
+        )
+        predict = lower_program(program).component("predict")
+        extract, absolute, sign = predict.instructions
+        assert absolute.inputs == (extract.result,)
+        assert sign.inputs == (absolute.result,)
+
+    def test_update_reads_label_as_input(self, dims):
+        ir = lower_program(neural_network_alpha(dims))
+        assert LABEL in ir.component("update").inputs
+
+    def test_value_ids_unique_across_program(self, dims):
+        ir = lower_program(neural_network_alpha(dims))
+        results = [
+            instr.result
+            for component in ir.components.values()
+            for instr in component.instructions
+        ]
+        assert len(results) == len(set(results))
+
+    def test_render_is_stable(self, dims):
+        first = lower_program(expert(dims)).render()
+        second = lower_program(expert(dims)).render()
+        assert first == second
+        assert "get_scalar(m0" in first
+        assert "out s1=" in first
+
+    def test_render_independent_of_intermediate_registers(self, dims):
+        """After dead-store elimination restricts the exports to observable
+        operands, the rendering no longer mentions temp register names."""
+        from repro.compile import eliminate_dead_code
+
+        def variant(temp_index):
+            temp = Operand.scalar(temp_index)
+            return AlphaProgram(
+                setup=[],
+                predict=[
+                    Operation.make("get_scalar", (INPUT_MATRIX,), temp,
+                                   {"row": 0, "col": 0}),
+                    Operation.make("s_abs", (temp,), PREDICTION),
+                ],
+                update=[],
+            )
+
+        first, _, _ = eliminate_dead_code(lower_program(variant(2)))
+        second, _, _ = eliminate_dead_code(lower_program(variant(7)))
+        assert first.render() == second.render()

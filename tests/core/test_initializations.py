@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     AlphaEvaluator,
-    Dimensions,
     INITIALIZATION_NAMES,
     domain_expert_alpha,
     get_initialization,

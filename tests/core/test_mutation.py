@@ -3,9 +3,7 @@
 import pytest
 
 from repro.core import (
-    AlphaProgram,
     ComponentLimits,
-    Dimensions,
     INPUT_MATRIX,
     LABEL,
     MutationConfig,

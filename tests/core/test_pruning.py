@@ -1,12 +1,10 @@
 """Tests for redundancy pruning (Section 4.2)."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     AlphaEvaluator,
     AlphaProgram,
-    Dimensions,
     INPUT_MATRIX,
     LABEL,
     Operand,
@@ -149,6 +147,99 @@ class TestPruneProgram:
         result = prune_program(program)
         assert result.total_operations == program.num_operations
         assert result.kept_operations == result.program.num_operations
+
+
+class TestPruningEdgeCases:
+    """Satellite regression tests: cyclic Update-only writes, Setup-constant
+    predictions and idempotence."""
+
+    def test_update_only_write_cycle_pruned(self):
+        """Update operands feeding only each other (never Predict) are dead.
+
+        The cross-time-step fixpoint must not be fooled by the cycle
+        ``s2 <- s3, s3 <- s2``: neither operand reaches the prediction, so
+        the whole cycle is pruned.
+        """
+        s2, s3 = Operand.scalar(2), Operand.scalar(3)
+        program = AlphaProgram(
+            setup=[],
+            predict=[op("get_scalar", (INPUT_MATRIX,), PREDICTION,
+                        {"row": 0, "col": 0})],
+            update=[
+                op("s_abs", (s3,), s2),
+                op("s_abs", (s2,), s3),
+            ],
+        )
+        result = prune_program(program)
+        assert not result.is_redundant
+        assert len(result.program.update) == 0
+        assert result.removed_operations == 2
+
+    def test_update_write_cycle_reaching_predict_kept(self):
+        """The same cycle is live once Predict() reads one of its operands."""
+        s2, s3 = Operand.scalar(2), Operand.scalar(3)
+        program = AlphaProgram(
+            setup=[],
+            predict=[
+                op("get_scalar", (INPUT_MATRIX,), s3, {"row": 0, "col": 0}),
+                op("s_add", (s2, s3), PREDICTION),
+            ],
+            update=[
+                op("s_abs", (s3,), s2),
+                op("s_abs", (s2,), s3),
+            ],
+        )
+        result = prune_program(program)
+        assert not result.is_redundant
+        assert len(result.program.update) == 2
+
+    def test_setup_constant_prediction_is_redundant(self):
+        """s1 depending solely on Setup() constants must be flagged."""
+        s2, s3 = Operand.scalar(2), Operand.scalar(3)
+        program = AlphaProgram(
+            setup=[
+                op("s_const", (), s2, {"constant": 0.5}),
+                op("s_const", (), s3, {"constant": -1.5}),
+            ],
+            predict=[
+                op("s_mul", (s2, s3), PREDICTION),
+            ],
+            update=[],
+        )
+        result = prune_program(program)
+        assert result.is_redundant
+
+    def test_setup_constant_through_update_still_redundant(self):
+        """Setup constants recombined by Update() still never touch m0."""
+        s2, s3 = Operand.scalar(2), Operand.scalar(3)
+        program = AlphaProgram(
+            setup=[op("s_const", (), s2, {"constant": 0.5})],
+            predict=[op("s_abs", (s3,), PREDICTION)],
+            update=[op("s_add", (s2, s2), s3)],
+        )
+        assert prune_program(program).is_redundant
+
+    def test_prune_is_idempotent(self, dims):
+        """prune(prune(p)) == prune(p) for expert, NN and random programs."""
+        programs = [domain_expert_alpha(dims), neural_network_alpha(dims)]
+        programs += [random_alpha(dims, seed=seed) for seed in range(10)]
+        for program in programs:
+            once = prune_program(program)
+            twice = prune_program(once.program)
+            assert twice.program == once.program
+            assert twice.removed_operations == 0
+            assert twice.is_redundant == once.is_redundant
+
+    def test_idempotent_on_redundant_programs(self):
+        program = AlphaProgram(
+            setup=[op("s_const", (), Operand.scalar(2), {"constant": 1.0})],
+            predict=[op("s_abs", (Operand.scalar(2),), PREDICTION)],
+            update=[],
+        )
+        once = prune_program(program)
+        twice = prune_program(once.program)
+        assert once.is_redundant and twice.is_redundant
+        assert twice.program == once.program
 
 
 class TestPruningPreservesSemantics:

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main, resolve_config
+from repro.cli import build_inspect_parser, build_parser, main, resolve_config
+from repro.core import Dimensions, domain_expert_alpha
 from repro.experiments import LAPTOP, SMOKE
 
 
@@ -63,6 +64,17 @@ class TestResolveConfig:
         assert config.num_islands == 1
         assert config.checkpoint_dir is None
 
+    def test_compile_default_on(self):
+        config = resolve_config(build_parser().parse_args(["table1"]))
+        assert config.use_compile is True
+        assert config.evolution_config().use_compile is True
+
+    def test_no_compile_escape_hatch(self):
+        args = build_parser().parse_args(["table1", "--no-compile"])
+        config = resolve_config(args)
+        assert config.use_compile is False
+        assert config.evolution_config().use_compile is False
+
 
 class TestMain:
     def test_table1_end_to_end(self, capsys, tmp_path):
@@ -78,3 +90,36 @@ class TestMain:
         payload = json.loads((tmp_path / "table1.json").read_text())
         assert payload["experiment"] == "table1"
         assert len(payload["rows"]) == 3
+
+
+class TestInspect:
+    def write_program(self, tmp_path):
+        program = domain_expert_alpha(Dimensions(13, 13))
+        path = tmp_path / "alpha.json"
+        path.write_text(program.to_json())
+        return path
+
+    def test_inspect_renders_all_sections(self, capsys, tmp_path):
+        path = self.write_program(tmp_path)
+        exit_code = main(["inspect", str(path)])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "## original" in captured
+        assert "## pruned" in captured
+        assert "## compiled (execution pipeline)" in captured
+        assert "## canonical IR (fingerprint pipeline)" in captured
+        # per-pass statistics for every optimiser pass
+        for name in ("fold", "canonicalize", "cse", "dse"):
+            assert f"pass {name}:" in captured
+        assert "fused batched inference: yes" in captured
+        # the expert alpha's two placeholder constants are pruned
+        assert "removed 2 of 6 operations" in captured
+
+    def test_inspect_missing_file(self, capsys, tmp_path):
+        exit_code = main(["inspect", str(tmp_path / "nope.json")])
+        assert exit_code == 2
+        assert "no such program file" in capsys.readouterr().err
+
+    def test_inspect_parser_requires_program(self):
+        with pytest.raises(SystemExit):
+            build_inspect_parser().parse_args([])

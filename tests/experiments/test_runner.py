@@ -11,7 +11,6 @@ import pytest
 
 from repro.experiments import (
     GeneticStudy,
-    MiningStudy,
     SMOKE,
     run_figure6,
     run_table1,
