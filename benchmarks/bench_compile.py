@@ -14,8 +14,9 @@ hoisting and fused batched inference) — and records:
 * a hard **parity check**: every prediction array must be bit-for-bit
   identical between the two paths (the whole design contract).
 
-Results are written to ``BENCH_compile.json`` at the repository root (and
-mirrored under ``benchmarks/results/``).  ``cpu_count`` is recorded so
+Results are written to ``benchmarks/results/BENCH_compile.json`` (the
+source of truth, with a copy at the repository root — see
+``benchmarks/README.md``).  ``cpu_count`` is recorded so
 single-core CI numbers are interpretable; the compiled speedup is
 single-process by nature and does not depend on core count.
 
@@ -40,43 +41,16 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-import numpy as np
 
+from common import build_programs, reports_identical, write_bench_json
 from repro.compile import compile_program
-from repro.core import AlphaEvaluator, Dimensions, Mutator, get_initialization
+from repro.core import AlphaEvaluator, Dimensions
 from repro.experiments.configs import SMOKE, make_taskset
 
 #: Shared evaluator settings so both paths time identical work.
 EVALUATOR_KWARGS = {"max_train_steps": SMOKE.max_train_steps}
 EVALUATOR_SEED = 0
 SPLITS = ("valid", "test")
-
-
-def build_programs(dims: Dimensions, count: int, seed: int = 11) -> list:
-    """A deterministic mixed bag of initialisation alphas and mutants."""
-    mutator = Mutator(dims, seed=seed)
-    bases = [get_initialization(code, dims, seed=seed) for code in ("D", "NN", "R")]
-    programs = []
-    while len(programs) < count:
-        program = bases[len(programs) % len(bases)]
-        for _ in range(len(programs) % 5):
-            program = mutator.mutate(program)
-        programs.append(program)
-    return programs
-
-
-def reports_identical(left, right) -> bool:
-    """Bitwise comparison of two fitness reports (NaN-aware)."""
-    same_ic = (left.ic_valid == right.ic_valid) or (
-        np.isnan(left.ic_valid) and np.isnan(right.ic_valid)
-    )
-    return (
-        left.fitness == right.fitness
-        and same_ic
-        and left.is_valid == right.is_valid
-        and left.reason == right.reason
-        and np.array_equal(left.daily_ic_valid, right.daily_ic_valid)
-    )
 
 
 def time_runs(evaluator, programs, splits, repeats: int) -> float:
@@ -172,12 +146,8 @@ def main(argv: list[str] | None = None) -> int:
     print(text)
 
     if not args.smoke:
-        output = ROOT / "BENCH_compile.json"
-        output.write_text(text + "\n")
-        results_dir = Path(__file__).resolve().parent / "results"
-        results_dir.mkdir(exist_ok=True)
-        (results_dir / "BENCH_compile.json").write_text(text + "\n")
-        print(f"\nsaved {output}")
+        path = write_bench_json("compile", payload)
+        print(f"\nsaved {path}")
 
     if not payload["bitwise_identical_to_interpreter"]:
         print("ERROR: compiled execution differs from the interpreter",

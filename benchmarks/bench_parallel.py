@@ -8,8 +8,9 @@ baseline.  The run also verifies the subsystem's correctness contract: the
 pool's fitness reports must be **bitwise identical** to serial
 ``AlphaEvaluator.evaluate`` results for every program.
 
-Results are written to ``BENCH_parallel.json`` at the repository root (and
-mirrored under ``benchmarks/results/``).  The achievable speedup is bounded
+Results are written to ``benchmarks/results/BENCH_parallel.json`` (the
+source of truth, with a copy at the repository root — see
+``benchmarks/README.md``).  The achievable speedup is bounded
 by the machine — ``cpu_count`` is recorded in the payload so a 1-core CI
 container reporting ~1x is interpretable.
 
@@ -31,9 +32,9 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-import numpy as np
 
-from repro.core import AlphaEvaluator, Dimensions, Mutator, get_initialization
+from common import build_programs, reports_identical, write_bench_json
+from repro.core import AlphaEvaluator, Dimensions
 from repro.experiments.configs import SMOKE, make_taskset
 from repro.parallel import EvaluationPool
 
@@ -41,33 +42,6 @@ from repro.parallel import EvaluationPool
 #: timings cover identical work and the parity check is meaningful.
 EVALUATOR_KWARGS = {"max_train_steps": SMOKE.max_train_steps, "evaluate_test": False}
 EVALUATOR_SEED = 0
-
-
-def build_programs(dims: Dimensions, count: int, seed: int = 11) -> list:
-    """A deterministic mixed bag of initialisation alphas and mutants."""
-    mutator = Mutator(dims, seed=seed)
-    bases = [get_initialization(code, dims, seed=seed) for code in ("D", "NN", "R")]
-    programs = []
-    while len(programs) < count:
-        program = bases[len(programs) % len(bases)]
-        for _ in range(len(programs) % 5):
-            program = mutator.mutate(program)
-        programs.append(program)
-    return programs
-
-
-def reports_identical(left, right) -> bool:
-    """Bitwise comparison of two fitness reports (NaN-aware)."""
-    same_ic = (left.ic_valid == right.ic_valid) or (
-        np.isnan(left.ic_valid) and np.isnan(right.ic_valid)
-    )
-    return (
-        left.fitness == right.fitness
-        and same_ic
-        and left.is_valid == right.is_valid
-        and left.reason == right.reason
-        and np.array_equal(left.daily_ic_valid, right.daily_ic_valid)
-    )
 
 
 def run_benchmark(num_programs: int = 48, worker_counts: tuple[int, ...] = (1, 2, 4)) -> dict:
@@ -141,13 +115,9 @@ def main(argv: list[str] | None = None) -> int:
 
     payload = run_benchmark(args.programs, tuple(args.workers))
     text = json.dumps(payload, indent=2, sort_keys=True)
-    output = ROOT / "BENCH_parallel.json"
-    output.write_text(text + "\n")
-    results_dir = Path(__file__).resolve().parent / "results"
-    results_dir.mkdir(exist_ok=True)
-    (results_dir / "BENCH_parallel.json").write_text(text + "\n")
     print(text)
-    print(f"\nsaved {output}")
+    path = write_bench_json("parallel", payload)
+    print(f"\nsaved {path}")
     if not payload["bitwise_identical_to_serial"]:
         print("ERROR: pool reports differ from serial evaluation", file=sys.stderr)
         return 1

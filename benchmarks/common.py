@@ -14,16 +14,87 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
 
+import numpy as np
+
+from repro.core import Dimensions, Mutator, get_initialization
 from repro.experiments import ExperimentConfig, LAPTOP, PAPER_REFERENCE, SMOKE, save_result
 
-__all__ = ["bench_config", "report"]
+__all__ = [
+    "bench_config",
+    "build_programs",
+    "report",
+    "reports_identical",
+    "write_bench_json",
+]
 
-#: Where each benchmark drops its rendered table and JSON rows.
+
+def build_programs(dims: Dimensions, count: int, seed: int = 11,
+                   max_mutations: int = 5, rename: bool = False) -> list:
+    """A deterministic mixed bag of initialisation alphas and mutants.
+
+    Shared by every benchmark that needs a fixed candidate list: bases cycle
+    the D / NN / R initialisations and candidate ``i`` receives
+    ``i % max_mutations`` mutations.  ``rename=True`` gives each program a
+    positional name (used where programs double as serving registrations).
+    """
+    mutator = Mutator(dims, seed=seed)
+    bases = [get_initialization(code, dims, seed=seed) for code in ("D", "NN", "R")]
+    programs = []
+    while len(programs) < count:
+        program = bases[len(programs) % len(bases)]
+        for _ in range(len(programs) % max_mutations):
+            program = mutator.mutate(program)
+        if rename:
+            program = program.copy(name=f"alpha_{len(programs)}")
+        programs.append(program)
+    return programs
+
+
+def reports_identical(left, right) -> bool:
+    """Bitwise comparison of two fitness reports (NaN-aware).
+
+    The parity predicate of the CI smoke gates: every field must match
+    exactly (``ic_valid`` NaNs compare equal, as both sides produce them for
+    degenerate candidates).
+    """
+    same_ic = (left.ic_valid == right.ic_valid) or (
+        np.isnan(left.ic_valid) and np.isnan(right.ic_valid)
+    )
+    return (
+        left.fitness == right.fitness
+        and same_ic
+        and left.is_valid == right.is_valid
+        and left.reason == right.reason
+        and np.array_equal(left.daily_ic_valid, right.daily_ic_valid)
+    )
+
+#: Where each benchmark drops its rendered table and JSON rows — the single
+#: source of truth for benchmark artifacts (see benchmarks/README.md).
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Repository root; ``BENCH_*.json`` copies land here for discoverability.
+REPO_ROOT = RESULTS_DIR.parent.parent
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist one benchmark payload as ``BENCH_<name>.json``.
+
+    ``benchmarks/results/`` is the single source of truth; the root-level
+    ``BENCH_<name>.json`` is a byte-identical convenience copy written in
+    the same call, so the two can never drift apart.  Returns the primary
+    (results-dir) path.
+    """
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    primary = RESULTS_DIR / f"BENCH_{name}.json"
+    primary.write_text(text)
+    (REPO_ROOT / f"BENCH_{name}.json").write_text(text)
+    return primary
 
 
 def bench_config() -> ExperimentConfig:

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Render the README's benchmark table from the ``BENCH_*.json`` artifacts.
+
+Reads ``benchmarks/results/BENCH_{parallel,compile,stream}.json`` (the
+single source of truth — see ``benchmarks/README.md``) and prints the
+markdown table embedded in ``README.md`` under "Measured performance", so
+the published numbers are always regenerable from the artifacts that back
+them.  Missing artifacts are skipped with a note instead of failing, so the
+table can be rendered from a partial benchmark run.
+
+Run with::
+
+    python benchmarks/render_bench_table.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _load(name: str) -> dict | None:
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    if not path.exists():
+        print(f"note: {path} missing; run benchmarks/bench_{name}.py",
+              file=sys.stderr)
+        return None
+    return json.loads(path.read_text())
+
+
+def render() -> str:
+    """The markdown benchmark table (one row per recorded headline number)."""
+    rows: list[tuple[str, str, str]] = []
+
+    compile_bench = _load("compile")
+    if compile_bench:
+        rows.append((
+            "compiled tape vs interpreter (inference stage)",
+            f"{compile_bench['inference_speedup']}x",
+            f"`bench_compile.py`, {compile_bench['num_programs']} programs, "
+            "bitwise parity",
+        ))
+        rows.append((
+            "compiled tape vs interpreter (full evaluation)",
+            f"{compile_bench['full_speedup']}x",
+            f"`bench_compile.py`, "
+            f"{compile_bench['compiled']['full_candidates_per_second']} "
+            "candidates/s compiled",
+        ))
+
+    parallel_bench = _load("parallel")
+    if parallel_bench:
+        workers = parallel_bench.get("workers", {})
+        serial = parallel_bench["serial_baseline"]["candidates_per_second"]
+        if workers and serial:
+            count, best = max(
+                workers.items(), key=lambda item: item[1]["candidates_per_second"]
+            )
+            rows.append((
+                f"evaluation pool, {count} workers vs serial",
+                f"{best['candidates_per_second'] / serial:.2f}x",
+                f"`bench_parallel.py` on {parallel_bench['cpu_count']} CPU(s), "
+                "bitwise parity",
+            ))
+
+    stream_bench = _load("stream")
+    if stream_bench:
+        rows.append((
+            "incremental serving vs full recompute (per arriving day)",
+            f"{stream_bench['speedup_vs_full_recompute']}x",
+            f"`bench_stream.py`, {stream_bench['warm_history_days']}-day warm "
+            f"history, {stream_bench['incremental']['mean_bar_latency_ms']} ms "
+            "mean bar latency, bitwise parity",
+        ))
+
+    lines = [
+        "| workload | speedup | details |",
+        "| --- | --- | --- |",
+    ]
+    for workload, speedup, details in rows:
+        lines.append(f"| {workload} | **{speedup}** | {details} |")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(render())

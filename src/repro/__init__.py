@@ -15,11 +15,17 @@ Public API highlights
 * :mod:`repro.backtest`   — long-short portfolio backtesting and metrics
 * :mod:`repro.parallel`   — worker-pool evaluation, island evolution and
   checkpoint/resume for the search
+* :mod:`repro.stream`     — incremental streaming serving of mined alphas
+  (AlphaServer, suspend/resume, the online backtest driver)
 * :mod:`repro.baselines`  — genetic-programming, Rank_LSTM and RSR baselines
 * :mod:`repro.experiments`— runners that regenerate every table and figure
+
+See ``docs/ARCHITECTURE.md`` for the subsystem map and ``docs/API.md`` for
+runnable (doctested) examples of the public surface.
 """
 
-from . import backtest, compile, config, core, data, errors, parallel
+from . import backtest, compile, config, core, data, errors, parallel, stream
+from .stream import AlphaServer, IncrementalAlpha, OnlineBacktestDriver
 from .backtest import BacktestEngine, BacktestResult, sharpe_ratio
 from .core import (
     AlphaEvaluator,
@@ -53,16 +59,19 @@ __version__ = "1.0.0"
 __all__ = [
     "AlphaEvaluator",
     "AlphaProgram",
+    "AlphaServer",
     "BacktestEngine",
     "BacktestResult",
     "CorrelationFilter",
     "Dimensions",
     "EvolutionConfig",
     "EvolutionController",
+    "IncrementalAlpha",
     "MarketConfig",
     "MinedAlpha",
     "MiningSession",
     "Mutator",
+    "OnlineBacktestDriver",
     "Operand",
     "Operation",
     "Split",
@@ -84,4 +93,5 @@ __all__ = [
     "neural_network_alpha",
     "prune_program",
     "sharpe_ratio",
+    "stream",
 ]

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli table3 --scale smoke   # quick pass of Table 3
     python -m repro.cli all --output results/  # everything, saved as JSON
     python -m repro.cli inspect alpha.json     # show pruned/compiled forms
+    python -m repro.cli serve --scale smoke    # mine top-K alphas, serve online
 
 Each experiment command prints the regenerated table (in the paper's layout)
 and, when ``--output`` is given, stores the structured rows as JSON through
@@ -16,6 +17,12 @@ later without re-running the search.
 :meth:`repro.core.AlphaProgram.to_json` and renders it next to its pruned
 form, its compiled/canonical IR and the per-pass optimiser statistics
 (:mod:`repro.compile`).
+
+``serve`` mines a top-K fleet of weakly correlated alphas (or loads saved
+programs with ``--program``) and streams the validation/test days through
+the :class:`repro.stream.server.AlphaServer`, printing each alpha's online
+backtest metrics, the per-bar serving latency and the result of the bitwise
+parity check against the offline batch path.
 """
 
 from __future__ import annotations
@@ -58,9 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the AlphaEvolve paper's tables and figure.",
-        epilog="Additional subcommand: 'repro inspect <program.json>' renders "
+        epilog="Additional subcommands: 'repro inspect <program.json>' renders "
                "a saved alpha next to its pruned and compiled forms with "
-               "per-pass optimiser statistics.",
+               "per-pass optimiser statistics; 'repro serve' mines a top-K "
+               "alpha fleet and streams it through the online AlphaServer "
+               "with a bitwise parity check against the offline batch path.",
     )
     parser.add_argument(
         "experiment",
@@ -171,6 +180,112 @@ def run_inspect(argv: list[str]) -> int:
     return 0
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``serve`` subcommand (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Mine a top-K alpha fleet (or load saved programs) and "
+                    "serve the validation/test days through the streaming "
+                    "AlphaServer, verifying bitwise parity with the offline "
+                    "batch path.",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="laptop",
+        help="experiment scale (default: laptop)",
+    )
+    parser.add_argument(
+        "--top-k", type=int, default=None, dest="top_k",
+        help="number of alphas to mine and serve (default: config.serve_top_k)",
+    )
+    parser.add_argument(
+        "--candidates", type=int, default=None,
+        help="override the candidate budget of each mining search",
+    )
+    parser.add_argument(
+        "--stocks", type=int, default=None,
+        help="override the number of simulated stocks",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the search/serving seed",
+    )
+    parser.add_argument(
+        "--program", action="append", default=None, metavar="JSON",
+        help="serve this saved program (AlphaProgram.to_json output) instead "
+             "of mining; repeatable",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="directory to write a serve.json result file into",
+    )
+    return parser
+
+
+def resolve_serve_config(args: argparse.Namespace):
+    """Turn parsed ``serve`` arguments into an :class:`ExperimentConfig`."""
+    config = _SCALES[args.scale]
+    overrides = {}
+    if args.top_k is not None:
+        overrides["serve_top_k"] = args.top_k
+    if args.candidates is not None:
+        overrides["max_candidates"] = args.candidates
+    if args.stocks is not None:
+        overrides["num_stocks"] = args.stocks
+    if args.seed is not None:
+        overrides["search_seed"] = args.seed
+    if overrides:
+        config = config.scaled(**overrides)
+    return config
+
+
+def run_serve_command(argv: list[str]) -> int:
+    """Entry point of ``repro serve``."""
+    from .core import AlphaProgram
+    from .errors import StreamError
+    from .experiments.recorder import ExperimentResult
+    from .stream import run_serve
+
+    args = build_serve_parser().parse_args(argv)
+    config = resolve_serve_config(args)
+    programs = None
+    names = None
+    if args.program:
+        programs = []
+        for raw_path in args.program:
+            path = Path(raw_path)
+            if not path.exists():
+                print(f"error: no such program file: {path}", file=sys.stderr)
+                return 2
+            programs.append(AlphaProgram.from_json(path.read_text()))
+        # Saved artifacts from separate runs often embed the same program
+        # name; serving names must be unique, so repeats get a suffix.
+        names, seen = [], {}
+        for program in programs:
+            count = seen.get(program.name, 0) + 1
+            seen[program.name] = count
+            names.append(
+                program.name if count == 1 else f"{program.name}#{count}"
+            )
+    try:
+        report = run_serve(config, programs=programs, names=names)
+    except StreamError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.output:
+        result = ExperimentResult(
+            experiment="serve",
+            rows=[row.row() for row in report.rows],
+            rendered=report.render(),
+            metadata={**report.metadata, **report.stats},
+        )
+        path = save_result(result, args.output)
+        print(f"\nsaved {path}")
+    return 0 if report.parity else 1
+
+
 def _emit(result, args: argparse.Namespace) -> None:
     print(result.rendered)
     if args.show_reference and result.experiment in PAPER_REFERENCE:
@@ -189,6 +304,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "inspect":
         return run_inspect(argv[1:])
+    if argv and argv[0] == "serve":
+        return run_serve_command(argv[1:])
     args = build_parser().parse_args(argv)
     config = resolve_config(args)
     if args.experiment == "all":

@@ -25,7 +25,7 @@ from .compiler import (
     compile_program,
     describe_compilation,
 )
-from .executor import CompiledAlpha
+from .executor import CompiledAlpha, TAPE_STATE_VERSION, TapeState
 from .ir import IRComponent, IRInstruction, IRProgram, IRValue, lower_program
 from .passes import (
     DataflowInfo,
@@ -46,6 +46,8 @@ __all__ = [
     "IRProgram",
     "IRValue",
     "PassStats",
+    "TAPE_STATE_VERSION",
+    "TapeState",
     "analyze_dataflow",
     "canonical_ir",
     "canonical_key",

@@ -30,15 +30,20 @@ dispatch of the batched majority.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.memory import INPUT_MATRIX, LABEL, Operand, OperandType, PREDICTION
 from ..core.ops import ExecutionContext, get_op, sanitize
+from ..errors import ExecutionError
 from .compiler import CompiledProgram
 
-__all__ = ["CompiledAlpha"]
+__all__ = ["CompiledAlpha", "TapeState", "TAPE_STATE_VERSION"]
+
+#: Bumped whenever the suspended-state layout changes incompatibly.
+TAPE_STATE_VERSION = 1
 
 
 # ---------------------------------------------------------------------------
@@ -96,6 +101,33 @@ def _batched_func(name: str):
     if name in _BATCH_SAFE:
         return get_op(name).func
     return _BATCH_OVERRIDES.get(name)
+
+
+@dataclass(frozen=True)
+class TapeState:
+    """Suspended loop-carried state of one :class:`CompiledAlpha` tape.
+
+    The only state an alpha carries between days is the content of its
+    operand arrays (the static prologue is a pure function of the bound
+    context and is recomputed on resume), so a snapshot of those arrays plus
+    the identity of the tape that produced them is a complete, serialisable
+    suspension point.  ``tape_key`` hashes the execution-pipeline IR and
+    ``base_seed``/``shape`` echo the bound context; :meth:`CompiledAlpha.resume`
+    refuses a state taken from a different program or binding instead of
+    silently diverging.
+
+    ``TapeState`` is plain data (strings, ints and numpy arrays) and pickles
+    cleanly, which is what the streaming checkpoint helpers in
+    :mod:`repro.stream.state` rely on.
+    """
+
+    version: int
+    tape_key: str
+    base_seed: int
+    #: ``(num_tasks, num_features, window)`` of the binding.
+    shape: tuple[int, int, int]
+    #: Operand name → array snapshot of the loop-carried state.
+    operands: dict[str, np.ndarray] = field(default_factory=dict)
 
 
 @dataclass(frozen=True, eq=False)
@@ -201,6 +233,9 @@ class CompiledAlpha:
         else:
             self._prediction = self._state[PREDICTION]
         self._prediction_id = prediction_value
+        self._tape_key = hashlib.sha256(
+            ir.render().encode("utf-8")
+        ).hexdigest()
 
     # ------------------------------------------------------------------
     @property
@@ -248,6 +283,78 @@ class CompiledAlpha:
         """Run ``Update()`` for the current day."""
         self._run_tape(self._tapes["update"])
         self._write_back(self._copies["update"])
+
+    # ------------------------------------------------------------------
+    # Suspend / resume tape protocol
+    # ------------------------------------------------------------------
+    @property
+    def tape_key(self) -> str:
+        """Identity of the bound tape: a hash of the execution-pipeline IR."""
+        return self._tape_key
+
+    def suspend(self) -> TapeState:
+        """Snapshot the loop-carried state so execution can resume later.
+
+        The snapshot contains everything a later :meth:`resume` needs to
+        continue day-by-day execution bitwise identically to an uninterrupted
+        run: the operand state arrays (the cross-day memory) plus the tape
+        and binding identity.  The hoisted static prologue is *not* captured
+        — it is a deterministic function of the bound context and is
+        recomputed on resume.
+        """
+        ctx = self.ctx
+        return TapeState(
+            version=TAPE_STATE_VERSION,
+            tape_key=self.tape_key,
+            base_seed=ctx.base_seed,
+            shape=(ctx.num_tasks, ctx.num_features, ctx.window),
+            operands={
+                operand.name: array.copy()
+                for operand, array in self._state.items()
+            },
+        )
+
+    def resume(self, state: TapeState) -> None:
+        """Restore a :meth:`suspend` snapshot into this (fresh) binding.
+
+        Re-runs the static prologue (pure, so bit-for-bit reproducible) and
+        overwrites the operand state arrays from the snapshot; the next
+        ``run_predict`` / ``run_update`` continues exactly where the
+        suspended executor stopped.  Raises :class:`ExecutionError` when the
+        snapshot was taken from a different program, binding shape or seed.
+        """
+        if state.version != TAPE_STATE_VERSION:
+            raise ExecutionError(
+                f"tape state has version {state.version}, this build reads "
+                f"version {TAPE_STATE_VERSION}"
+            )
+        if state.tape_key != self.tape_key:
+            raise ExecutionError(
+                "tape state was suspended from a different compiled program"
+            )
+        ctx = self.ctx
+        shape = (ctx.num_tasks, ctx.num_features, ctx.window)
+        if state.shape != shape:
+            raise ExecutionError(
+                f"tape state was bound to shape {state.shape}, "
+                f"this executor is bound to {shape}"
+            )
+        if state.base_seed != ctx.base_seed:
+            raise ExecutionError(
+                f"tape state was produced under base seed {state.base_seed}, "
+                f"this executor runs under {ctx.base_seed}"
+            )
+        expected = {operand.name for operand in self._state}
+        snapshot = set(state.operands)
+        if expected != snapshot:
+            raise ExecutionError(
+                "tape state operand set does not match this tape "
+                f"(missing {sorted(expected - snapshot)}, "
+                f"unexpected {sorted(snapshot - expected)})"
+            )
+        self._run_tape(self._static_tape)
+        for operand, array in self._state.items():
+            array[...] = state.operands[operand.name]
 
     # ------------------------------------------------------------------
     def run_inference_batch(self, features: np.ndarray) -> np.ndarray:

@@ -134,7 +134,14 @@ class AlphaEvaluator:
         return self._base_seed
 
     # ------------------------------------------------------------------
-    def _make_context(self) -> ExecutionContext:
+    def make_context(self) -> ExecutionContext:
+        """A fresh :class:`ExecutionContext` for one program execution.
+
+        :meth:`run` builds one per call; the streaming subsystem
+        (:mod:`repro.stream`) builds one per registered alpha through this
+        same method, which is what keeps online serving bitwise identical to
+        the offline batch path.
+        """
         return ExecutionContext(
             num_tasks=self.taskset.num_tasks,
             num_features=self.taskset.num_features,
@@ -145,7 +152,15 @@ class AlphaEvaluator:
             base_seed=self._base_seed,
         )
 
-    def _train_day_indices(self) -> np.ndarray:
+    def train_day_indices(self) -> np.ndarray:
+        """The training-day subsample the (single-epoch) training pass visits.
+
+        With ``max_train_steps`` unset this is every training day in order;
+        otherwise the days are subsampled evenly.  Public because the
+        streaming subsystem (:mod:`repro.stream`) must warm-start its
+        executors over *exactly* this subsample to stay bitwise identical to
+        the offline batch path.
+        """
         train_days = self.taskset.split.train
         if self.max_train_steps is None or self.max_train_steps >= train_days:
             return np.arange(train_days)
@@ -167,7 +182,7 @@ class AlphaEvaluator:
         use_update = self.use_update if use_update is None else use_update
         program.validate(self.address_space)
 
-        ctx = self._make_context()
+        ctx = self.make_context()
         if self.compiled:
             return self._run_compiled(program, splits, use_update, ctx)
         memory = Memory(
@@ -192,7 +207,7 @@ class AlphaEvaluator:
         train_features = self.taskset.split_features("train")
         train_labels = self.taskset.split_labels("train")
         train_predictions = np.zeros((train_features.shape[0], self.taskset.num_tasks))
-        for day in self._train_day_indices():
+        for day in self.train_day_indices():
             memory.write(INPUT_MATRIX, train_features[day])
             execute(predict_ops)
             train_predictions[day] = memory.read(PREDICTION)
@@ -244,7 +259,7 @@ class AlphaEvaluator:
         train_features = self.taskset.split_features("train")
         train_labels = self.taskset.split_labels("train")
         train_predictions = np.zeros((train_features.shape[0], self.taskset.num_tasks))
-        for day in self._train_day_indices():
+        for day in self.train_day_indices():
             executor.set_input(train_features[day])
             executor.run_predict()
             train_predictions[day] = executor.prediction

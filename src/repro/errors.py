@@ -56,5 +56,9 @@ class BacktestError(ReproError):
     """Raised when a backtest cannot be carried out (e.g. empty universe)."""
 
 
+class StreamError(ReproError):
+    """Raised by the streaming serving subsystem (:mod:`repro.stream`)."""
+
+
 class BaselineError(ReproError):
     """Raised by baseline models (genetic programming / neural networks)."""

@@ -78,6 +78,12 @@ class ExperimentConfig:
     #: paper uses 60 hours per round.
     round_time_budget_seconds: float = 6.0
 
+    # ----- streaming serving (repro serve) ---------------------------------
+    #: Number of weakly correlated alphas ``repro serve`` mines and registers
+    #: on the :class:`repro.stream.server.AlphaServer` (one mining round per
+    #: alpha, cycling the D / NN / R initialisations).
+    serve_top_k: int = 3
+
     # ----- genetic-programming baseline -----------------------------------
     gp_population_size: int = 30
     gp_max_candidates: int = 600
@@ -102,6 +108,8 @@ class ExperimentConfig:
             raise ConfigurationError("num_workers must be at least 1")
         if self.num_islands < 1:
             raise ConfigurationError("num_islands must be at least 1")
+        if self.serve_top_k < 1:
+            raise ConfigurationError("serve_top_k must be at least 1")
 
     # ------------------------------------------------------------------
     def market_config(self) -> MarketConfig:

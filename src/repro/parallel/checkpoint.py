@@ -32,6 +32,8 @@ from ..errors import CheckpointError, ConfigurationError
 __all__ = [
     "CHECKPOINT_VERSION",
     "SearchCheckpoint",
+    "atomic_pickle_save",
+    "load_pickle",
     "save_checkpoint",
     "load_checkpoint",
     "CheckpointManager",
@@ -66,31 +68,50 @@ class SearchCheckpoint:
     config_echo: dict = field(default_factory=dict)
 
 
-def save_checkpoint(path: str, checkpoint: SearchCheckpoint) -> None:
-    """Atomically write ``checkpoint`` to ``path``."""
+def atomic_pickle_save(path: str, obj: object,
+                       error_cls: type[Exception] = CheckpointError,
+                       what: str = "checkpoint") -> None:
+    """Crash-safe pickle write: dump to ``<path>.tmp``, then ``os.replace``.
+
+    A crash mid-write never corrupts a previous file at ``path``.  Shared by
+    the search checkpoints here and the streaming state snapshots
+    (:mod:`repro.stream.state`); ``error_cls``/``what`` keep each caller's
+    error surface (``CheckpointError`` vs ``StreamError``).
+    """
     directory = os.path.dirname(os.path.abspath(path))
     temp_path = f"{path}.tmp"
     try:
         os.makedirs(directory, exist_ok=True)
         with open(temp_path, "wb") as handle:
-            pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(temp_path, path)
     except OSError as exc:
-        raise CheckpointError(f"cannot write checkpoint to {path!r}: {exc}") from exc
+        raise error_cls(f"cannot write {what} to {path!r}: {exc}") from exc
     finally:
         if os.path.exists(temp_path):  # pragma: no cover - only on failed replace
             os.unlink(temp_path)
 
 
-def load_checkpoint(path: str) -> SearchCheckpoint:
-    """Load and validate a checkpoint written by :func:`save_checkpoint`."""
+def load_pickle(path: str, error_cls: type[Exception] = CheckpointError,
+                what: str = "checkpoint") -> object:
+    """Load a pickle written by :func:`atomic_pickle_save`."""
     if not os.path.exists(path):
-        raise CheckpointError(f"no checkpoint found at {path!r}")
+        raise error_cls(f"no {what} found at {path!r}")
     try:
         with open(path, "rb") as handle:
-            state = pickle.load(handle)
+            return pickle.load(handle)
     except (pickle.UnpicklingError, EOFError, AttributeError, OSError) as exc:
-        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}") from exc
+        raise error_cls(f"cannot read {what} {path!r}: {exc}") from exc
+
+
+def save_checkpoint(path: str, checkpoint: SearchCheckpoint) -> None:
+    """Atomically write ``checkpoint`` to ``path``."""
+    atomic_pickle_save(path, checkpoint)
+
+
+def load_checkpoint(path: str) -> SearchCheckpoint:
+    """Load and validate a checkpoint written by :func:`save_checkpoint`."""
+    state = load_pickle(path)
     if not isinstance(state, SearchCheckpoint):
         raise CheckpointError(
             f"{path!r} does not contain a search checkpoint "

@@ -1,0 +1,44 @@
+"""Streaming alpha-serving subsystem: incremental compiled execution.
+
+Search (:mod:`repro.parallel`) and compilation (:mod:`repro.compile`)
+produce a portfolio of compiled alphas; this package is where they get
+*used*: evaluating arriving market data day by day without recomputing full
+history, the incremental-evaluation-under-updates shape of serving systems.
+
+* :mod:`repro.stream.incremental` — :class:`IncrementalAlpha` advances one
+  compiled alpha one day per ``step``, persisting its rolling SSA state
+  through the suspend/resume tape protocol of
+  :mod:`repro.compile.executor`;
+* :mod:`repro.stream.server`      — :class:`AlphaServer` registers the
+  top-K mined programs and evaluates each new day's bar across all of them
+  in one pass, with shared feature tensors and canonical-IR fingerprint
+  deduplication of equivalent programs;
+* :mod:`repro.stream.driver`      — :class:`OnlineBacktestDriver` feeds
+  simulated market ticks through the server into the backtest engine,
+  asserting bitwise parity with the offline batch path;
+* :mod:`repro.stream.state`       — atomic save/load of suspended state,
+  so a serving process survives restarts without replaying history.
+
+The online path is the *same code* as the offline backtest path — executor
+contexts, training subsamples and label-reveal ordering all come from
+:class:`repro.core.interpreter.AlphaEvaluator` — so research results and
+served results can never diverge.  The CLI front door is ``repro serve``.
+"""
+
+from .driver import OnlineBacktestDriver, ServeReport, ServedAlphaRow, run_serve
+from .incremental import IncrementalAlpha
+from .server import AlphaServer, Registration, ServerState
+from .state import load_state, save_state
+
+__all__ = [
+    "AlphaServer",
+    "IncrementalAlpha",
+    "OnlineBacktestDriver",
+    "Registration",
+    "ServeReport",
+    "ServedAlphaRow",
+    "ServerState",
+    "load_state",
+    "save_state",
+    "run_serve",
+]

@@ -1,0 +1,336 @@
+"""Multi-alpha batch serving: one market bar in, all predictions out.
+
+:class:`AlphaServer` is the online counterpart of running an
+:class:`~repro.core.interpreter.AlphaEvaluator` per mined alpha: the top-K
+programs of a mining session are *registered* once, *warm-started* once over
+the training history, and then each arriving day ("bar") is evaluated across
+all of them in one pass.  Three kinds of work are shared across the fleet:
+
+* **feature extraction** — one ``(K, f, w)`` feature tensor per day is built
+  once (by the task-set pipeline) and handed to every registered alpha; no
+  per-alpha feature work exists;
+* **the day loop** — one ``on_bar`` call advances every alpha, so per-day
+  overhead (timing, label reveal, bookkeeping) is paid once, not K times;
+* **duplicate programs** — registration fingerprints each program on its
+  canonical IR (the same prune → :func:`repro.core.cache.fingerprint` flow
+  the search's :class:`~repro.core.cache.FingerprintCache` uses), so mined
+  alphas that are trivially equivalent — mirrored commutative operands,
+  renamed registers, duplicated subexpressions — share a single incremental
+  executor and are evaluated once per day, however many names point at them.
+
+The server is the *same code path* as the offline backtest: every executor
+context comes from
+:meth:`~repro.core.interpreter.AlphaEvaluator.make_context` of an evaluator
+built with the server's seed, warm-start replays exactly the evaluator's
+training protocol, and the driver (:mod:`repro.stream.driver`) asserts the
+served predictions equal the offline batch path bit for bit — results can
+never diverge between research and serving.
+
+:meth:`suspend` / :meth:`resume` checkpoint the whole fleet's rolling state
+(see :mod:`repro.stream.state`), so a serving process can be killed and
+relaunched mid-stream without replaying history and without changing a
+single output bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compile import TapeState
+from ..core.cache import fingerprint
+from ..core.interpreter import AlphaEvaluator
+from ..core.program import AlphaProgram
+from ..core.pruning import prune_program
+from ..data.dataset import TaskSet
+from ..errors import StreamError
+from .incremental import IncrementalAlpha
+
+__all__ = ["Registration", "ServerState", "AlphaServer"]
+
+#: Bumped whenever the server-state layout changes incompatibly.
+SERVER_STATE_VERSION = 1
+
+
+def taskset_fingerprint(taskset: TaskSet) -> str:
+    """A content hash identifying the data a server was trained/served on.
+
+    Covers the shape, the split, the dates and the full label panel —
+    enough to distinguish two synthetic markets generated with different
+    seeds even when every dimension matches.  (The labels are ``(N, K)``,
+    so hashing them stays cheap even at paper scale; the feature tensor
+    is derived from the same panel and is deliberately not hashed.)
+    """
+    digest = hashlib.sha256()
+    digest.update(repr((
+        taskset.num_samples, taskset.num_tasks, taskset.num_features,
+        taskset.window, taskset.split,
+    )).encode("utf-8"))
+    digest.update(np.ascontiguousarray(taskset.dates).tobytes())
+    digest.update(np.ascontiguousarray(taskset.labels).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Registration:
+    """One registered alpha name and where its predictions come from."""
+
+    name: str
+    #: Canonical-IR fingerprint of the (pruned) program.
+    key: str
+    #: Whether this name shares a previously registered executor.
+    deduplicated: bool
+    #: Whether pruning proved the prediction independent of the input
+    #: matrix (the alpha still serves, but a constant is all it can emit).
+    redundant: bool
+
+
+@dataclass(frozen=True)
+class ServerState:
+    """Suspended state of a whole :class:`AlphaServer` fleet.
+
+    Contains one :class:`~repro.compile.executor.TapeState` per *unique*
+    executor plus an echo of the registration table, so a resume under a
+    different program set fails loudly instead of serving the wrong alpha.
+    """
+
+    version: int
+    base_seed: int
+    #: Content hash of the task set the fleet was warmed/served on (see
+    #: :func:`taskset_fingerprint`) — a resume against different market
+    #: data of the same shape must fail loudly, not serve stale state.
+    data_key: str
+    days_served: int
+    #: name → canonical fingerprint, in registration order.
+    registrations: dict[str, str]
+    #: canonical fingerprint → suspended tape state.
+    tapes: dict[str, TapeState]
+
+
+class AlphaServer:
+    """Serves the predictions of a registered alpha fleet day by day.
+
+    Parameters
+    ----------
+    taskset:
+        The task set whose feature pipeline and training history back the
+        fleet; serving parity is defined against an
+        :class:`~repro.core.interpreter.AlphaEvaluator` over this task set.
+    seed:
+        Evaluator seed; a server and an offline evaluator built with equal
+        seeds (and settings) produce bitwise-identical predictions.
+    max_train_steps / use_update:
+        Training-stage knobs, mirrored from the evaluator.
+    """
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        seed: int | np.random.Generator | None = 0,
+        max_train_steps: int | None = None,
+        use_update: bool = True,
+    ) -> None:
+        self.taskset = taskset
+        self.use_update = use_update
+        #: The paired offline evaluator: source of the execution contexts,
+        #: the training-day subsample and the parity reference.
+        self.evaluator = AlphaEvaluator(
+            taskset,
+            seed=seed,
+            max_train_steps=max_train_steps,
+            use_update=use_update,
+            compiled=True,
+        )
+        self._data_key = taskset_fingerprint(taskset)
+        self.registrations: list[Registration] = []
+        self._by_name: dict[str, str] = {}
+        self._executors: dict[str, IncrementalAlpha] = {}
+        self._warmed = False
+        self.days_served = 0
+        #: Wall-clock seconds of each ``on_bar`` call.
+        self.bar_latencies: list[float] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def base_seed(self) -> int:
+        """The derived seed shared with the paired offline evaluator."""
+        return self.evaluator.base_seed
+
+    @property
+    def num_registered(self) -> int:
+        """Number of registered alpha names."""
+        return len(self.registrations)
+
+    @property
+    def num_unique(self) -> int:
+        """Number of distinct executors behind those names."""
+        return len(self._executors)
+
+    @property
+    def names(self) -> list[str]:
+        """Registered alpha names, in registration order."""
+        return [registration.name for registration in self.registrations]
+
+    # ------------------------------------------------------------------
+    def register(self, program: AlphaProgram, name: str | None = None) -> Registration:
+        """Add ``program`` to the served fleet under ``name``.
+
+        Programs whose canonical-IR fingerprint matches an already
+        registered one share that executor (``deduplicated=True``): they are
+        evaluated once per bar and their names receive the same prediction
+        array.  Registration is only allowed before :meth:`warm_start`.
+        """
+        if self._warmed:
+            raise StreamError("cannot register alphas on a warm server; "
+                              "register the whole fleet first")
+        name = name or program.name
+        if name in self._by_name:
+            raise StreamError(f"alpha name {name!r} is already registered")
+        prune_result = prune_program(program)
+        key = fingerprint(prune_result.program)
+        deduplicated = key in self._executors
+        if not deduplicated:
+            self._executors[key] = IncrementalAlpha(
+                program, self.evaluator.make_context()
+            )
+        registration = Registration(
+            name=name,
+            key=key,
+            deduplicated=deduplicated,
+            redundant=prune_result.is_redundant,
+        )
+        self.registrations.append(registration)
+        self._by_name[name] = key
+        return registration
+
+    # ------------------------------------------------------------------
+    def warm_start(self) -> None:
+        """Set up and train every unique executor over the training split.
+
+        Replays exactly the offline evaluator's training stage — same
+        feature tensors, same ``max_train_steps`` day subsample, same
+        label-reveal ordering — once per unique executor.
+        """
+        if self._warmed:
+            raise StreamError("server is already warm")
+        if not self._executors:
+            raise StreamError("no alphas registered; nothing to warm-start")
+        features = self.taskset.split_features("train")
+        labels = self.taskset.split_labels("train")
+        day_indices = self.evaluator.train_day_indices()
+        for executor in self._executors.values():
+            executor.warm_start(
+                features, labels, day_indices=day_indices,
+                use_update=self.use_update,
+            )
+        self._warmed = True
+
+    # ------------------------------------------------------------------
+    def on_bar(self, features: np.ndarray) -> dict[str, np.ndarray]:
+        """Evaluate one arriving day across the whole fleet.
+
+        ``features`` is the day's ``(K, f, w)`` feature tensor, shared by
+        every alpha.  Returns name → ``(K,)`` prediction; deduplicated names
+        reference the same array.  Call :meth:`reveal` with the realised
+        labels before the next bar.
+        """
+        if not self._warmed:
+            raise StreamError("server must be warm-started (or resumed) "
+                              "before serving bars")
+        start = time.perf_counter()
+        by_key = {
+            key: executor.step(features)
+            for key, executor in self._executors.items()
+        }
+        self.bar_latencies.append(time.perf_counter() - start)
+        self.days_served += 1
+        return {
+            registration.name: by_key[registration.key]
+            for registration in self.registrations
+        }
+
+    def reveal(self, labels: np.ndarray) -> None:
+        """Reveal the last bar's realised ``(K,)`` labels to every alpha."""
+        for executor in self._executors.values():
+            executor.reveal(labels)
+
+    # ------------------------------------------------------------------
+    def suspend(self) -> ServerState:
+        """Snapshot the whole fleet's rolling state for later resumption."""
+        if not self._warmed:
+            raise StreamError("cannot suspend a server that was never warmed")
+        return ServerState(
+            version=SERVER_STATE_VERSION,
+            base_seed=self.base_seed,
+            data_key=self._data_key,
+            days_served=self.days_served,
+            registrations={
+                registration.name: registration.key
+                for registration in self.registrations
+            },
+            tapes={
+                key: executor.suspend()
+                for key, executor in self._executors.items()
+            },
+        )
+
+    def resume(self, state: ServerState) -> None:
+        """Restore a :meth:`suspend` snapshot into this (fresh) server.
+
+        The same programs must have been registered first; the snapshot's
+        registration table, version and seed are validated against this
+        server before any state is touched.
+        """
+        if self._warmed:
+            raise StreamError("cannot resume into a server that already ran")
+        if state.version != SERVER_STATE_VERSION:
+            raise StreamError(
+                f"server state has version {state.version}, this build "
+                f"reads version {SERVER_STATE_VERSION}"
+            )
+        if state.base_seed != self.base_seed:
+            raise StreamError(
+                f"server state was produced under base seed "
+                f"{state.base_seed}, this server runs under {self.base_seed}"
+            )
+        if state.data_key != self._data_key:
+            raise StreamError(
+                "server state was produced on a different task set; "
+                "resuming it here would silently mix training histories"
+            )
+        if state.registrations != dict(self._by_name):
+            raise StreamError(
+                "server state registration table does not match this "
+                "server; register the same programs under the same names "
+                "before resuming"
+            )
+        for key, executor in self._executors.items():
+            executor.resume(state.tapes[key], days_served=state.days_served)
+        self.days_served = int(state.days_served)
+        self._warmed = True
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, float | int]:
+        """Serving statistics: fleet size, dedup wins and bar latency."""
+        latencies = np.asarray(self.bar_latencies)
+        mean_latency = float(latencies.mean()) if latencies.size else 0.0
+        p95_latency = (
+            float(np.percentile(latencies, 95)) if latencies.size else 0.0
+        )
+        total = float(latencies.sum())
+        alpha_days = self.num_registered * len(self.bar_latencies)
+        return {
+            "registered_alphas": self.num_registered,
+            "unique_executors": self.num_unique,
+            "deduplicated_alphas": self.num_registered - self.num_unique,
+            "redundant_alphas": sum(
+                1 for registration in self.registrations if registration.redundant
+            ),
+            "days_served": self.days_served,
+            "mean_bar_latency_ms": mean_latency * 1e3,
+            "p95_bar_latency_ms": p95_latency * 1e3,
+            "alpha_days_per_second": (alpha_days / total) if total > 0 else 0.0,
+        }

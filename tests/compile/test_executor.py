@@ -159,13 +159,13 @@ class TestFusedPath:
         assert compiled.fused_inference
 
         base = AlphaEvaluator(small_taskset, seed=0, max_train_steps=20)
-        ctx = base._make_context()
+        ctx = base.make_context()
         executor = CompiledAlpha(compiled, ctx)
         executor.run_setup()
         features = small_taskset.split_features("valid")
         fused = executor.run_inference_batch(features)
 
-        executor2 = CompiledAlpha(compiled, base._make_context())
+        executor2 = CompiledAlpha(compiled, base.make_context())
         executor2.run_setup()
         looped = np.zeros_like(fused)
         for day in range(features.shape[0]):
@@ -177,7 +177,7 @@ class TestFusedPath:
     def test_fused_rejected_when_ineligible(self, small_taskset):
         program = self.label_reader()
         base = AlphaEvaluator(small_taskset, seed=0)
-        executor = CompiledAlpha(compile_program(program), base._make_context())
+        executor = CompiledAlpha(compile_program(program), base.make_context())
         with pytest.raises(ValueError):
             executor.run_inference_batch(small_taskset.split_features("valid"))
 
@@ -198,7 +198,7 @@ class TestStaticHoisting:
         )
         compiled = compile_program(program)
         base = AlphaEvaluator(small_taskset, seed=0)
-        executor = CompiledAlpha(compiled, base._make_context())
+        executor = CompiledAlpha(compiled, base.make_context())
         # the two constant instructions sit in the static prologue
         assert len(executor._static_tape) == 2
         assert len(executor._tapes["predict"]) == 2

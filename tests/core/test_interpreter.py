@@ -89,9 +89,9 @@ class TestEvaluatorBasics:
 
     def test_max_train_steps_subsamples(self, small_taskset):
         fast = AlphaEvaluator(small_taskset, seed=0, max_train_steps=10)
-        assert len(fast._train_day_indices()) == 10
+        assert len(fast.train_day_indices()) == 10
         full = AlphaEvaluator(small_taskset, seed=0)
-        assert len(full._train_day_indices()) == small_taskset.split.train
+        assert len(full.train_day_indices()) == small_taskset.split.train
 
     def test_invalid_program_raises(self, evaluator):
         program = extraction_alpha()

@@ -1,0 +1,86 @@
+"""The documentation is executable: doctest API.md, link-check everything.
+
+Two guarantees keep the docs from rotting:
+
+* every ``python`` fenced block in ``docs/API.md`` is run as one sequential
+  doctest session (state carries between blocks, as the page promises), so
+  a signature change that breaks a snippet breaks the build;
+* every relative markdown link in ``README.md``, ``docs/`` and
+  ``benchmarks/README.md`` must resolve to an existing file.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib.util
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_PYTHON_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def documentation_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md", REPO_ROOT / "benchmarks" / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return files
+
+
+class TestApiSnippets:
+    def test_api_md_has_snippets(self):
+        blocks = _PYTHON_BLOCK.findall((REPO_ROOT / "docs" / "API.md").read_text())
+        assert len(blocks) >= 8
+
+    def test_api_md_snippets_run_clean(self):
+        """Run every ``python`` block of docs/API.md as one doctest session."""
+        text = (REPO_ROOT / "docs" / "API.md").read_text()
+        source = "\n".join(_PYTHON_BLOCK.findall(text))
+        parser = doctest.DocTestParser()
+        test = parser.get_doctest(source, {}, "docs/API.md", "docs/API.md", 0)
+        assert test.examples, "docs/API.md contains no doctest examples"
+        runner = doctest.DocTestRunner(verbose=False)
+        runner.run(test)
+        results = runner.summarize(verbose=False)
+        assert results.failed == 0, (
+            f"{results.failed} of {results.attempted} docs/API.md snippets failed"
+        )
+
+
+class TestBenchmarkTable:
+    def test_readme_table_matches_artifacts(self):
+        """README's 'Measured performance' table is generated, not hand-kept.
+
+        After rerunning a benchmark, regenerate the block with
+        ``python benchmarks/render_bench_table.py`` and paste it in.
+        """
+        spec = importlib.util.spec_from_file_location(
+            "render_bench_table",
+            REPO_ROOT / "benchmarks" / "render_bench_table.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        rendered = module.render()
+        readme = (REPO_ROOT / "README.md").read_text()
+        assert rendered in readme, (
+            "README.md benchmark table is stale; rerun "
+            "`python benchmarks/render_bench_table.py` and paste the output"
+        )
+
+
+class TestLinks:
+    def test_documented_files_exist(self):
+        for path in documentation_files():
+            assert path.exists(), f"missing documentation file {path}"
+
+    def test_relative_links_resolve(self):
+        broken: list[str] = []
+        for path in documentation_files():
+            for target in _MARKDOWN_LINK.findall(path.read_text()):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                candidate = (path.parent / target.split("#")[0]).resolve()
+                if not candidate.exists():
+                    broken.append(f"{path.relative_to(REPO_ROOT)} -> {target}")
+        assert not broken, "broken relative links:\n" + "\n".join(broken)

@@ -4,7 +4,14 @@ import json
 
 import pytest
 
-from repro.cli import build_inspect_parser, build_parser, main, resolve_config
+from repro.cli import (
+    build_inspect_parser,
+    build_parser,
+    build_serve_parser,
+    main,
+    resolve_config,
+    resolve_serve_config,
+)
 from repro.core import Dimensions, domain_expert_alpha
 from repro.experiments import LAPTOP, SMOKE
 
@@ -123,3 +130,62 @@ class TestInspect:
     def test_inspect_parser_requires_program(self):
         with pytest.raises(SystemExit):
             build_inspect_parser().parse_args([])
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.scale == "laptop"
+        assert args.top_k is None
+        assert args.program is None
+
+    def test_resolve_serve_config_overrides(self):
+        args = build_serve_parser().parse_args(
+            ["--scale", "smoke", "--top-k", "2", "--candidates", "50",
+             "--stocks", "44", "--seed", "9"]
+        )
+        config = resolve_serve_config(args)
+        assert config.serve_top_k == 2
+        assert config.max_candidates == 50
+        assert config.num_stocks == 44
+        assert config.search_seed == 9
+
+    def test_resolve_serve_config_default_top_k(self):
+        config = resolve_serve_config(build_serve_parser().parse_args([]))
+        assert config.serve_top_k == LAPTOP.serve_top_k == 3
+
+    def test_serve_saved_programs_end_to_end(self, capsys, tmp_path):
+        program = domain_expert_alpha(Dimensions(13, 13))
+        path = tmp_path / "alpha.json"
+        path.write_text(program.to_json())
+        exit_code = main([
+            "serve", "--scale", "smoke", "--program", str(path),
+            "--output", str(tmp_path),
+        ])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "bitwise identical" in captured
+        assert "bar latency" in captured
+        payload = json.loads((tmp_path / "serve.json").read_text())
+        assert payload["experiment"] == "serve"
+        assert payload["rows"][0]["parity"] is True
+        assert payload["metadata"]["registered_alphas"] == 1
+
+    def test_serve_missing_program_file(self, capsys, tmp_path):
+        exit_code = main(["serve", "--program", str(tmp_path / "nope.json")])
+        assert exit_code == 2
+        assert "no such program file" in capsys.readouterr().err
+
+    def test_serve_uniquifies_duplicate_program_names(self, capsys, tmp_path):
+        """Two artifacts embedding the same name serve under distinct names."""
+        program = domain_expert_alpha(Dimensions(13, 13))
+        path = tmp_path / "alpha.json"
+        path.write_text(program.to_json())
+        exit_code = main([
+            "serve", "--scale", "smoke",
+            "--program", str(path), "--program", str(path),
+        ])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert f"{program.name}#2" in captured
+        assert "1 unique executors" in captured
