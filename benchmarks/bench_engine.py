@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Benchmark: the unified execution-engine layer.
+
+Measures what the engine layer (:mod:`repro.engine`) buys on top of the
+per-program execution paths it replaced, behind a **hard bitwise-parity
+gate** across all four paths:
+
+* **parity gate** — for every benchmarked program the valid/test prediction
+  panels of the reference interpreter, the compiled day-loop
+  (``time_batched=False``), the time-batched compiled path and a
+  :class:`~repro.engine.fleet.FleetEngine` evaluation must be bit-for-bit
+  identical (non-zero exit on any divergence);
+* **fleet evaluation throughput** — evaluating an N-program fleet (with the
+  duplicate rate a real mined fleet has) through one ``FleetEngine`` — one
+  shared context, one data pass, canonical dedup — versus the per-program
+  loop of building and running a fresh evaluator per program;
+* **static-predict time batching** — for programs whose whole ``Predict()``
+  tape is day-loop invariant, the full train+inference evaluation with the
+  engine's time-batched fast path on versus off (the fast path collapses
+  the training stage into one vectorised ``(T, K, ...)`` kernel call).
+
+Results are written to ``benchmarks/results/BENCH_engine.json`` (the source
+of truth, with a copy at the repository root — see ``benchmarks/README.md``).
+
+Run with::
+
+    python benchmarks/bench_engine.py [--programs N] [--stocks K] [--smoke]
+
+``--smoke`` shrinks the universe and program count but keeps the full
+four-way parity gate — CI uses it as the engine-parity gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from common import build_programs, write_bench_json
+from repro.core import AlphaEvaluator, Dimensions
+from repro.data import MarketConfig, Split, SyntheticMarket, build_taskset
+from repro.engine import FleetEngine, run_protocol
+
+EVALUATOR_SEED = 0
+SPLITS = ("valid", "test")
+
+
+def build_taskset_for(num_stocks: int):
+    market = SyntheticMarket(
+        MarketConfig(num_stocks=num_stocks, num_days=260), seed=2021
+    )
+    return build_taskset(
+        market.generate(), split=Split(train=136, valid=40, test=40)
+    )
+
+
+def make_evaluator(taskset, **kwargs) -> AlphaEvaluator:
+    return AlphaEvaluator(
+        taskset, seed=EVALUATOR_SEED, max_train_steps=None, **kwargs
+    )
+
+
+def check_parity(taskset, programs) -> tuple[bool, int]:
+    """The hard gate: four execution paths, bitwise-identical panels.
+
+    Returns ``(parity, num_static_predict)``.
+    """
+    interpreter = make_evaluator(taskset, engine="interpreter")
+    compiled_loop = make_evaluator(taskset, time_batched=False)
+    compiled_batched = make_evaluator(taskset, time_batched=True)
+    fleet = FleetEngine(make_evaluator(taskset))
+    for program in programs:
+        fleet.add(program)
+    fleet_runs = fleet.run(splits=SPLITS)
+
+    parity = True
+    num_static = 0
+    for program in programs:
+        reference = interpreter.run(program, splits=SPLITS)
+        paths = {
+            "compiled-loop": compiled_loop.run(program, splits=SPLITS),
+            "time-batched": compiled_batched.run(program, splits=SPLITS),
+            "fleet": fleet_runs[program.name],
+        }
+        if compiled_batched.make_backend(program).supports_static_predict:
+            num_static += 1
+        for label, predictions in paths.items():
+            for split in SPLITS:
+                if predictions[split].tobytes() != reference[split].tobytes():
+                    print(f"PARITY VIOLATION: {program.name} on {split} "
+                          f"via {label}", file=sys.stderr)
+                    parity = False
+    return parity, num_static
+
+
+def bench_fleet(taskset, programs, repeats: int = 3) -> dict:
+    """Fleet evaluation through the engine vs the per-program loop."""
+    per_program = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for program in programs:
+            # the pre-engine shape: one fresh evaluator per served program
+            make_evaluator(taskset).evaluate(program)
+        per_program.append(time.perf_counter() - start)
+
+    fleet_seconds = []
+    unique = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fleet = FleetEngine(make_evaluator(taskset))
+        for program in programs:
+            fleet.add(program)
+        fleet.evaluate()
+        fleet_seconds.append(time.perf_counter() - start)
+        unique = fleet.num_unique
+
+    loop_best = min(per_program)
+    fleet_best = min(fleet_seconds)
+    return {
+        "num_programs": len(programs),
+        "unique_programs": unique,
+        "per_program_loop_seconds": round(loop_best, 4),
+        "fleet_engine_seconds": round(fleet_best, 4),
+        "programs_per_second_loop": round(len(programs) / loop_best, 2),
+        "programs_per_second_fleet": round(len(programs) / fleet_best, 2),
+        "speedup": round(loop_best / fleet_best, 2),
+    }
+
+
+def bench_static_predict(taskset, programs, repeats: int = 3) -> dict:
+    """Full evaluation of static-predict programs: day loop vs time batching."""
+    evaluator = make_evaluator(taskset)
+    static = [
+        program for program in programs
+        if evaluator.make_backend(program).supports_static_predict
+    ]
+    if not static:
+        return {"num_programs": 0}
+
+    def run_all(time_batched: bool) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for program in static:
+                run_protocol(
+                    evaluator.make_backend(program),
+                    taskset,
+                    splits=SPLITS,
+                    day_indices=evaluator.train_day_indices(),
+                    time_batched=time_batched,
+                )
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    loop_seconds = run_all(time_batched=False)
+    batched_seconds = run_all(time_batched=True)
+    return {
+        "num_programs": len(static),
+        "day_loop_seconds": round(loop_seconds, 4),
+        "time_batched_seconds": round(batched_seconds, 4),
+        "speedup": round(loop_seconds / batched_seconds, 1),
+    }
+
+
+def run_benchmark(num_programs: int = 18, num_stocks: int = 40) -> dict:
+    taskset = build_taskset_for(num_stocks)
+    dims = Dimensions(taskset.num_features, taskset.window)
+    # max_mutations=6 over three cycling bases yields the duplicate rate a
+    # mined fleet has (identical early candidates dedup canonically).
+    programs = build_programs(dims, num_programs, max_mutations=6, rename=True)
+
+    parity, num_static = check_parity(taskset, programs)
+    fleet = bench_fleet(taskset, programs)
+    static = bench_static_predict(taskset, programs)
+
+    return {
+        "benchmark": "unified execution engine: fleet batching and "
+                     "static-predict time vectorization",
+        "num_programs": len(programs),
+        "num_stocks": taskset.num_tasks,
+        "train_days": taskset.split.train,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "parity_interpreter_compiled_fleet_time_batched": bool(parity),
+        "static_predict_programs": num_static,
+        "fleet_evaluation": fleet,
+        "static_predict_time_batching": static,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--programs", type=int, default=18,
+                        help="number of programs in the benchmarked fleet")
+    parser.add_argument("--stocks", type=int, default=40,
+                        help="number of simulated stocks")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fleet/universe; used as the CI "
+                             "engine-parity gate")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        payload = run_benchmark(num_programs=8, num_stocks=30)
+    else:
+        payload = run_benchmark(args.programs, args.stocks)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    if not args.smoke:
+        path = write_bench_json("engine", payload)
+        print(f"\nsaved {path}")
+
+    if not payload["parity_interpreter_compiled_fleet_time_batched"]:
+        print("ERROR: execution paths diverge bitwise", file=sys.stderr)
+        return 1
+    if payload["static_predict_programs"] < 1:
+        print("ERROR: no static-predict program exercised the time-batched "
+              "path", file=sys.stderr)
+        return 1
+    static = payload["static_predict_time_batching"]
+    if not args.smoke and static.get("speedup", 0.0) < 1.5:
+        print("ERROR: static-predict time batching is less than 1.5x faster "
+              f"than the day loop ({static.get('speedup')}x)", file=sys.stderr)
+        return 1
+    if args.smoke:
+        print("\nengine-parity smoke check passed "
+              f"({payload['num_programs']} programs, "
+              f"{payload['static_predict_programs']} static-predict, "
+              "4 execution paths bitwise identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
 """Render the README's benchmark table from the ``BENCH_*.json`` artifacts.
 
-Reads ``benchmarks/results/BENCH_{parallel,compile,stream}.json`` (the
-single source of truth — see ``benchmarks/README.md``) and prints the
-markdown table embedded in ``README.md`` under "Measured performance", so
-the published numbers are always regenerable from the artifacts that back
-them.  Missing artifacts are skipped with a note instead of failing, so the
-table can be rendered from a partial benchmark run.
+Auto-discovers every ``benchmarks/results/BENCH_*.json`` (the single source
+of truth — see ``benchmarks/README.md``) and prints the markdown table
+embedded in ``README.md`` under "Measured performance", so the published
+numbers are always regenerable from the artifacts that back them.  Known
+benchmarks render their headline rows through the registry below; an
+artifact without a registered renderer still appears as a generic row, so a
+new ``bench_*.py`` shows up in the table the moment its JSON lands.
+Missing artifacts simply do not contribute rows, so the table can be
+rendered from a partial benchmark run.
 
 Run with::
 
@@ -21,60 +24,128 @@ from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
+Row = tuple[str, str, str]
 
-def _load(name: str) -> dict | None:
-    path = RESULTS_DIR / f"BENCH_{name}.json"
-    if not path.exists():
-        print(f"note: {path} missing; run benchmarks/bench_{name}.py",
-              file=sys.stderr)
-        return None
-    return json.loads(path.read_text())
+
+def discover() -> dict[str, dict]:
+    """name → payload for every ``BENCH_<name>.json`` in the results dir."""
+    artifacts: dict[str, dict] = {}
+    for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        try:
+            artifacts[name] = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:  # pragma: no cover - corrupt file
+            print(f"note: skipping unreadable {path}: {exc}", file=sys.stderr)
+    return artifacts
+
+
+# ---------------------------------------------------------------------------
+# Per-benchmark headline renderers (name -> payload -> rows)
+# ---------------------------------------------------------------------------
+
+def _render_compile(payload: dict) -> list[Row]:
+    return [
+        (
+            "compiled tape vs interpreter (inference stage)",
+            f"{payload['inference_speedup']}x",
+            f"`bench_compile.py`, {payload['num_programs']} programs, "
+            "bitwise parity",
+        ),
+        (
+            "compiled tape vs interpreter (full evaluation)",
+            f"{payload['full_speedup']}x",
+            f"`bench_compile.py`, "
+            f"{payload['compiled']['full_candidates_per_second']} "
+            "candidates/s compiled",
+        ),
+    ]
+
+
+def _render_parallel(payload: dict) -> list[Row]:
+    workers = payload.get("workers", {})
+    serial = payload["serial_baseline"]["candidates_per_second"]
+    if not workers or not serial:
+        return []
+    count, best = max(
+        workers.items(), key=lambda item: item[1]["candidates_per_second"]
+    )
+    return [(
+        f"evaluation pool, {count} workers vs serial",
+        f"{best['candidates_per_second'] / serial:.2f}x",
+        f"`bench_parallel.py` on {payload['cpu_count']} CPU(s), "
+        "bitwise parity",
+    )]
+
+
+def _render_stream(payload: dict) -> list[Row]:
+    return [(
+        "incremental serving vs full recompute (per arriving day)",
+        f"{payload['speedup_vs_full_recompute']}x",
+        f"`bench_stream.py`, {payload['warm_history_days']}-day warm "
+        f"history, {payload['incremental']['mean_bar_latency_ms']} ms "
+        "mean bar latency, bitwise parity",
+    )]
+
+
+def _render_engine(payload: dict) -> list[Row]:
+    rows: list[Row] = []
+    static = payload.get("static_predict_time_batching", {})
+    if static.get("num_programs"):
+        rows.append((
+            "static-predict time batching vs per-day loop (full evaluation)",
+            f"{static['speedup']}x",
+            f"`bench_engine.py`, {static['num_programs']} static-predict "
+            "programs, 4-way bitwise parity",
+        ))
+    fleet = payload.get("fleet_evaluation", {})
+    if fleet.get("num_programs"):
+        rows.append((
+            "fleet evaluation through one engine vs per-program loop",
+            f"{fleet['speedup']}x",
+            f"`bench_engine.py`, {fleet['num_programs']} programs "
+            f"({fleet['unique_programs']} unique after canonical dedup), "
+            f"{fleet['programs_per_second_fleet']} programs/s",
+        ))
+    return rows
+
+
+def _render_generic(name: str, payload: dict) -> list[Row]:
+    """Fallback row for an artifact without a registered renderer."""
+    speedup = payload.get("speedup") or payload.get("headline_speedup")
+    if speedup is None:
+        print(f"note: BENCH_{name}.json has no registered renderer and no "
+              "top-level 'speedup' key; add one to RENDERERS in "
+              "render_bench_table.py", file=sys.stderr)
+        return []
+    return [(
+        payload.get("benchmark", name),
+        f"{speedup}x",
+        f"`bench_{name}.py`",
+    )]
+
+
+#: Known headline renderers, in the order their rows appear in the table.
+RENDERERS = {
+    "compile": _render_compile,
+    "parallel": _render_parallel,
+    "stream": _render_stream,
+    "engine": _render_engine,
+}
 
 
 def render() -> str:
     """The markdown benchmark table (one row per recorded headline number)."""
-    rows: list[tuple[str, str, str]] = []
-
-    compile_bench = _load("compile")
-    if compile_bench:
-        rows.append((
-            "compiled tape vs interpreter (inference stage)",
-            f"{compile_bench['inference_speedup']}x",
-            f"`bench_compile.py`, {compile_bench['num_programs']} programs, "
-            "bitwise parity",
-        ))
-        rows.append((
-            "compiled tape vs interpreter (full evaluation)",
-            f"{compile_bench['full_speedup']}x",
-            f"`bench_compile.py`, "
-            f"{compile_bench['compiled']['full_candidates_per_second']} "
-            "candidates/s compiled",
-        ))
-
-    parallel_bench = _load("parallel")
-    if parallel_bench:
-        workers = parallel_bench.get("workers", {})
-        serial = parallel_bench["serial_baseline"]["candidates_per_second"]
-        if workers and serial:
-            count, best = max(
-                workers.items(), key=lambda item: item[1]["candidates_per_second"]
-            )
-            rows.append((
-                f"evaluation pool, {count} workers vs serial",
-                f"{best['candidates_per_second'] / serial:.2f}x",
-                f"`bench_parallel.py` on {parallel_bench['cpu_count']} CPU(s), "
-                "bitwise parity",
-            ))
-
-    stream_bench = _load("stream")
-    if stream_bench:
-        rows.append((
-            "incremental serving vs full recompute (per arriving day)",
-            f"{stream_bench['speedup_vs_full_recompute']}x",
-            f"`bench_stream.py`, {stream_bench['warm_history_days']}-day warm "
-            f"history, {stream_bench['incremental']['mean_bar_latency_ms']} ms "
-            "mean bar latency, bitwise parity",
-        ))
+    artifacts = discover()
+    rows: list[Row] = []
+    for name, renderer in RENDERERS.items():
+        payload = artifacts.pop(name, None)
+        if payload is None:
+            print(f"note: benchmarks/results/BENCH_{name}.json missing; "
+                  f"run benchmarks/bench_{name}.py", file=sys.stderr)
+            continue
+        rows.extend(renderer(payload))
+    for name, payload in artifacts.items():  # discovered but unregistered
+        rows.extend(_render_generic(name, payload))
 
     lines = [
         "| workload | speedup | details |",

@@ -12,6 +12,9 @@ Public API highlights
 * :mod:`repro.data`       — synthetic NASDAQ-like market, features, task sets
 * :mod:`repro.core`       — the alpha language, evaluator, pruning and search
 * :mod:`repro.compile`    — SSA IR, optimiser passes and the fused executor
+* :mod:`repro.engine`     — the unified execution-engine layer: one
+  train/inference protocol implementation, selectable backends
+  (interpreter / compiled), fleet evaluation and time-batched fast paths
 * :mod:`repro.backtest`   — long-short portfolio backtesting and metrics
 * :mod:`repro.parallel`   — worker-pool evaluation, island evolution and
   checkpoint/resume for the search
@@ -24,7 +27,8 @@ See ``docs/ARCHITECTURE.md`` for the subsystem map and ``docs/API.md`` for
 runnable (doctested) examples of the public surface.
 """
 
-from . import backtest, compile, config, core, data, errors, parallel, stream
+from . import backtest, compile, config, core, data, engine, errors, parallel, stream
+from .engine import ExecutionEngine, FleetEngine
 from .stream import AlphaServer, IncrementalAlpha, OnlineBacktestDriver
 from .backtest import BacktestEngine, BacktestResult, sharpe_ratio
 from .core import (
@@ -66,6 +70,8 @@ __all__ = [
     "Dimensions",
     "EvolutionConfig",
     "EvolutionController",
+    "ExecutionEngine",
+    "FleetEngine",
     "IncrementalAlpha",
     "MarketConfig",
     "MinedAlpha",
@@ -87,6 +93,7 @@ __all__ = [
     "core",
     "data",
     "domain_expert_alpha",
+    "engine",
     "errors",
     "parallel",
     "get_initialization",

@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli table3 --scale smoke   # quick pass of Table 3
     python -m repro.cli all --output results/  # everything, saved as JSON
     python -m repro.cli inspect alpha.json     # show pruned/compiled forms
+    python -m repro.cli ops                    # print the operator registry
     python -m repro.cli serve --scale smoke    # mine top-K alphas, serve online
 
 Each experiment command prints the regenerated table (in the paper's layout)
@@ -67,7 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the AlphaEvolve paper's tables and figure.",
         epilog="Additional subcommands: 'repro inspect <program.json>' renders "
                "a saved alpha next to its pruned and compiled forms with "
-               "per-pass optimiser statistics; 'repro serve' mines a top-K "
+               "per-pass optimiser statistics; 'repro ops' prints the "
+               "alpha-language operator registry; 'repro serve' mines a top-K "
                "alpha fleet and streams it through the online AlphaServer "
                "with a bitwise parity check against the offline batch path.",
     )
@@ -116,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
              "compiled tape (results are bitwise identical either way)",
     )
     parser.add_argument(
+        "--engine", choices=["interpreter", "compiled"], default=None,
+        help="execution engine candidates run on (default: compiled; "
+             "results are bitwise identical across engines)",
+    )
+    parser.add_argument(
         "--output", default=None,
         help="directory to write <experiment>.json result files into",
     )
@@ -146,6 +153,8 @@ def resolve_config(args: argparse.Namespace) -> ExperimentConfig:
         overrides["checkpoint_dir"] = args.checkpoint
     if args.no_compile:
         overrides["use_compile"] = False
+    if args.engine is not None:
+        overrides["engine"] = args.engine
     if overrides:
         config = config.scaled(**overrides)
     return config
@@ -177,6 +186,71 @@ def run_inspect(argv: list[str]) -> int:
         return 2
     program = AlphaProgram.from_json(path.read_text())
     print(describe_compilation(program))
+    return 0
+
+
+def build_ops_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``ops`` subcommand (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro ops",
+        description="Print the alpha-language operator registry: name, "
+                    "kind, arity, operand types, constant parameters and "
+                    "the components each operator may appear in.",
+    )
+    parser.add_argument(
+        "--kind",
+        choices=["arithmetic", "extraction", "relation", "init"],
+        default=None,
+        help="only show operators of this kind",
+    )
+    parser.add_argument(
+        "--component",
+        choices=["setup", "predict", "update"],
+        default=None,
+        help="only show operators allowed in this component",
+    )
+    return parser
+
+
+def render_ops_table(kind: str | None = None,
+                     component: str | None = None) -> str:
+    """The operator-registry table printed by ``repro ops``."""
+    from .core.ops import OpKind, list_ops
+
+    specs = list_ops(
+        kind=OpKind(kind) if kind is not None else None,
+        component=component,
+    )
+    header = ("name", "kind", "arity", "signature", "params", "components")
+    rows = [header]
+    for spec in sorted(specs, key=lambda spec: (spec.kind.value, spec.name)):
+        inputs = ", ".join(t.value for t in spec.input_types) or "-"
+        rows.append((
+            spec.name,
+            spec.kind.value,
+            str(spec.arity),
+            f"({inputs}) -> {spec.output_type.value}",
+            ", ".join(spec.param_names) or "-",
+            ", ".join(
+                name for name in ("setup", "predict", "update")
+                if name in spec.components
+            ),
+        ))
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    lines.append("")
+    lines.append(f"{len(specs)} operators")
+    return "\n".join(lines)
+
+
+def run_ops(argv: list[str]) -> int:
+    """Entry point of ``repro ops``."""
+    args = build_ops_parser().parse_args(argv)
+    print(render_ops_table(kind=args.kind, component=args.component))
     return 0
 
 
@@ -304,6 +378,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "inspect":
         return run_inspect(argv[1:])
+    if argv and argv[0] == "ops":
+        return run_ops(argv[1:])
     if argv and argv[0] == "serve":
         return run_serve_command(argv[1:])
     args = build_parser().parse_args(argv)

@@ -54,6 +54,14 @@ class CompiledProgram:
     #: when ``Predict()`` neither reads the label nor reads an operand it
     #: also writes, i.e. the trained memory is static across inference days.
     fused_inference: bool = False
+    #: Whether the *entire* ``Predict()`` tape is day-loop invariant:
+    #: ``fused_inference`` plus no dependence on any ``Update()``-carried
+    #: operand.  Then ``Predict()`` sees identical operand state on every
+    #: day of the run — training days included — and the engine layer
+    #: (:mod:`repro.engine.protocol`) may execute *all* days of a stage in
+    #: one vectorised ``(T, K, ...)`` kernel call instead of a per-day
+    #: Python loop.
+    static_predict: bool = False
 
     @property
     def num_instructions(self) -> int:
@@ -69,6 +77,22 @@ def _fused_eligible(ir: IRProgram, dataflow: DataflowInfo) -> bool:
     return not (live_in & set(predict.exports))
 
 
+def _static_predict_eligible(ir: IRProgram, dataflow: DataflowInfo,
+                             fused: bool) -> bool:
+    """Whether ``Predict()`` is invariant across the whole day loop.
+
+    On top of fused-inference eligibility, ``Predict()`` must read no
+    operand that ``Update()`` writes: then its non-``m0`` inputs come from
+    ``Setup()`` alone and are identical on every day of the run (training
+    days included), which is what licenses the engine layer's
+    static-predict time batching.
+    """
+    if not fused:
+        return False
+    live_in = dataflow.live_in["predict"]
+    return not (live_in & set(ir.components["update"].exports))
+
+
 def compile_program(program: AlphaProgram) -> CompiledProgram:
     """Compile ``program`` through the execution pipeline."""
     ir = lower_program(program)
@@ -77,12 +101,14 @@ def compile_program(program: AlphaProgram) -> CompiledProgram:
     stats.append(cse_stats)
     ir, dse_stats, dataflow = eliminate_dead_code(ir)
     stats.append(dse_stats)
+    fused = _fused_eligible(ir, dataflow)
     return CompiledProgram(
         program=program,
         ir=ir,
         pass_stats=stats,
         dataflow=dataflow,
-        fused_inference=_fused_eligible(ir, dataflow),
+        fused_inference=fused,
+        static_predict=_static_predict_eligible(ir, dataflow, fused),
     )
 
 
@@ -137,6 +163,11 @@ def describe_compilation(program: AlphaProgram) -> str:
         "fused batched inference: "
         + ("yes" if compiled.fused_inference else "no (predict reads its own "
            "writes or the label)")
+    )
+    lines.append(
+        "static-predict time batching: "
+        + ("yes" if compiled.static_predict else "no (predict depends on "
+           "loop-carried state)")
     )
     lines.append(compiled.ir.render())
 

@@ -248,6 +248,18 @@ class CompiledAlpha:
         """Whether the inference stage can run as one batched tape pass."""
         return self.compiled.fused_inference
 
+    @property
+    def supports_static_predict(self) -> bool:
+        """Whether the whole ``Predict()`` tape is day-loop invariant.
+
+        True when, beyond fused-inference eligibility, ``Predict()`` reads
+        no ``Update()``-carried operand — so the engine layer may run even
+        the *training-stage* predictions as one batched
+        :meth:`run_inference_batch` call (see
+        :func:`repro.engine.protocol.training_pass`).
+        """
+        return self.compiled.static_predict
+
     # ------------------------------------------------------------------
     def set_input(self, features: np.ndarray) -> None:
         """Load one day's feature matrices into ``m0``."""

@@ -21,8 +21,12 @@ eliminated if they are correlated with a given set of alphas".
 That prune → cache → evaluate → cutoff pipeline lives in
 :class:`CandidateScorer` so that the serial :class:`EvolutionController` and
 the island-model controller in :mod:`repro.parallel.islands` share one
-scoring path; the scorer optionally dispatches evaluations to a
-:class:`repro.parallel.pool.EvaluationPool` of worker processes.
+scoring path.  Cache misses evaluate either on worker processes
+(:class:`repro.parallel.pool.EvaluationPool`) or — serially — as one
+:class:`repro.engine.fleet.FleetEngine` batch over a shared execution
+context and data pass; both run the single protocol implementation of
+:mod:`repro.engine.protocol` on the engine named by
+:attr:`EvolutionConfig.engine`.
 """
 
 from __future__ import annotations
@@ -69,16 +73,36 @@ class EvolutionConfig:
     max_candidates: int | None = 2000
     max_seconds: float | None = None
     use_pruning: bool = True
-    #: Execute candidates through the compilation pipeline
-    #: (:mod:`repro.compile`) instead of the reference interpreter loop.
-    #: Results are bitwise identical; the CLI exposes ``--no-compile`` as an
-    #: escape hatch.
+    #: Legacy engine selector: execute candidates through the compilation
+    #: pipeline (:mod:`repro.compile`) instead of the reference interpreter
+    #: loop.  Results are bitwise identical; the CLI exposes
+    #: ``--no-compile`` as an escape hatch.  Superseded by ``engine``.
     use_compile: bool = True
+    #: Execution-engine name candidates run on (see
+    #: :data:`repro.engine.ENGINES`); overrides ``use_compile`` when set.
+    #: The CLI exposes it as ``--engine``.
+    engine: str | None = None
     log_every: int = 0
     num_workers: int = 1
     num_islands: int = 1
 
+    @property
+    def execution_engine(self) -> str:
+        """The resolved engine name (``engine`` over the legacy flag)."""
+        from ..engine import resolve_engine
+
+        return resolve_engine(self.engine, self.use_compile)
+
     def __post_init__(self) -> None:
+        # Validate the engine name eagerly so a typo fails at configuration
+        # time, not in a worker process mid-search — raising the same error
+        # type as every other invalid field of this config.
+        from ..errors import EngineError
+
+        try:
+            self.execution_engine
+        except EngineError as exc:
+            raise EvolutionError(str(exc)) from exc
         if self.population_size < 2:
             raise EvolutionError("population_size must be at least 2")
         if self.tournament_size < 1 or self.tournament_size > self.population_size:
@@ -280,13 +304,24 @@ class CandidateScorer:
         if self.pool is not None:
             outcomes = self.pool.evaluate_detailed([item.program for item in pending])
             return [(outcome.report, outcome.valid_returns) for outcome in outcomes]
+        # Imported lazily: repro.engine builds on repro.core submodules.
+        from ..engine import FleetEngine
+
         cutoff_active = (
             self.correlation_filter is not None
             and self.correlation_filter.num_references > 0
         )
+        # The whole batch of cache misses evaluates as one fleet over a
+        # shared context and data pass.  Deduplication stays off: the cache
+        # layer above already decided which candidates share an evaluation,
+        # and the pruning-disabled ablation must not dedup behind its back.
+        fleet = FleetEngine(self.evaluator, dedup=False)
+        for index, item in enumerate(pending):
+            fleet.add(item.program, name=f"candidate-{index}")
+        evaluated = fleet.evaluate()
         results = []
-        for item in pending:
-            result = self.evaluator.evaluate(item.program)
+        for index in range(len(pending)):
+            result = evaluated[f"candidate-{index}"]
             valid_returns = None
             if cutoff_active and result.is_valid:
                 valid_returns = self.backtest_engine.portfolio_returns(

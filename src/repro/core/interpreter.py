@@ -1,19 +1,21 @@
-"""Vectorised execution of alpha programs over a task set.
+"""Evaluation of alpha programs over a task set (the engine-layer facade).
 
-The evaluator implements the training / inference protocol of Section 2:
+The evaluator owns the *evaluation policy* of Section 2 — which splits
+exist, how training days are subsampled, how a prediction panel turns into
+a fitness — and delegates all *execution* to the unified engine layer
+(:mod:`repro.engine`):
 
-* **Training stage** — for every training day ``t`` (in chronological order)
-  the input matrix ``m0`` is set to the day's feature matrices, ``Predict()``
-  runs, and then the label ``s0`` is revealed and ``Update()`` runs.  Memory
-  persists across days, so operands written by ``Update()`` accumulate
-  long-term information: they are the alpha's *parameters*.
-* **Inference stage** — the trained memory is carried over; for every
-  validation/test day only ``Predict()`` runs and the value left in ``s1`` is
-  recorded as the prediction.  The realised label is written into ``s0``
-  *after* the prediction is recorded (it is known the next day), so alphas
-  may use recent returns as features without look-ahead.
-
-``Setup()`` runs once before the training stage.
+* the train/inference label-reveal protocol is implemented exactly once, in
+  :mod:`repro.engine.protocol` (this module historically held two copies of
+  that day-loop; both are gone);
+* the execution backend is selected by name — ``"interpreter"`` for the
+  reference per-operation loop, ``"compiled"`` for the flat-tape pipeline
+  of :mod:`repro.compile` — via :func:`repro.engine.make_backend`; the
+  historical ``compiled=`` flag maps onto those names and keeps working;
+* the engine's time-vectorised fast paths (fused inference, static-predict
+  time batching) are enabled by default and are bitwise identical to the
+  day loop, a contract gated by ``benchmarks/bench_engine.py`` and the
+  ``tests/engine`` parity suite.
 
 The evaluator executes every operation for all ``K`` stocks at once (see
 :mod:`repro.core.memory`), which is what makes the cross-sectional
@@ -30,7 +32,6 @@ from ..config import AddressSpace, DEFAULT_ADDRESS_SPACE, make_rng
 from ..data.dataset import TaskSet
 from ..errors import ExecutionError
 from .fitness import FitnessReport, INVALID_FITNESS, daily_ic, mean_ic
-from .memory import INPUT_MATRIX, LABEL, Memory, PREDICTION
 from .ops import ExecutionContext
 from .program import AlphaProgram
 
@@ -87,13 +88,20 @@ class AlphaEvaluator:
     evaluate_test:
         Whether :meth:`evaluate` also produces test-split predictions.
     compiled:
-        When True (the default) programs execute through the compilation
-        pipeline (:mod:`repro.compile`): a flat instruction tape with
-        pre-resolved dispatch and preallocated slots, and a fused batched
-        inference stage when the trained memory is static across days.
-        Results are bitwise identical to the interpreter loop
-        (``compiled=False``, the reference implementation and the
-        ``--no-compile`` escape hatch).
+        Legacy engine selector, kept for compatibility: ``True`` (the
+        default) maps to ``engine="compiled"``, ``False`` to
+        ``engine="interpreter"``.  Results are bitwise identical either
+        way.
+    engine:
+        Execution-engine name from :data:`repro.engine.ENGINES`
+        (``"interpreter"`` / ``"compiled"``); overrides ``compiled`` when
+        given.
+    time_batched:
+        Whether the engine layer may collapse eligible stages into one
+        vectorised kernel call (fused inference, static-predict time
+        batching).  On by default; results are bitwise identical with it
+        off — the flag exists so benchmarks and the parity suite can A/B
+        the fast paths.
     """
 
     def __init__(
@@ -105,12 +113,17 @@ class AlphaEvaluator:
         use_update: bool = True,
         evaluate_test: bool = True,
         compiled: bool = True,
+        engine: str | None = None,
+        time_batched: bool = True,
     ) -> None:
         if taskset.num_features != taskset.window:
             raise ExecutionError(
                 "the alpha language requires square feature matrices (f == w); "
                 f"got f={taskset.num_features}, w={taskset.window}"
             )
+        # Imported lazily: repro.engine builds on repro.core submodules.
+        from ..engine import resolve_engine
+
         self.taskset = taskset
         self.address_space = address_space
         self._seed_rng = make_rng(seed)
@@ -118,11 +131,17 @@ class AlphaEvaluator:
         self.max_train_steps = max_train_steps
         self.use_update = use_update
         self.evaluate_test = evaluate_test
-        self.compiled = bool(compiled)
+        self.engine = resolve_engine(engine, compiled)
+        self.time_batched = bool(time_batched)
         self._sector_index = taskset.taxonomy.group_index("sector")
         self._industry_index = taskset.taxonomy.group_index("industry")
 
     # ------------------------------------------------------------------
+    @property
+    def compiled(self) -> bool:
+        """Legacy view of the engine selection (``engine == "compiled"``)."""
+        return self.engine == "compiled"
+
     @property
     def base_seed(self) -> int:
         """The derived seed all evaluation RNGs start from.
@@ -137,10 +156,11 @@ class AlphaEvaluator:
     def make_context(self) -> ExecutionContext:
         """A fresh :class:`ExecutionContext` for one program execution.
 
-        :meth:`run` builds one per call; the streaming subsystem
-        (:mod:`repro.stream`) builds one per registered alpha through this
-        same method, which is what keeps online serving bitwise identical to
-        the offline batch path.
+        :meth:`run` builds one per call; the engine layer
+        (:class:`~repro.engine.fleet.FleetEngine`) and the streaming
+        subsystem (:mod:`repro.stream`) build theirs through this same
+        method, which is what keeps fleet evaluation and online serving
+        bitwise identical to the offline batch path.
         """
         return ExecutionContext(
             num_tasks=self.taskset.num_tasks,
@@ -156,10 +176,9 @@ class AlphaEvaluator:
         """The training-day subsample the (single-epoch) training pass visits.
 
         With ``max_train_steps`` unset this is every training day in order;
-        otherwise the days are subsampled evenly.  Public because the
-        streaming subsystem (:mod:`repro.stream`) must warm-start its
-        executors over *exactly* this subsample to stay bitwise identical to
-        the offline batch path.
+        otherwise the days are subsampled evenly.  Public because the engine
+        and streaming layers must warm their executors over *exactly* this
+        subsample to stay bitwise identical to the offline batch path.
         """
         train_days = self.taskset.split.train
         if self.max_train_steps is None or self.max_train_steps >= train_days:
@@ -167,6 +186,18 @@ class AlphaEvaluator:
         return np.linspace(0, train_days - 1, self.max_train_steps).astype(np.int64)
 
     # ------------------------------------------------------------------
+    def make_backend(self, program: AlphaProgram):
+        """A fresh execution backend for ``program`` under this evaluator."""
+        # Imported lazily: repro.engine builds on repro.core submodules.
+        from ..engine import make_backend
+
+        return make_backend(
+            program,
+            self.make_context(),
+            engine=self.engine,
+            address_space=self.address_space,
+        )
+
     def run(
         self,
         program: AlphaProgram,
@@ -177,138 +208,37 @@ class AlphaEvaluator:
 
         The training pass always runs (one epoch over the training days); the
         returned dictionary maps each requested split name to an array of
-        shape ``(num_days_in_split, K)``.
+        shape ``(num_days_in_split, K)``.  Execution is delegated to the
+        single protocol implementation in :mod:`repro.engine.protocol`.
         """
-        use_update = self.use_update if use_update is None else use_update
-        program.validate(self.address_space)
+        # Imported lazily: repro.engine builds on repro.core submodules.
+        from ..engine import run_protocol
 
-        ctx = self.make_context()
-        if self.compiled:
-            return self._run_compiled(program, splits, use_update, ctx)
-        memory = Memory(
-            num_tasks=self.taskset.num_tasks,
-            num_features=self.taskset.num_features,
-            window=self.taskset.window,
-            address_space=self.address_space,
+        use_update = self.use_update if use_update is None else use_update
+        # Validation happens inside the backend constructor (every backend
+        # validates against this evaluator's address space).
+        return run_protocol(
+            self.make_backend(program),
+            self.taskset,
+            splits=splits,
+            day_indices=self.train_day_indices(),
+            use_update=use_update,
+            time_batched=self.time_batched,
         )
 
-        setup_ops = [(op.spec, op.inputs, op.output, op.param_dict) for op in program.setup]
-        predict_ops = [(op.spec, op.inputs, op.output, op.param_dict) for op in program.predict]
-        update_ops = [(op.spec, op.inputs, op.output, op.param_dict) for op in program.update]
-
-        def execute(op_list) -> None:
-            for spec, inputs, output, params in op_list:
-                arrays = tuple(memory.read(operand) for operand in inputs)
-                memory.write(output, spec(ctx, arrays, params))
-
-        execute(setup_ops)
-
-        # ----- training stage (single epoch, Section 5.2) -----
-        train_features = self.taskset.split_features("train")
-        train_labels = self.taskset.split_labels("train")
-        train_predictions = np.zeros((train_features.shape[0], self.taskset.num_tasks))
-        for day in self.train_day_indices():
-            memory.write(INPUT_MATRIX, train_features[day])
-            execute(predict_ops)
-            train_predictions[day] = memory.read(PREDICTION)
-            memory.write(LABEL, train_labels[day])
-            if use_update:
-                execute(update_ops)
-
-        predictions: dict[str, np.ndarray] = {}
-        if "train" in splits:
-            predictions["train"] = train_predictions
-
-        # ----- inference stage -----
-        for split in ("valid", "test"):
-            if split not in splits:
-                continue
-            features = self.taskset.split_features(split)
-            labels = self.taskset.split_labels(split)
-            split_predictions = np.zeros((features.shape[0], self.taskset.num_tasks))
-            for day in range(features.shape[0]):
-                memory.write(INPUT_MATRIX, features[day])
-                execute(predict_ops)
-                split_predictions[day] = memory.read(PREDICTION)
-                memory.write(LABEL, labels[day])
-            predictions[split] = split_predictions
-        return predictions
-
     # ------------------------------------------------------------------
-    def _run_compiled(
+    def score(
         self,
         program: AlphaProgram,
-        splits: tuple[str, ...],
-        use_update: bool,
-        ctx,
-    ) -> dict[str, np.ndarray]:
-        """The compiled counterpart of :meth:`run` (bitwise identical).
-
-        The training stage keeps its sequential per-day loop (labels are
-        revealed between days) but runs on the flat tape; the inference
-        stage collapses into one batched tape pass whenever the program is
-        eligible (see :mod:`repro.compile.executor`).
-        """
-        # Imported lazily: repro.compile depends on repro.core submodules.
-        from ..compile import CompiledAlpha, compile_program
-
-        executor = CompiledAlpha(compile_program(program), ctx)
-        executor.run_setup()
-
-        # ----- training stage (single epoch, Section 5.2) -----
-        train_features = self.taskset.split_features("train")
-        train_labels = self.taskset.split_labels("train")
-        train_predictions = np.zeros((train_features.shape[0], self.taskset.num_tasks))
-        for day in self.train_day_indices():
-            executor.set_input(train_features[day])
-            executor.run_predict()
-            train_predictions[day] = executor.prediction
-            executor.set_label(train_labels[day])
-            if use_update:
-                executor.run_update()
-
-        predictions: dict[str, np.ndarray] = {}
-        if "train" in splits:
-            predictions["train"] = train_predictions
-
-        # ----- inference stage (fused into one batched pass if eligible) ---
-        for split in ("valid", "test"):
-            if split not in splits:
-                continue
-            features = self.taskset.split_features(split)
-            labels = self.taskset.split_labels(split)
-            if executor.supports_fused_inference:
-                # Predict() reads neither the label nor its own writes, so
-                # the day loop (and the post-prediction label reveal) is
-                # unobservable — all days batch into one tape pass.
-                predictions[split] = executor.run_inference_batch(features)
-                continue
-            split_predictions = np.zeros((features.shape[0], self.taskset.num_tasks))
-            for day in range(features.shape[0]):
-                executor.set_input(features[day])
-                executor.run_predict()
-                split_predictions[day] = executor.prediction
-                executor.set_label(labels[day])
-            predictions[split] = split_predictions
-        return predictions
-
-    # ------------------------------------------------------------------
-    def evaluate(
-        self,
-        program: AlphaProgram,
-        use_update: bool | None = None,
+        predictions: dict[str, np.ndarray],
     ) -> EvaluationResult:
-        """Train and score ``program``; never raises on numerical failures.
+        """Turn a prediction panel into an :class:`EvaluationResult`.
 
-        Structural failures (invalid operands, disallowed operators) do raise
-        :class:`~repro.errors.ProgramError` because they indicate a bug in the
-        caller (the mutator never produces them); numerical degeneracies such
-        as constant predictions yield an invalid :class:`EvaluationResult`
-        with the sentinel fitness instead.
+        The scoring half of :meth:`evaluate`, split out so the fleet engine
+        (:meth:`repro.engine.fleet.FleetEngine.evaluate`) can score
+        predictions it produced over a shared data pass with exactly the
+        evaluator's fitness semantics.
         """
-        splits: tuple[str, ...] = ("valid", "test") if self.evaluate_test else ("valid",)
-        predictions = self.run(program, splits=splits, use_update=use_update)
-
         valid_preds = predictions["valid"]
         valid_labels = self.taskset.split_labels("valid")
         per_day_variance = valid_preds.std(axis=1)
@@ -337,3 +267,20 @@ class AlphaEvaluator:
             daily_ic_valid=ic_series,
             is_valid=True,
         )
+
+    def evaluate(
+        self,
+        program: AlphaProgram,
+        use_update: bool | None = None,
+    ) -> EvaluationResult:
+        """Train and score ``program``; never raises on numerical failures.
+
+        Structural failures (invalid operands, disallowed operators) do raise
+        :class:`~repro.errors.ProgramError` because they indicate a bug in the
+        caller (the mutator never produces them); numerical degeneracies such
+        as constant predictions yield an invalid :class:`EvaluationResult`
+        with the sentinel fitness instead.
+        """
+        splits: tuple[str, ...] = ("valid", "test") if self.evaluate_test else ("valid",)
+        predictions = self.run(program, splits=splits, use_update=use_update)
+        return self.score(program, predictions)

@@ -148,7 +148,7 @@ class MiningSession:
             seed=int(self.rng.integers(0, 2**31 - 1)),
             max_train_steps=self.max_train_steps,
             use_update=use_update,
-            compiled=self.evolution_config.use_compile,
+            engine=self.evolution_config.execution_engine,
         )
         return self._assess(name or program.name, program, evaluator)
 
@@ -191,7 +191,7 @@ class MiningSession:
             self.taskset,
             seed=evaluator_seed,
             max_train_steps=self.max_train_steps,
-            compiled=config.use_compile,
+            engine=config.execution_engine,
         )
         mutation_seed = int(self.rng.integers(0, 2**31 - 1))
         controller_seed = int(self.rng.integers(0, 2**31 - 1))
@@ -257,7 +257,7 @@ class MiningSession:
                     # The cutoff needs validation portfolio returns; without
                     # references the workers skip that backtest entirely.
                     compute_valid_returns=correlation_filter is not None,
-                    compiled=config.use_compile,
+                    engine=config.execution_engine,
                 )
             controller = IslandEvolutionController(
                 evaluator=evaluator,

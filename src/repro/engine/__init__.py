@@ -1,0 +1,63 @@
+"""Unified execution-engine layer: one protocol, many backends, whole fleets.
+
+The paper's workload is evaluating huge fleets of alpha programs under one
+train/inference label-reveal protocol.  This package is where that protocol
+lives — once — and where every execution path in the repository plugs in:
+
+* :mod:`repro.engine.backends`   — the :class:`ExecutionEngine` per-day
+  contract, the :class:`InterpreterBackend` reference implementation, the
+  :class:`CompiledBackend` flat tape, and :func:`make_backend` (the
+  ``--engine`` selector behind the CLI, :class:`EvolutionConfig` and
+  :class:`~repro.core.interpreter.AlphaEvaluator`);
+* :mod:`repro.engine.protocol`   — the single implementation of the
+  Setup → train (Predict / label-reveal / Update) → inference day-loop,
+  including the fused-inference and static-predict **time-batched** fast
+  paths that collapse eligible stages into one ``(T, K, ...)`` kernel call;
+* :mod:`repro.engine.incremental` — :class:`IncrementalExecutor`, one
+  backend advanced one day per ``step`` with suspend/resume;
+* :mod:`repro.engine.fleet`      — :class:`FleetEngine`, N programs over
+  one shared :class:`~repro.core.ops.ExecutionContext` and data pass with
+  canonical deduplication (behind both the search's batch scorer and the
+  streaming :class:`~repro.stream.server.AlphaServer`).
+
+Everything above this layer (evaluator, search, pool workers, streaming,
+benchmarks) selects an engine by name and delegates; everything below it
+(operators, IR, tapes) only ever executes one component once.  Bitwise
+parity across all engines and fast paths is a hard, gated contract
+(``benchmarks/bench_engine.py``).
+"""
+
+from .backends import (
+    ENGINES,
+    CompiledBackend,
+    ExecutionEngine,
+    InterpreterBackend,
+    make_backend,
+    resolve_engine,
+)
+from .fleet import FleetEngine, FleetMember
+from .incremental import IncrementalExecutor
+from .protocol import (
+    can_batch_training,
+    inference_pass,
+    run_protocol,
+    stream_days,
+    training_pass,
+)
+
+__all__ = [
+    "ENGINES",
+    "CompiledBackend",
+    "ExecutionEngine",
+    "FleetEngine",
+    "FleetMember",
+    "IncrementalExecutor",
+    "InterpreterBackend",
+    "can_batch_training",
+    "inference_pass",
+    "make_backend",
+    "resolve_engine",
+    "run_protocol",
+    "stream_days",
+    "training_pass",
+]

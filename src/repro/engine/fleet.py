@@ -1,0 +1,319 @@
+"""Fleet execution: N programs, one shared context, one data pass.
+
+Two workloads in this repository evaluate *many* programs against the same
+task set — the search scoring candidate batches, and the server fanning an
+arriving bar across its registered alphas.  Both used to own their fan-out;
+:class:`FleetEngine` is the one engine-layer implementation they now share:
+
+* **canonical deduplication** — members are fingerprinted on their pruned
+  canonical IR (the same prune → :func:`repro.core.cache.fingerprint` flow
+  the search cache uses), so trivially equivalent programs — mirrored
+  commutative operands, renamed registers, duplicated subexpressions —
+  share one backend and are executed once, however many names point at
+  them;
+* **one shared** :class:`~repro.core.ops.ExecutionContext` — contexts are
+  read-only during execution (initialiser operators derive their RNGs from
+  their own parameters), so the whole fleet binds to a single context
+  object instead of building one per program;
+* **one shared data pass** — the split feature/label panels and the
+  training-day subsample are resolved once per fleet call, not once per
+  program, and every member runs under the single protocol implementation
+  of :mod:`repro.engine.protocol` (including its static-predict
+  time-batched fast path).
+
+Offline, :meth:`run` / :meth:`evaluate` replace looping a fresh
+:class:`~repro.core.interpreter.AlphaEvaluator` over the programs; online,
+:meth:`warm_start` / :meth:`step_bar` / :meth:`reveal` back
+:class:`repro.stream.server.AlphaServer`.  Results are bitwise identical
+to the per-program paths in both modes (a tested contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.cache import fingerprint
+from ..core.program import AlphaProgram
+from ..core.pruning import prune_program
+from ..errors import StreamError
+from .backends import make_backend, resolve_engine
+from .incremental import IncrementalExecutor
+from .protocol import run_protocol
+
+__all__ = ["FleetMember", "FleetEngine"]
+
+
+@dataclass(frozen=True)
+class FleetMember:
+    """One registered fleet name and where its predictions come from."""
+
+    name: str
+    #: Canonical-IR fingerprint of the (pruned) program — or a positional
+    #: key when the fleet was built with ``dedup=False``.
+    key: str
+    #: Whether this name shares a previously added member's backend.
+    deduplicated: bool
+    #: Whether pruning proved the prediction independent of the input
+    #: matrix (the member still executes, but a constant is all it can
+    #: emit).
+    redundant: bool
+
+
+class FleetEngine:
+    """Executes a fleet of programs over one shared context and data pass.
+
+    Parameters
+    ----------
+    evaluator:
+        The paired :class:`~repro.core.interpreter.AlphaEvaluator`: source
+        of the task set, the execution contexts, the training-day subsample
+        and the scoring — which is what keeps fleet results bitwise
+        identical to per-program evaluation.
+    engine:
+        Backend selection for every member (defaults to the evaluator's).
+    dedup:
+        Whether members are canonically fingerprinted and deduplicated.
+        The scorer disables this: its cache layer already decides which
+        candidates share an evaluation, and the pruning-disabled ablation
+        must not dedup behind its back.
+    """
+
+    def __init__(self, evaluator, engine: str | None = None,
+                 dedup: bool = True) -> None:
+        self.evaluator = evaluator
+        self.engine_name = resolve_engine(
+            engine if engine is not None else getattr(evaluator, "engine", None)
+        )
+        self.dedup = bool(dedup)
+        self.members: list[FleetMember] = []
+        self._by_name: dict[str, str] = {}
+        #: name → the program registered under that name (deduplicated
+        #: names *execute* through the representative's backend, but keep
+        #: their own program for result attribution).
+        self._program_by_name: dict[str, AlphaProgram] = {}
+        #: key → representative program, in registration order.
+        self._programs: dict[str, AlphaProgram] = {}
+        #: key → serving executor (built lazily on warm_start/resume).
+        self._executors: dict[str, IncrementalExecutor] = {}
+        self._ctx = None
+        self._warmed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def taskset(self):
+        """The task set the fleet executes against."""
+        return self.evaluator.taskset
+
+    @property
+    def num_members(self) -> int:
+        """Number of registered member names."""
+        return len(self.members)
+
+    @property
+    def num_unique(self) -> int:
+        """Number of distinct backends behind those names."""
+        return len(self._programs)
+
+    @property
+    def names(self) -> list[str]:
+        """Member names, in registration order."""
+        return [member.name for member in self.members]
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether the fleet has been warm-started (or resumed)."""
+        return self._warmed
+
+    @property
+    def executors(self) -> dict[str, IncrementalExecutor]:
+        """key → serving executor (one per unique program).
+
+        Empty until :meth:`warm_start` or :meth:`resume_tapes` builds the
+        backends — reading this never triggers compilation as a side
+        effect.
+        """
+        return self._executors
+
+    # ------------------------------------------------------------------
+    def add(self, program: AlphaProgram, name: str | None = None) -> FleetMember:
+        """Register ``program`` under ``name`` and return its membership.
+
+        With deduplication on, a program whose canonical-IR fingerprint
+        matches an already added one shares that backend
+        (``deduplicated=True``): it executes once per day/evaluation and
+        both names receive the same predictions.
+        """
+        if self._warmed:
+            raise StreamError("cannot add members to a warm fleet; "
+                              "register the whole fleet first")
+        name = name or program.name
+        if name in self._by_name:
+            raise StreamError(f"fleet member {name!r} is already registered")
+        # Fail at registration time, naming the offending alpha — not later,
+        # mid-fleet, when warm_start builds the backends.  (Backends validate
+        # again at construction; validation is a handful of integer checks,
+        # negligible next to one day of execution.)
+        program.validate(self.evaluator.address_space)
+        if self.dedup:
+            prune_result = prune_program(program)
+            key = fingerprint(prune_result.program)
+            redundant = prune_result.is_redundant
+        else:
+            key = f"member-{len(self.members)}"
+            redundant = False
+        deduplicated = key in self._programs
+        if not deduplicated:
+            self._programs[key] = program
+        member = FleetMember(
+            name=name, key=key,
+            deduplicated=deduplicated, redundant=redundant,
+        )
+        self.members.append(member)
+        self._by_name[name] = key
+        self._program_by_name[name] = program
+        return member
+
+    def key_of(self, name: str) -> str:
+        """The backend key serving ``name``."""
+        return self._by_name[name]
+
+    # ------------------------------------------------------------------
+    # Offline: one-shot batch evaluation over a shared data pass
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        splits: tuple[str, ...] = ("valid", "test"),
+        use_update: bool | None = None,
+        time_batched: bool | None = None,
+    ) -> dict[str, dict[str, np.ndarray]]:
+        """Run the full protocol for every member; name → split → ``(D, K)``.
+
+        One fresh shared context and one training-day subsample serve the
+        whole call; each *unique* program gets a fresh backend (repeatable,
+        independent of any serving state) and deduplicated names reference
+        the representative's prediction panels.  ``use_update`` and
+        ``time_batched`` default to the paired evaluator's settings.
+        """
+        evaluator = self.evaluator
+        use_update = evaluator.use_update if use_update is None else use_update
+        if time_batched is None:
+            time_batched = getattr(evaluator, "time_batched", True)
+        ctx = evaluator.make_context()
+        day_indices = evaluator.train_day_indices()
+        by_key = {
+            key: run_protocol(
+                make_backend(program, ctx, engine=self.engine_name,
+                             address_space=evaluator.address_space),
+                self.taskset,
+                splits=splits,
+                day_indices=day_indices,
+                use_update=use_update,
+                time_batched=time_batched,
+            )
+            for key, program in self._programs.items()
+        }
+        return {member.name: by_key[member.key] for member in self.members}
+
+    def evaluate(
+        self,
+        use_update: bool | None = None,
+        time_batched: bool | None = None,
+    ) -> dict[str, "EvaluationResult"]:  # noqa: F821 - documented type
+        """Score every member; name → :class:`~repro.core.interpreter.EvaluationResult`.
+
+        The splits and the scoring are the evaluator's own
+        (:meth:`~repro.core.interpreter.AlphaEvaluator.score`), so a fleet
+        evaluation of ``[p]`` equals ``evaluator.evaluate(p)`` bit for bit.
+        """
+        evaluator = self.evaluator
+        splits: tuple[str, ...] = (
+            ("valid", "test") if evaluator.evaluate_test else ("valid",)
+        )
+        runs = self.run(splits=splits, use_update=use_update,
+                        time_batched=time_batched)
+        # Each result is attributed to the program registered under that
+        # name, not the deduplicated representative it executed through.
+        return {
+            name: evaluator.score(self._program_by_name[name], predictions)
+            for name, predictions in runs.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Online: stateful day-major serving (behind AlphaServer)
+    # ------------------------------------------------------------------
+    def _ensure_executors(self) -> None:
+        if len(self._executors) == len(self._programs):
+            return
+        if self._ctx is None:
+            self._ctx = self.evaluator.make_context()
+        for key, program in self._programs.items():
+            if key not in self._executors:
+                self._executors[key] = IncrementalExecutor(
+                    program,
+                    backend=make_backend(
+                        program, self._ctx, engine=self.engine_name,
+                        address_space=self.evaluator.address_space,
+                    ),
+                )
+
+    def warm_start(self, use_update: bool | None = None) -> None:
+        """Set up and train every unique backend over the training split.
+
+        Replays exactly the evaluator's training stage — same feature
+        tensors, same ``max_train_steps`` day subsample, same label-reveal
+        ordering (via the shared
+        :func:`repro.engine.protocol.training_pass`) — once per unique
+        backend.
+        """
+        if self._warmed:
+            raise StreamError("fleet is already warm")
+        if not self._programs:
+            raise StreamError("no members registered; nothing to warm-start")
+        evaluator = self.evaluator
+        use_update = evaluator.use_update if use_update is None else use_update
+        self._ensure_executors()
+        features = self.taskset.split_features("train")
+        labels = self.taskset.split_labels("train")
+        day_indices = evaluator.train_day_indices()
+        for executor in self._executors.values():
+            executor.warm_start(
+                features, labels, day_indices=day_indices,
+                use_update=use_update,
+            )
+        self._warmed = True
+
+    def step_bar(self, features: np.ndarray) -> dict[str, np.ndarray]:
+        """Advance every unique backend one day; key → ``(K,)`` prediction."""
+        if not self._warmed:
+            raise StreamError("fleet must be warm-started (or resumed) "
+                              "before serving bars")
+        return {
+            key: executor.step(features)
+            for key, executor in self._executors.items()
+        }
+
+    def reveal(self, labels: np.ndarray) -> None:
+        """Reveal the last bar's realised labels to every unique backend."""
+        for executor in self._executors.values():
+            executor.reveal(labels)
+
+    def suspend_tapes(self) -> dict[str, object]:
+        """key → suspended tape state of every unique backend."""
+        if not self._warmed:
+            raise StreamError("cannot suspend a fleet that was never warmed")
+        return {
+            key: executor.suspend()
+            for key, executor in self._executors.items()
+        }
+
+    def resume_tapes(self, tapes: dict[str, object],
+                     days_served: int = 0) -> None:
+        """Restore :meth:`suspend_tapes` output into this (fresh) fleet."""
+        if self._warmed:
+            raise StreamError("cannot resume into a fleet that already ran")
+        self._ensure_executors()
+        for key, executor in self._executors.items():
+            executor.resume(tapes[key], days_served=days_served)
+        self._warmed = True

@@ -56,6 +56,10 @@ class BacktestError(ReproError):
     """Raised when a backtest cannot be carried out (e.g. empty universe)."""
 
 
+class EngineError(ReproError):
+    """Raised by the unified execution-engine layer (:mod:`repro.engine`)."""
+
+
 class StreamError(ReproError):
     """Raised by the streaming serving subsystem (:mod:`repro.stream`)."""
 

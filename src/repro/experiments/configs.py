@@ -73,6 +73,10 @@ class ExperimentConfig:
     #: (:mod:`repro.compile`); bitwise identical to the interpreter, so the
     #: default is on.  ``--no-compile`` on the CLI flips it off.
     use_compile: bool = True
+    #: Execution-engine name (see :data:`repro.engine.ENGINES`) forwarded to
+    #: the search; overrides ``use_compile`` when set.  The CLI exposes it
+    #: as ``--engine``.
+    engine: str | None = None
     #: Wall-clock budget per mining round used when AlphaEvolve and the GP
     #: baseline are compared under the same time budget (Tables 1 and 2); the
     #: paper uses 60 hours per round.
@@ -110,6 +114,15 @@ class ExperimentConfig:
             raise ConfigurationError("num_islands must be at least 1")
         if self.serve_top_k < 1:
             raise ConfigurationError("serve_top_k must be at least 1")
+        if self.engine is not None:
+            # Imported lazily: repro.engine builds on repro.core submodules.
+            from ..engine import resolve_engine
+            from ..errors import EngineError
+
+            try:
+                resolve_engine(self.engine)
+            except EngineError as exc:
+                raise ConfigurationError(str(exc)) from exc
 
     # ------------------------------------------------------------------
     def market_config(self) -> MarketConfig:
@@ -132,6 +145,7 @@ class ExperimentConfig:
             max_seconds=self.max_seconds if max_seconds is None else max_seconds,
             use_pruning=use_pruning,
             use_compile=self.use_compile,
+            engine=self.engine,
             num_workers=self.num_workers,
             num_islands=self.num_islands,
         )

@@ -57,9 +57,10 @@ class PoolSpec:
     long_k: int = LONG_POSITIONS
     short_k: int = SHORT_POSITIONS
     compute_valid_returns: bool = False
-    #: Whether workers execute candidates through the compilation pipeline
-    #: (bitwise identical to the interpreter; see :mod:`repro.compile`).
-    compiled: bool = True
+    #: Execution-engine name each worker's evaluator runs candidates on
+    #: (see :data:`repro.engine.ENGINES`; bitwise identical across
+    #: engines).
+    engine: str = "compiled"
 
 
 @dataclass
@@ -91,7 +92,7 @@ class _WorkerState:
             max_train_steps=spec.max_train_steps,
             use_update=spec.use_update,
             evaluate_test=spec.evaluate_test,
-            compiled=spec.compiled,
+            engine=spec.engine,
         )
         engine = None
         if spec.compute_valid_returns:
@@ -151,9 +152,11 @@ class EvaluationPool:
         With ``compute_valid_returns=True`` workers also return the
         validation long-short portfolio-return series of every valid
         candidate (needed by the correlation cutoff).
-    compiled:
-        Whether workers execute candidates through the compilation pipeline
-        (:mod:`repro.compile`); bitwise identical either way.
+    engine:
+        Execution-engine name the workers run candidates on (see
+        :data:`repro.engine.ENGINES`); bitwise identical across engines.
+        The legacy ``compiled`` flag keeps working and maps onto the
+        engine names.
     batch_size:
         Programs per worker task.  Batching amortises the per-task dispatch
         overhead; results always come back in input order.
@@ -176,10 +179,14 @@ class EvaluationPool:
         long_k: int = LONG_POSITIONS,
         short_k: int = SHORT_POSITIONS,
         compute_valid_returns: bool = False,
-        compiled: bool = True,
+        compiled: bool | None = None,
+        engine: str | None = None,
         batch_size: int = 8,
         start_method: str | None = None,
     ) -> None:
+        # Imported lazily: repro.parallel sits below the engine layer.
+        from ..engine import resolve_engine
+
         if num_workers is None:
             num_workers = os.cpu_count() or 1
         if num_workers < 1:
@@ -195,7 +202,7 @@ class EvaluationPool:
             long_k=long_k,
             short_k=short_k,
             compute_valid_returns=compute_valid_returns,
-            compiled=compiled,
+            engine=resolve_engine(engine, compiled),
         )
         self.num_workers = num_workers
         self.batch_size = batch_size

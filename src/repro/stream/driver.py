@@ -32,6 +32,7 @@ import numpy as np
 from ..backtest.engine import BacktestEngine
 from ..core.program import AlphaProgram
 from ..data.dataset import TaskSet
+from ..engine.protocol import stream_days
 from ..errors import StreamError
 from .server import AlphaServer
 
@@ -169,7 +170,12 @@ class OnlineBacktestDriver:
         return server
 
     def stream(self, server: AlphaServer) -> dict[str, dict[str, np.ndarray]]:
-        """Replay the valid and test splits through ``server`` day by day."""
+        """Replay the valid and test splits through ``server`` day by day.
+
+        The day-loop (and its predict-before-reveal ordering) is the single
+        shared implementation, :func:`repro.engine.protocol.stream_days` —
+        the same loop the offline inference stage runs.
+        """
         taskset = self.taskset
         num_tasks = taskset.num_tasks
         served: dict[str, dict[str, np.ndarray]] = {
@@ -180,13 +186,17 @@ class OnlineBacktestDriver:
             for name in self.names
         }
         for split in _STREAM_SPLITS:
-            features = taskset.split_features(split)
-            labels = taskset.split_labels(split)
-            for day in range(features.shape[0]):
-                predictions = server.on_bar(features[day])
+            def step(day: int, bar: np.ndarray, split: str = split) -> None:
+                predictions = server.on_bar(bar)
                 for name in self.names:
                     served[name][split][day] = predictions[name]
-                server.reveal(labels[day])
+
+            stream_days(
+                taskset.split_features(split),
+                taskset.split_labels(split),
+                step,
+                server.reveal,
+            )
         return served
 
     # ------------------------------------------------------------------

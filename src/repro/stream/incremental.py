@@ -1,48 +1,34 @@
-"""Incremental (day-at-a-time) execution of one compiled alpha.
+"""Incremental (day-at-a-time) serving of one compiled alpha.
 
-The offline evaluator (:class:`repro.core.interpreter.AlphaEvaluator`)
-recomputes an alpha's whole history on every call: a training pass over all
-training days followed by an inference pass over a full split.  For serving
-— where one new market bar arrives per day — that is wasted work: the only
-state an alpha carries between days is its operand memory, so advancing the
-alpha by one day costs exactly one ``Predict()`` tape pass (plus a label
-reveal), independent of how much history precedes it.
-
-:class:`IncrementalAlpha` packages that contract around a
-:class:`~repro.compile.executor.CompiledAlpha`:
-
-* :meth:`warm_start` replays the training protocol once (identical, day for
-  day, to the offline training stage — including the ``max_train_steps``
-  subsampling, whose day indices the caller passes through);
-* :meth:`step` advances one inference day (``set_input`` → ``run_predict``),
-  returning the cross-sectional prediction;
-* :meth:`reveal` writes the realised label *after* the prediction was taken,
-  exactly as the offline inference loop does, so alphas that read recent
-  labels see the same values in both paths;
-* :meth:`suspend` / :meth:`resume` round-trip the rolling SSA state through
-  the tape protocol of :mod:`repro.compile.executor`, so a server can be
-  checkpointed mid-stream and continue bitwise identically.
+:class:`IncrementalAlpha` is the streaming subsystem's public name for the
+engine layer's :class:`~repro.engine.incremental.IncrementalExecutor`
+bound to the compiled backend: ``warm_start`` replays the training stage
+through the single protocol implementation
+(:func:`repro.engine.protocol.training_pass`), ``step``/``reveal`` advance
+one inference day with the offline label-reveal ordering, and
+``suspend``/``resume`` round-trip the rolling operand state through the
+tape protocol of :mod:`repro.compile.executor` so a server can be
+checkpointed mid-stream and continue bitwise identically.
 
 Bitwise parity with the batched offline path is the design contract, tested
 by ``tests/stream`` with fuzzed programs: for every day ``d`` of a split,
 ``step(features[d])`` equals row ``d`` of
-``AlphaEvaluator.run(program)[split]`` bit for bit.
+``AlphaEvaluator.run(program)[split]`` bit for bit.  The class keeps its
+historical constructor signature; it is now a thin shim over the engine
+layer (see ``docs/ARCHITECTURE.md``).
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..compile import CompiledAlpha, TapeState, compile_program
 from ..config import AddressSpace, DEFAULT_ADDRESS_SPACE
 from ..core.ops import ExecutionContext
 from ..core.program import AlphaProgram
-from ..errors import StreamError
+from ..engine.incremental import IncrementalExecutor
 
 __all__ = ["IncrementalAlpha"]
 
 
-class IncrementalAlpha:
+class IncrementalAlpha(IncrementalExecutor):
     """One compiled alpha advanced one day at a time.
 
     Parameters
@@ -65,100 +51,6 @@ class IncrementalAlpha:
         ctx: ExecutionContext,
         address_space: AddressSpace = DEFAULT_ADDRESS_SPACE,
     ) -> None:
-        program.validate(address_space)
-        self.program = program
-        self.executor = CompiledAlpha(compile_program(program), ctx)
-        #: Inference days served since the warm start.
-        self.days_served = 0
-        self._warmed = False
-        self._awaiting_label = False
-
-    # ------------------------------------------------------------------
-    @property
-    def is_warm(self) -> bool:
-        """Whether the alpha went through setup + training and can serve."""
-        return self._warmed
-
-    # ------------------------------------------------------------------
-    def warm_start(
-        self,
-        features: np.ndarray,
-        labels: np.ndarray,
-        day_indices: np.ndarray | None = None,
-        use_update: bool = True,
-    ) -> None:
-        """Run ``Setup()`` plus the single-epoch training pass.
-
-        ``features`` has shape ``(D, K, f, w)`` and ``labels`` ``(D, K)``;
-        ``day_indices`` selects the visited subsample (defaults to every day
-        in order) and must match the offline evaluator's
-        :meth:`~repro.core.interpreter.AlphaEvaluator.train_day_indices` for
-        the two paths to stay bitwise identical.
-        """
-        if self._warmed:
-            raise StreamError("alpha is already warm; construct a fresh one "
-                              "or resume a suspended state instead")
-        executor = self.executor
-        executor.run_setup()
-        if day_indices is None:
-            day_indices = np.arange(features.shape[0])
-        for day in day_indices:
-            executor.set_input(features[day])
-            executor.run_predict()
-            executor.set_label(labels[day])
-            if use_update:
-                executor.run_update()
-        self._warmed = True
-
-    # ------------------------------------------------------------------
-    def step(self, features: np.ndarray) -> np.ndarray:
-        """Advance one inference day and return the ``(K,)`` prediction.
-
-        Mirrors one iteration of the offline inference loop: the day's
-        feature matrices go into ``m0``, ``Predict()`` runs once, and the
-        prediction is returned *before* the day's label exists.  Call
-        :meth:`reveal` once the label realises.
-        """
-        if not self._warmed:
-            raise StreamError("alpha must be warm-started (or resumed) "
-                              "before it can serve days")
-        if self._awaiting_label:
-            raise StreamError("previous day's label was never revealed; "
-                              "call reveal() between steps")
-        executor = self.executor
-        executor.set_input(features)
-        executor.run_predict()
-        self.days_served += 1
-        self._awaiting_label = True
-        return executor.prediction.copy()
-
-    def reveal(self, labels: np.ndarray) -> None:
-        """Write the realised ``(K,)`` labels of the last stepped day.
-
-        The offline inference stage never runs ``Update()`` — the trained
-        parameters are frozen — and neither does this; the label is only
-        made visible so the next day's ``Predict()`` reads what the batch
-        path would read.
-        """
-        if not self._awaiting_label:
-            raise StreamError("no prediction is pending a label; "
-                              "call step() first")
-        self.executor.set_label(labels)
-        self._awaiting_label = False
-
-    # ------------------------------------------------------------------
-    def suspend(self) -> TapeState:
-        """Snapshot the rolling SSA state (see :class:`TapeState`)."""
-        if self._awaiting_label:
-            raise StreamError("cannot suspend between step() and reveal(); "
-                              "reveal the pending label first")
-        return self.executor.suspend()
-
-    def resume(self, state: TapeState, days_served: int = 0) -> None:
-        """Restore a snapshot into this (fresh, un-warmed) alpha."""
-        if self._warmed:
-            raise StreamError("cannot resume into an alpha that already ran; "
-                              "construct a fresh one")
-        self.executor.resume(state)
-        self.days_served = int(days_served)
-        self._warmed = True
+        super().__init__(
+            program, ctx, address_space=address_space, engine="compiled"
+        )

@@ -1,17 +1,17 @@
 """Multi-alpha batch serving: one market bar in, all predictions out.
 
-:class:`AlphaServer` is the online counterpart of running an
-:class:`~repro.core.interpreter.AlphaEvaluator` per mined alpha: the top-K
-programs of a mining session are *registered* once, *warm-started* once over
-the training history, and then each arriving day ("bar") is evaluated across
-all of them in one pass.  Three kinds of work are shared across the fleet:
+:class:`AlphaServer` is the online front of the engine layer's
+:class:`~repro.engine.fleet.FleetEngine`: the top-K programs of a mining
+session are *registered* once, *warm-started* once over the training
+history, and then each arriving day ("bar") is evaluated across all of
+them in one pass.  Three kinds of work are shared across the fleet:
 
 * **feature extraction** — one ``(K, f, w)`` feature tensor per day is built
   once (by the task-set pipeline) and handed to every registered alpha; no
   per-alpha feature work exists;
 * **the day loop** — one ``on_bar`` call advances every alpha, so per-day
   overhead (timing, label reveal, bookkeeping) is paid once, not K times;
-* **duplicate programs** — registration fingerprints each program on its
+* **duplicate programs** — the fleet fingerprints each program on its
   canonical IR (the same prune → :func:`repro.core.cache.fingerprint` flow
   the search's :class:`~repro.core.cache.FingerprintCache` uses), so mined
   alphas that are trivially equivalent — mirrored commutative operands,
@@ -22,14 +22,18 @@ The server is the *same code path* as the offline backtest: every executor
 context comes from
 :meth:`~repro.core.interpreter.AlphaEvaluator.make_context` of an evaluator
 built with the server's seed, warm-start replays exactly the evaluator's
-training protocol, and the driver (:mod:`repro.stream.driver`) asserts the
-served predictions equal the offline batch path bit for bit — results can
-never diverge between research and serving.
+training protocol (through the single day-loop of
+:mod:`repro.engine.protocol`), and the driver (:mod:`repro.stream.driver`)
+asserts the served predictions equal the offline batch path bit for bit —
+results can never diverge between research and serving.
 
 :meth:`suspend` / :meth:`resume` checkpoint the whole fleet's rolling state
 (see :mod:`repro.stream.state`), so a serving process can be killed and
 relaunched mid-stream without replaying history and without changing a
 single output bit.
+
+The class keeps its historical public signature; registration, warm-start
+and fan-out now delegate to the engine layer.
 """
 
 from __future__ import annotations
@@ -41,13 +45,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..compile import TapeState
-from ..core.cache import fingerprint
 from ..core.interpreter import AlphaEvaluator
 from ..core.program import AlphaProgram
-from ..core.pruning import prune_program
 from ..data.dataset import TaskSet
+from ..engine.fleet import FleetEngine, FleetMember
 from ..errors import StreamError
-from .incremental import IncrementalAlpha
 
 __all__ = ["Registration", "ServerState", "AlphaServer"]
 
@@ -75,17 +77,13 @@ def taskset_fingerprint(taskset: TaskSet) -> str:
 
 
 @dataclass(frozen=True)
-class Registration:
-    """One registered alpha name and where its predictions come from."""
+class Registration(FleetMember):
+    """One registered alpha name and where its predictions come from.
 
-    name: str
-    #: Canonical-IR fingerprint of the (pruned) program.
-    key: str
-    #: Whether this name shares a previously registered executor.
-    deduplicated: bool
-    #: Whether pruning proved the prediction independent of the input
-    #: matrix (the alpha still serves, but a constant is all it can emit).
-    redundant: bool
+    The server's public name for the engine layer's
+    :class:`~repro.engine.fleet.FleetMember` (same fields: ``name``, the
+    canonical-IR ``key``, ``deduplicated``, ``redundant``).
+    """
 
 
 @dataclass(frozen=True)
@@ -145,10 +143,10 @@ class AlphaServer:
             compiled=True,
         )
         self._data_key = taskset_fingerprint(taskset)
+        #: The engine-layer fleet behind registration, warm-start and
+        #: per-bar fan-out (one shared context, canonical dedup).
+        self.fleet = FleetEngine(self.evaluator)
         self.registrations: list[Registration] = []
-        self._by_name: dict[str, str] = {}
-        self._executors: dict[str, IncrementalAlpha] = {}
-        self._warmed = False
         self.days_served = 0
         #: Wall-clock seconds of each ``on_bar`` call.
         self.bar_latencies: list[float] = []
@@ -167,12 +165,21 @@ class AlphaServer:
     @property
     def num_unique(self) -> int:
         """Number of distinct executors behind those names."""
-        return len(self._executors)
+        return self.fleet.num_unique
 
     @property
     def names(self) -> list[str]:
         """Registered alpha names, in registration order."""
         return [registration.name for registration in self.registrations]
+
+    @property
+    def _warmed(self) -> bool:
+        return self.fleet.is_warm
+
+    @property
+    def _executors(self):
+        """key → incremental executor of the fleet (one per unique alpha)."""
+        return self.fleet.executors
 
     # ------------------------------------------------------------------
     def register(self, program: AlphaProgram, name: str | None = None) -> Registration:
@@ -186,24 +193,9 @@ class AlphaServer:
         if self._warmed:
             raise StreamError("cannot register alphas on a warm server; "
                               "register the whole fleet first")
-        name = name or program.name
-        if name in self._by_name:
-            raise StreamError(f"alpha name {name!r} is already registered")
-        prune_result = prune_program(program)
-        key = fingerprint(prune_result.program)
-        deduplicated = key in self._executors
-        if not deduplicated:
-            self._executors[key] = IncrementalAlpha(
-                program, self.evaluator.make_context()
-            )
-        registration = Registration(
-            name=name,
-            key=key,
-            deduplicated=deduplicated,
-            redundant=prune_result.is_redundant,
-        )
+        member = self.fleet.add(program, name=name)
+        registration = Registration(**vars(member))
         self.registrations.append(registration)
-        self._by_name[name] = key
         return registration
 
     # ------------------------------------------------------------------
@@ -212,21 +204,14 @@ class AlphaServer:
 
         Replays exactly the offline evaluator's training stage — same
         feature tensors, same ``max_train_steps`` day subsample, same
-        label-reveal ordering — once per unique executor.
+        label-reveal ordering — once per unique executor, through the
+        shared :func:`repro.engine.protocol.training_pass`.
         """
         if self._warmed:
             raise StreamError("server is already warm")
-        if not self._executors:
+        if not self.registrations:
             raise StreamError("no alphas registered; nothing to warm-start")
-        features = self.taskset.split_features("train")
-        labels = self.taskset.split_labels("train")
-        day_indices = self.evaluator.train_day_indices()
-        for executor in self._executors.values():
-            executor.warm_start(
-                features, labels, day_indices=day_indices,
-                use_update=self.use_update,
-            )
-        self._warmed = True
+        self.fleet.warm_start(use_update=self.use_update)
 
     # ------------------------------------------------------------------
     def on_bar(self, features: np.ndarray) -> dict[str, np.ndarray]:
@@ -241,10 +226,7 @@ class AlphaServer:
             raise StreamError("server must be warm-started (or resumed) "
                               "before serving bars")
         start = time.perf_counter()
-        by_key = {
-            key: executor.step(features)
-            for key, executor in self._executors.items()
-        }
+        by_key = self.fleet.step_bar(features)
         self.bar_latencies.append(time.perf_counter() - start)
         self.days_served += 1
         return {
@@ -254,8 +236,7 @@ class AlphaServer:
 
     def reveal(self, labels: np.ndarray) -> None:
         """Reveal the last bar's realised ``(K,)`` labels to every alpha."""
-        for executor in self._executors.values():
-            executor.reveal(labels)
+        self.fleet.reveal(labels)
 
     # ------------------------------------------------------------------
     def suspend(self) -> ServerState:
@@ -271,10 +252,7 @@ class AlphaServer:
                 registration.name: registration.key
                 for registration in self.registrations
             },
-            tapes={
-                key: executor.suspend()
-                for key, executor in self._executors.items()
-            },
+            tapes=self.fleet.suspend_tapes(),
         )
 
     def resume(self, state: ServerState) -> None:
@@ -301,16 +279,18 @@ class AlphaServer:
                 "server state was produced on a different task set; "
                 "resuming it here would silently mix training histories"
             )
-        if state.registrations != dict(self._by_name):
+        registered = {
+            registration.name: registration.key
+            for registration in self.registrations
+        }
+        if state.registrations != registered:
             raise StreamError(
                 "server state registration table does not match this "
                 "server; register the same programs under the same names "
                 "before resuming"
             )
-        for key, executor in self._executors.items():
-            executor.resume(state.tapes[key], days_served=state.days_served)
+        self.fleet.resume_tapes(state.tapes, days_served=state.days_served)
         self.days_served = int(state.days_served)
-        self._warmed = True
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, float | int]:

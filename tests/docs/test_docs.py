@@ -14,6 +14,7 @@ from __future__ import annotations
 import doctest
 import importlib.util
 import re
+import textwrap
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -28,6 +29,24 @@ def documentation_files() -> list[Path]:
     return files
 
 
+def run_markdown_doctests(relative_path: str) -> None:
+    """Run every ``python`` block of one markdown page as a doctest session."""
+    text = (REPO_ROOT / relative_path).read_text()
+    # Dedent each block: markdown nests fenced code inside list items.
+    source = "\n".join(
+        textwrap.dedent(block) for block in _PYTHON_BLOCK.findall(text)
+    )
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(source, {}, relative_path, relative_path, 0)
+    assert test.examples, f"{relative_path} contains no doctest examples"
+    runner = doctest.DocTestRunner(verbose=False)
+    runner.run(test)
+    results = runner.summarize(verbose=False)
+    assert results.failed == 0, (
+        f"{results.failed} of {results.attempted} {relative_path} snippets failed"
+    )
+
+
 class TestApiSnippets:
     def test_api_md_has_snippets(self):
         blocks = _PYTHON_BLOCK.findall((REPO_ROOT / "docs" / "API.md").read_text())
@@ -35,17 +54,11 @@ class TestApiSnippets:
 
     def test_api_md_snippets_run_clean(self):
         """Run every ``python`` block of docs/API.md as one doctest session."""
-        text = (REPO_ROOT / "docs" / "API.md").read_text()
-        source = "\n".join(_PYTHON_BLOCK.findall(text))
-        parser = doctest.DocTestParser()
-        test = parser.get_doctest(source, {}, "docs/API.md", "docs/API.md", 0)
-        assert test.examples, "docs/API.md contains no doctest examples"
-        runner = doctest.DocTestRunner(verbose=False)
-        runner.run(test)
-        results = runner.summarize(verbose=False)
-        assert results.failed == 0, (
-            f"{results.failed} of {results.attempted} docs/API.md snippets failed"
-        )
+        run_markdown_doctests("docs/API.md")
+
+    def test_architecture_md_snippets_run_clean(self):
+        """The add-a-backend guide's snippets are executable too."""
+        run_markdown_doctests("docs/ARCHITECTURE.md")
 
 
 class TestBenchmarkTable:

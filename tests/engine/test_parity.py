@@ -1,0 +1,142 @@
+"""Fuzzed four-way parity: interpreter / compiled / fleet / time-batched.
+
+The engine layer's hard contract: random programs produce bitwise-identical
+prediction panels on every execution path — the reference interpreter, the
+compiled tape with the fast paths disabled, the compiled tape with fused
+inference and static-predict time batching enabled, and a FleetEngine batch
+— including across suspend/resume round-trips through the engine layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AlphaEvaluator, get_initialization
+from repro.engine import FleetEngine, IncrementalExecutor, make_backend, run_protocol
+
+SPLITS = ("valid", "test")
+
+
+def fuzz_programs(dims, mutator, count=12):
+    """A deterministic mixed bag of initialisation alphas and mutants."""
+    bases = [get_initialization(code, dims, seed=3) for code in ("D", "NN", "R")]
+    programs = []
+    while len(programs) < count:
+        program = bases[len(programs) % len(bases)]
+        for _ in range(len(programs) % 4):
+            program = mutator.mutate(program)
+        programs.append(program.copy(name=f"fuzz_{len(programs)}"))
+    return programs
+
+
+@pytest.fixture()
+def fuzzed(dims, mutator):
+    return fuzz_programs(dims, mutator)
+
+
+def make_evaluator(taskset, **kwargs):
+    return AlphaEvaluator(taskset, seed=0, max_train_steps=40, **kwargs)
+
+
+class TestFourWayParity:
+    def test_all_paths_agree_bitwise(self, small_taskset, fuzzed):
+        interpreter = make_evaluator(small_taskset, engine="interpreter")
+        compiled_loop = make_evaluator(
+            small_taskset, engine="compiled", time_batched=False
+        )
+        compiled_batched = make_evaluator(
+            small_taskset, engine="compiled", time_batched=True
+        )
+        fleet = FleetEngine(make_evaluator(small_taskset))
+        for program in fuzzed:
+            fleet.add(program)
+        fleet_runs = fleet.run(splits=SPLITS)
+
+        batched_static = 0
+        for program in fuzzed:
+            reference = interpreter.run(program, splits=SPLITS)
+            loop = compiled_loop.run(program, splits=SPLITS)
+            batched = compiled_batched.run(program, splits=SPLITS)
+            backend = compiled_batched.make_backend(program)
+            if backend.supports_static_predict:
+                batched_static += 1
+            for split in SPLITS:
+                expected = reference[split].tobytes()
+                assert loop[split].tobytes() == expected, (
+                    f"{program.name}: compiled day-loop diverged on {split}"
+                )
+                assert batched[split].tobytes() == expected, (
+                    f"{program.name}: time-batched path diverged on {split}"
+                )
+                assert fleet_runs[program.name][split].tobytes() == expected, (
+                    f"{program.name}: fleet evaluation diverged on {split}"
+                )
+        # the fuzz bag must actually exercise the static-predict fast path
+        assert batched_static > 0
+
+    def test_use_update_ablation_agrees(self, small_taskset, fuzzed):
+        """With Update() disabled every fused program batches its training."""
+        interpreter = make_evaluator(
+            small_taskset, engine="interpreter", use_update=False
+        )
+        batched = make_evaluator(small_taskset, use_update=False)
+        for program in fuzzed[:6]:
+            reference = interpreter.run(program, splits=SPLITS, use_update=False)
+            fast = batched.run(program, splits=SPLITS, use_update=False)
+            for split in SPLITS:
+                assert fast[split].tobytes() == reference[split].tobytes()
+
+
+class TestSuspendResumeThroughEngine:
+    def stream(self, executor, features, labels, start, stop):
+        rows = []
+        for day in range(start, stop):
+            rows.append(executor.step(features[day]))
+            executor.reveal(labels[day])
+        return rows
+
+    def test_roundtrip_matches_uninterrupted_run(self, small_taskset, fuzzed):
+        evaluator = make_evaluator(small_taskset)
+        features = small_taskset.split_features("valid")
+        labels = small_taskset.split_labels("valid")
+        train_features = small_taskset.split_features("train")
+        train_labels = small_taskset.split_labels("train")
+        day_indices = evaluator.train_day_indices()
+        cut = 7
+        for program in fuzzed[:6]:
+            batch = evaluator.run(program, splits=("valid",))["valid"]
+
+            first = IncrementalExecutor(program, evaluator.make_context())
+            first.warm_start(train_features, train_labels,
+                             day_indices=day_indices)
+            before = self.stream(first, features, labels, 0, cut)
+            state = first.suspend()
+
+            resumed = IncrementalExecutor(program, evaluator.make_context())
+            resumed.resume(state, days_served=first.days_served)
+            assert resumed.days_served == cut
+            after = self.stream(resumed, features, labels, cut,
+                                features.shape[0])
+
+            streamed = np.asarray(before + after)
+            assert streamed.tobytes() == batch.tobytes(), (
+                f"{program.name}: suspend/resume round-trip diverged"
+            )
+
+
+class TestProtocolDirectParity:
+    def test_run_protocol_equals_evaluator_run(self, small_taskset, fuzzed):
+        """Driving the protocol by hand equals the facade, bit for bit."""
+        evaluator = make_evaluator(small_taskset)
+        for program in fuzzed[:4]:
+            backend = make_backend(
+                program, evaluator.make_context(), evaluator.engine
+            )
+            manual = run_protocol(
+                backend,
+                small_taskset,
+                splits=SPLITS,
+                day_indices=evaluator.train_day_indices(),
+            )
+            facade = evaluator.run(program, splits=SPLITS)
+            for split in SPLITS:
+                assert manual[split].tobytes() == facade[split].tobytes()

@@ -1,0 +1,114 @@
+"""Deprecation shims: legacy public signatures delegate to the engine layer.
+
+``AlphaEvaluator(..., compiled=...)``, ``EvaluationPool(..., compiled=...)``,
+``EvolutionConfig.use_compile`` and ``AlphaServer`` all keep their public
+surfaces; these tests pin that the shims produce results identical to the
+engine-native spellings, so saved programs, examples and downstream callers
+keep working unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AlphaEvaluator, EvolutionConfig, get_initialization
+from repro.engine import FleetEngine
+from repro.stream import AlphaServer
+
+
+@pytest.fixture()
+def program(dims):
+    return get_initialization("D", dims, seed=3)
+
+
+class TestAlphaEvaluatorShim:
+    def test_compiled_flag_still_selects_engines(self, small_taskset):
+        assert AlphaEvaluator(small_taskset, compiled=True).engine == "compiled"
+        assert AlphaEvaluator(small_taskset, compiled=False).engine == "interpreter"
+
+    def test_compiled_attribute_still_readable(self, small_taskset):
+        assert AlphaEvaluator(small_taskset, compiled=True).compiled is True
+        assert AlphaEvaluator(small_taskset, engine="interpreter").compiled is False
+
+    def test_flag_and_name_give_identical_results(self, small_taskset, program):
+        legacy = AlphaEvaluator(small_taskset, seed=0, max_train_steps=40,
+                                compiled=False)
+        named = AlphaEvaluator(small_taskset, seed=0, max_train_steps=40,
+                               engine="interpreter")
+        left = legacy.evaluate(program)
+        right = named.evaluate(program)
+        assert left.fitness == right.fitness
+        assert np.array_equal(left.daily_ic_valid, right.daily_ic_valid)
+
+
+class TestEvolutionConfigShim:
+    def test_use_compile_maps_to_engine_names(self):
+        assert EvolutionConfig().execution_engine == "compiled"
+        assert EvolutionConfig(use_compile=False).execution_engine == "interpreter"
+        assert EvolutionConfig(engine="interpreter").execution_engine == "interpreter"
+
+    def test_engine_name_overrides_legacy_flag(self):
+        config = EvolutionConfig(use_compile=True, engine="interpreter")
+        assert config.execution_engine == "interpreter"
+
+    def test_unknown_engine_rejected_at_configuration_time(self):
+        """A typo'd engine raises the config's own error type, like every
+        other invalid field."""
+        from repro.errors import ConfigurationError, EvolutionError
+
+        with pytest.raises(EvolutionError, match="unknown execution engine"):
+            EvolutionConfig(engine="gpu")
+
+        from repro.experiments import ExperimentConfig
+
+        with pytest.raises(ConfigurationError, match="unknown execution engine"):
+            ExperimentConfig(engine="gpu")
+
+
+class TestEvaluationPoolShim:
+    def test_compiled_flag_maps_onto_pool_engine(self, small_taskset):
+        from repro.parallel import EvaluationPool
+
+        pool = EvaluationPool(small_taskset, num_workers=1, compiled=False)
+        try:
+            assert pool.spec.engine == "interpreter"
+        finally:
+            pool.close()
+
+    def test_pool_defaults_to_compiled_engine(self, small_taskset):
+        from repro.parallel import EvaluationPool
+
+        pool = EvaluationPool(small_taskset, num_workers=1)
+        try:
+            assert pool.spec.engine == "compiled"
+        finally:
+            pool.close()
+
+
+class TestAlphaServerShim:
+    def test_server_results_unchanged_by_fleet_rebase(self, small_taskset, program):
+        """The server (now a FleetEngine front) still equals the offline path."""
+        server = AlphaServer(small_taskset, seed=0, max_train_steps=40)
+        registration = server.register(program, name="alpha")
+        assert not registration.deduplicated
+        assert isinstance(server.fleet, FleetEngine)
+        server.warm_start()
+
+        offline = AlphaEvaluator(small_taskset, seed=0, max_train_steps=40)
+        batch = offline.run(program, splits=("valid",))["valid"]
+        features = small_taskset.split_features("valid")
+        labels = small_taskset.split_labels("valid")
+        streamed = []
+        for day in range(features.shape[0]):
+            streamed.append(server.on_bar(features[day])["alpha"])
+            server.reveal(labels[day])
+        assert np.asarray(streamed).tobytes() == batch.tobytes()
+
+    def test_server_keeps_executor_surface(self, small_taskset, program):
+        """`_executors` (key -> incremental executor) survives the re-base."""
+        server = AlphaServer(small_taskset, seed=0, max_train_steps=40)
+        server.register(program, name="alpha")
+        server.warm_start()
+        executors = list(server._executors.values())
+        assert len(executors) == 1
+        assert executors[0].is_warm
+        assert executors[0].days_served == 0

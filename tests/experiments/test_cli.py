@@ -6,6 +6,7 @@ import pytest
 
 from repro.cli import (
     build_inspect_parser,
+    build_ops_parser,
     build_parser,
     build_serve_parser,
     main,
@@ -81,6 +82,22 @@ class TestResolveConfig:
         config = resolve_config(args)
         assert config.use_compile is False
         assert config.evolution_config().use_compile is False
+        assert config.evolution_config().execution_engine == "interpreter"
+
+    def test_engine_flag_selects_engine(self):
+        args = build_parser().parse_args(["table1", "--engine", "interpreter"])
+        config = resolve_config(args)
+        assert config.engine == "interpreter"
+        assert config.evolution_config().execution_engine == "interpreter"
+
+    def test_engine_defaults_to_compiled(self):
+        config = resolve_config(build_parser().parse_args(["table1"]))
+        assert config.engine is None
+        assert config.evolution_config().execution_engine == "compiled"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--engine", "gpu"])
 
 
 class TestMain:
@@ -130,6 +147,49 @@ class TestInspect:
     def test_inspect_parser_requires_program(self):
         with pytest.raises(SystemExit):
             build_inspect_parser().parse_args([])
+
+
+class TestOps:
+    def test_ops_prints_full_registry(self, capsys):
+        from repro.core.ops import OP_REGISTRY
+
+        exit_code = main(["ops"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        for name in OP_REGISTRY:
+            assert name in captured
+        assert f"{len(OP_REGISTRY)} operators" in captured
+        # the table header names every documented column
+        for column in ("name", "kind", "arity", "signature", "params",
+                       "components"):
+            assert column in captured
+
+    def test_ops_kind_filter(self, capsys):
+        exit_code = main(["ops", "--kind", "relation"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "relation_rank" in captured
+        assert "s_add" not in captured
+
+    def test_ops_component_filter(self, capsys):
+        from repro.core.ops import list_ops
+
+        exit_code = main(["ops", "--component", "setup"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert f"{len(list_ops(component='setup'))} operators" in captured
+        # the cross-sectional RelationOps are predict/update-only
+        assert "relation_rank" not in captured
+
+    def test_ops_rejects_unknown_kind(self):
+        with pytest.raises(SystemExit):
+            build_ops_parser().parse_args(["--kind", "quantum"])
+
+    def test_signature_reflects_registry_arity(self, capsys):
+        main(["ops"])
+        captured = capsys.readouterr().out
+        line = next(l for l in captured.splitlines() if l.startswith("v_outer"))
+        assert "(vector, vector) -> matrix" in line
 
 
 class TestServe:
