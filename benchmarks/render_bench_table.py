@@ -109,6 +109,16 @@ def _render_engine(payload: dict) -> list[Row]:
     return rows
 
 
+def _render_data(payload: dict) -> list[Row]:
+    return [(
+        "file-backend panel cache (warm vs cold CSV load)",
+        f"{payload['speedup']}x",
+        f"`bench_data.py`, {payload['num_stocks']} stocks x "
+        f"{payload['num_days']} days, synthetic + CSV round-trip "
+        "bitwise parity",
+    )]
+
+
 def _render_generic(name: str, payload: dict) -> list[Row]:
     """Fallback row for an artifact without a registered renderer."""
     speedup = payload.get("speedup") or payload.get("headline_speedup")
@@ -130,6 +140,7 @@ RENDERERS = {
     "parallel": _render_parallel,
     "stream": _render_stream,
     "engine": _render_engine,
+    "data": _render_data,
 }
 
 

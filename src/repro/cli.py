@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli inspect alpha.json     # show pruned/compiled forms
     python -m repro.cli ops                    # print the operator registry
     python -m repro.cli serve --scale smoke    # mine top-K alphas, serve online
+    python -m repro.cli scenario --list        # the named scenario suite
+    python -m repro.cli scenario weekly --scale smoke   # one scenario, end to end
 
 Each experiment command prints the regenerated table (in the paper's layout)
 and, when ``--output`` is given, stores the structured rows as JSON through
@@ -24,6 +26,12 @@ programs with ``--program``) and streams the validation/test days through
 the :class:`repro.stream.server.AlphaServer`, printing each alpha's online
 backtest metrics, the per-bar serving latency and the result of the bitwise
 parity check against the offline batch path.
+
+``scenario`` drives the same mine→compile→serve pipeline for one *named
+scenario* of the suite in :mod:`repro.scenarios` (``--list`` shows them):
+the scenario picks the data backend (synthetic, file-backed, resampled)
+and market regime, ``--scale``/``--top-k``/``--candidates`` size the run,
+and ``--output`` stores a per-scenario results JSON.
 """
 
 from __future__ import annotations
@@ -34,9 +42,8 @@ from pathlib import Path
 
 from .experiments import (
     ExperimentConfig,
-    LAPTOP,
     PAPER_REFERENCE,
-    SMOKE,
+    SCALES,
     run_all,
     run_figure6,
     run_table1,
@@ -58,7 +65,9 @@ _RUNNERS = {
     "figure6": run_figure6,
 }
 
-_SCALES = {"laptop": LAPTOP, "smoke": SMOKE}
+#: The experiment scales ``--scale`` accepts — the single registry shared
+#: with the scenario suite (repro.experiments.configs.SCALES).
+_SCALES = SCALES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,7 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
                "per-pass optimiser statistics; 'repro ops' prints the "
                "alpha-language operator registry; 'repro serve' mines a top-K "
                "alpha fleet and streams it through the online AlphaServer "
-               "with a bitwise parity check against the offline batch path.",
+               "with a bitwise parity check against the offline batch path; "
+               "'repro scenario <name>' (or --list) runs one named scenario "
+               "of the suite in repro.scenarios end to end.",
     )
     parser.add_argument(
         "experiment",
@@ -360,6 +371,88 @@ def run_serve_command(argv: list[str]) -> int:
     return 0 if report.parity else 1
 
 
+def build_scenario_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``scenario`` subcommand (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro scenario",
+        description="Run one named scenario end to end (mine → compile → "
+                    "serve, with the online/offline parity check), or list "
+                    "the scenario suite.",
+    )
+    parser.add_argument(
+        "name", nargs="?", default=None,
+        help="scenario to run (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the registered scenarios and exit",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(_SCALES),
+        default="laptop",
+        help="experiment scale the scenario materialises at (default: laptop)",
+    )
+    parser.add_argument(
+        "--top-k", type=int, default=None, dest="top_k",
+        help="number of alphas to mine and serve (default: scenario config)",
+    )
+    parser.add_argument(
+        "--candidates", type=int, default=None,
+        help="override the candidate budget of each mining search",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the search/serving seed",
+    )
+    parser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="directory file-backed scenarios export their CSVs into "
+             "(default: .scenario_data, or $REPRO_SCENARIO_DATA)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="directory to write a scenario-<name>.json result file into",
+    )
+    return parser
+
+
+def run_scenario_command(argv: list[str]) -> int:
+    """Entry point of ``repro scenario [<name> | --list]``."""
+    from .errors import ConfigurationError, DataError, StreamError
+    from .scenarios import render_scenario_list, run_scenario
+
+    args = build_scenario_parser().parse_args(argv)
+    if args.list_scenarios:
+        print(render_scenario_list())
+        return 0
+    if args.name is None:
+        print("error: provide a scenario name or --list", file=sys.stderr)
+        return 2
+    overrides = {}
+    if args.top_k is not None:
+        overrides["serve_top_k"] = args.top_k
+    if args.candidates is not None:
+        overrides["max_candidates"] = args.candidates
+    if args.seed is not None:
+        overrides["search_seed"] = args.seed
+    try:
+        result = run_scenario(
+            args.name,
+            scale=args.scale,
+            data_dir=args.data_dir,
+            overrides=overrides or None,
+        )
+    except (ConfigurationError, DataError, StreamError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.rendered)
+    if args.output:
+        path = save_result(result, args.output)
+        print(f"\nsaved {path}")
+    return 0 if result.metadata.get("parity") else 1
+
+
 def _emit(result, args: argparse.Namespace) -> None:
     print(result.rendered)
     if args.show_reference and result.experiment in PAPER_REFERENCE:
@@ -382,6 +475,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_ops(argv[1:])
     if argv and argv[0] == "serve":
         return run_serve_command(argv[1:])
+    if argv and argv[0] == "scenario":
+        return run_scenario_command(argv[1:])
     args = build_parser().parse_args(argv)
     config = resolve_config(args)
     if args.experiment == "all":

@@ -1,33 +1,84 @@
-"""Market-data substrate: simulation, loading, features, tasks, relations.
+"""Market-data substrate: backends, simulation, loading, features, relations.
 
-The paper evaluates on 5-year NASDAQ data; this subpackage provides both a
-synthetic NASDAQ-like market simulator (the default, offline-friendly data
-source) and a CSV loader for real data, plus the universe filtering, feature
-engineering and task-set construction shared by every experiment.
+The paper evaluates on 5-year NASDAQ data across several stock universes and
+relational settings; this subpackage is the single place the rest of the
+repository gets market data from, organised in three layers (full guide:
+``docs/DATA.md``):
+
+1. **Containers** — :class:`~repro.data.market_sim.StockPanel` (raw OHLCV
+   plus taxonomy) and :class:`~repro.data.dataset.TaskSet` (dense per-day
+   regression tasks built by :func:`~repro.data.dataset.build_taskset`
+   through :mod:`repro.data.features` and :mod:`repro.data.universe`).
+2. **Backends** — the pluggable :class:`~repro.data.backends.DataBackend`
+   interface and registry (:mod:`repro.data.backends`): the synthetic
+   NASDAQ-like simulator (:mod:`repro.data.market_sim`), per-stock OHLCV
+   files (:mod:`repro.data.loader`), and calendar-aware weekly/monthly
+   resampling (:mod:`repro.data.resample`) as a wrapper over either.
+3. **Relations** — the two-level sector/industry taxonomy
+   (:mod:`repro.data.relations`) that the RelationOps and the RSR baseline
+   consume.
+
+Every downstream component only sees the containers, so a new data source
+is one :func:`~repro.data.backends.register_backend` call away from the
+whole mine→compile→serve pipeline (the named workloads live in
+:mod:`repro.scenarios`).
 """
 
+from .backends import (
+    DataBackend,
+    DataSpec,
+    FileBackend,
+    ResampledBackend,
+    SyntheticBackend,
+    backend_from_spec,
+    backend_kinds,
+    register_backend,
+)
 from .dataset import Split, TaskSet, build_taskset
 from .features import FEATURE_NAMES, FeaturePanel, compute_feature_panel
-from .loader import load_csv_directory, load_sector_map, parse_ohlcv_csv
-from .market_sim import MarketConfig, StockPanel, SyntheticMarket
+from .loader import (
+    export_panel_csv,
+    load_csv_directory,
+    load_sector_map,
+    parse_ohlcv_csv,
+)
+from .market_sim import (
+    MarketConfig,
+    StockPanel,
+    SyntheticMarket,
+    panels_bitwise_equal,
+)
 from .relations import SectorTaxonomy, random_taxonomy
+from .resample import RESAMPLE_FREQUENCIES, resample_panel
 from .universe import FilterReport, UniverseFilter
 
 __all__ = [
     "FEATURE_NAMES",
+    "RESAMPLE_FREQUENCIES",
+    "DataBackend",
+    "DataSpec",
     "FeaturePanel",
+    "FileBackend",
     "FilterReport",
     "MarketConfig",
+    "ResampledBackend",
     "SectorTaxonomy",
     "Split",
     "StockPanel",
+    "SyntheticBackend",
     "SyntheticMarket",
     "TaskSet",
     "UniverseFilter",
+    "backend_from_spec",
+    "backend_kinds",
     "build_taskset",
     "compute_feature_panel",
+    "export_panel_csv",
     "load_csv_directory",
     "load_sector_map",
+    "panels_bitwise_equal",
     "parse_ohlcv_csv",
     "random_taxonomy",
+    "register_backend",
+    "resample_panel",
 ]

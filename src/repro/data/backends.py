@@ -1,0 +1,436 @@
+"""Pluggable data backends: one interface, many market-data sources.
+
+Every subsystem in this repository — search, compile, engine, streaming —
+consumes market data through exactly one container, the
+:class:`~repro.data.market_sim.StockPanel`.  This module defines *where
+panels come from*: a small :class:`DataBackend` interface plus a registry,
+so the same mine→compile→serve pipeline runs against a synthetic market, a
+directory of OHLCV files, or a resampled view of either, selected by
+configuration instead of code changes (see ``docs/DATA.md``).
+
+Built-in backends
+-----------------
+``synthetic``
+    :class:`SyntheticBackend` — the factor-model simulator
+    (:class:`~repro.data.market_sim.SyntheticMarket`).  The default; the
+    panel it produces is bit-for-bit the pre-backend-layer data path.
+``file``
+    :class:`FileBackend` — one OHLCV CSV per stock (see
+    :mod:`repro.data.loader` for the schema), with schema validation and
+    an in-memory cache keyed on the files' content signature.  Parquet
+    input is recognised but gated on ``pyarrow`` being installed.
+
+Either can be wrapped in :class:`ResampledBackend` for weekly/monthly bars
+(:mod:`repro.data.resample`); :func:`backend_from_spec` applies the wrapper
+automatically when a :class:`DataSpec` asks for a non-daily frequency.
+
+Adding a backend is registration, not surgery::
+
+    @register_backend("myfeed")
+    def _make_myfeed(spec, market_config, seed):
+        return MyFeedBackend(spec.path)
+
+after which ``DataSpec(kind="myfeed", path=...)`` works everywhere an
+:class:`~repro.experiments.configs.ExperimentConfig` does.
+"""
+
+from __future__ import annotations
+
+import abc
+import importlib.util
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Hashable
+
+import numpy as np
+
+from ..config import WINDOW
+from ..errors import DataError
+from .dataset import Split, TaskSet, build_taskset
+from .loader import load_csv_directory, load_sector_map
+from .market_sim import MarketConfig, StockPanel, SyntheticMarket
+from .resample import RESAMPLE_FREQUENCIES, resample_panel
+from .universe import UniverseFilter
+
+__all__ = [
+    "DataBackend",
+    "DataSpec",
+    "FileBackend",
+    "ResampledBackend",
+    "SyntheticBackend",
+    "backend_from_spec",
+    "backend_kinds",
+    "register_backend",
+]
+
+#: Bar frequencies a :class:`DataSpec` may request.
+_FREQUENCIES = ("daily",) + RESAMPLE_FREQUENCIES
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """Declarative description of a data backend.
+
+    This is the form a backend takes inside an
+    :class:`~repro.experiments.configs.ExperimentConfig` or a
+    :class:`~repro.scenarios.ScenarioSpec`: hashable, serialisable and
+    inert until :func:`backend_from_spec` materialises it.
+
+    Attributes
+    ----------
+    kind:
+        Registry name of the backend (``"synthetic"``, ``"file"``, or any
+        kind added through :func:`register_backend`).
+    path:
+        Data directory for file-based kinds; unused by ``synthetic``.
+    pattern:
+        Filename glob for file-based kinds (``*.csv`` by default; a
+        ``*.parquet`` pattern selects the pyarrow-gated Parquet reader).
+    sector_map:
+        Optional ``TICKER,SECTOR,INDUSTRY`` file populating the taxonomy.
+    frequency:
+        Bar frequency: ``daily`` (native) or one of
+        :data:`~repro.data.resample.RESAMPLE_FREQUENCIES`; non-daily specs
+        are wrapped in a :class:`ResampledBackend`.
+    """
+
+    kind: str = "synthetic"
+    path: str | None = None
+    pattern: str = "*.csv"
+    sector_map: str | None = None
+    frequency: str = "daily"
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise DataError("DataSpec.kind must be a non-empty backend name")
+        if self.frequency not in _FREQUENCIES:
+            raise DataError(
+                f"unknown frequency {self.frequency!r}; use one of {_FREQUENCIES}"
+            )
+
+    def resampled(self, frequency: str) -> "DataSpec":
+        """A copy of this spec at a different bar frequency."""
+        return replace(self, frequency=frequency)
+
+
+class DataBackend(abc.ABC):
+    """A source of :class:`~repro.data.market_sim.StockPanel` data.
+
+    The contract is intentionally small (see ``docs/DATA.md``):
+
+    * :meth:`load_panel` returns the full OHLCV panel.  It may cache; the
+      returned panel must be treated as read-only by callers.
+    * :meth:`cache_key` returns a hashable identity under which derived
+      artifacts (task sets, warm server state) may be memoised.  Two
+      backends with equal keys must produce bitwise-identical panels.
+    * :meth:`describe` returns a JSON-friendly summary for logs/results.
+
+    :meth:`build_taskset` is a convenience composing :meth:`load_panel`
+    with :func:`~repro.data.dataset.build_taskset`, so engines, servers
+    and scenarios can go straight from a backend to runnable tasks.
+    """
+
+    #: Registry name of the backend class (informational).
+    kind: str = "abstract"
+
+    @abc.abstractmethod
+    def load_panel(self) -> StockPanel:
+        """Load (or generate) and return the OHLCV panel."""
+
+    @abc.abstractmethod
+    def cache_key(self) -> Hashable:
+        """Hashable identity; equal keys imply bitwise-identical panels."""
+
+    def describe(self) -> dict:
+        """JSON-friendly summary used by scenario results and logs."""
+        return {"kind": self.kind}
+
+    def build_taskset(
+        self,
+        window: int = WINDOW,
+        split: Split | None = None,
+        universe_filter: UniverseFilter | None = UniverseFilter(),
+    ) -> TaskSet:
+        """Load the panel and build the task set every consumer runs on."""
+        return build_taskset(
+            self.load_panel(), window=window, split=split,
+            universe_filter=universe_filter,
+        )
+
+
+class SyntheticBackend(DataBackend):
+    """The factor-model market simulator behind the default scenario.
+
+    Deterministic given ``(config, seed)``; generating twice produces
+    bitwise-identical panels, which is what lets the scenario suite promise
+    bit-for-bit parity with the pre-backend-layer data path.
+    """
+
+    kind = "synthetic"
+
+    def __init__(self, config: MarketConfig | None = None, seed: int = 0) -> None:
+        self.config = config or MarketConfig()
+        self.seed = int(seed)
+
+    def load_panel(self) -> StockPanel:
+        return SyntheticMarket(self.config, seed=self.seed).generate()
+
+    def cache_key(self) -> Hashable:
+        return ("synthetic", self.config, self.seed)
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "num_stocks": self.config.num_stocks,
+            "num_days": self.config.num_days,
+            "num_sectors": self.config.num_sectors,
+            "seed": self.seed,
+        }
+
+
+class FileBackend(DataBackend):
+    """OHLCV files on disk (one file per stock) with validation and caching.
+
+    CSV files go through :func:`~repro.data.loader.load_csv_directory`;
+    a ``*.parquet`` pattern selects the Parquet reader, which requires the
+    optional ``pyarrow`` dependency (a clear :class:`~repro.errors.DataError`
+    is raised when it is missing — the library itself only needs numpy).
+
+    Loaded panels are cached in-memory under a content signature of the
+    matched files (path, size, mtime), so repeated ``load_panel`` calls —
+    the warm-start path of the streaming server, repeated scenario runs —
+    hit the parsed panel instead of the filesystem.  Editing or touching
+    any matched file invalidates the entry.
+    """
+
+    kind = "file"
+
+    #: source (directory, pattern, sector map) → (signature, parsed panel),
+    #: shared across instances.  One entry per source: modifying the files
+    #: replaces the entry instead of stranding the old panel in memory.
+    _CACHE: dict[Hashable, tuple[Hashable, StockPanel]] = {}
+
+    def __init__(
+        self,
+        directory: str | Path,
+        sector_map: str | Path | None = None,
+        pattern: str = "*.csv",
+    ) -> None:
+        self.directory = Path(directory)
+        self.sector_map = Path(sector_map) if sector_map is not None else None
+        self.pattern = pattern
+
+    # ------------------------------------------------------------------
+    def _signature(self) -> Hashable:
+        if not self.directory.is_dir():
+            raise DataError(f"file backend directory does not exist: {self.directory}")
+        # Resolved paths: two spellings of the same directory must produce
+        # one signature (and one cache/memo entry), not thrash the cache.
+        files = sorted(self.directory.resolve().glob(self.pattern))
+        if not files:
+            raise DataError(
+                f"no files matching {self.pattern!r} under {self.directory}"
+            )
+        if self.sector_map is not None:
+            if not self.sector_map.exists():
+                raise DataError(f"sector map does not exist: {self.sector_map}")
+            files = files + [self.sector_map.resolve()]
+        entries = []
+        for path in files:
+            stat = path.stat()
+            entries.append((str(path), stat.st_size, stat.st_mtime_ns))
+        return tuple(entries)
+
+    def cache_key(self) -> Hashable:
+        return ("file", self._signature())
+
+    # ------------------------------------------------------------------
+    def _source_key(self) -> Hashable:
+        return (str(self.directory.resolve()), self.pattern,
+                str(self.sector_map.resolve()) if self.sector_map else None)
+
+    def load_panel(self) -> StockPanel:
+        signature = self._signature()
+        cached = self._CACHE.get(self._source_key())
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        panel = self._load()
+        self.validate_panel(panel)
+        self._CACHE[self._source_key()] = (signature, panel)
+        return panel
+
+    def _load(self) -> StockPanel:
+        if self.pattern.endswith(".parquet"):
+            if importlib.util.find_spec("pyarrow") is None:
+                raise DataError(
+                    "Parquet input requires the optional 'pyarrow' dependency, "
+                    "which is not installed; convert the data to per-stock CSV "
+                    "files (see docs/DATA.md) or install pyarrow"
+                )
+            raise DataError(
+                "Parquet input is not implemented yet even with pyarrow "
+                "installed; convert the data to per-stock CSV files "
+                "(see docs/DATA.md)"
+            )
+        mapping = (
+            load_sector_map(self.sector_map) if self.sector_map is not None else None
+        )
+        # A sector map living inside the data directory must not be parsed
+        # as an OHLCV file, whatever its extension.
+        exclude = (self.sector_map.name,) if self.sector_map is not None else ()
+        return load_csv_directory(
+            self.directory, sector_map=mapping, pattern=self.pattern,
+            exclude=exclude,
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def validate_panel(panel: StockPanel) -> None:
+        """Schema checks beyond the structural ones ``StockPanel`` enforces.
+
+        The loader forward-fills gaps, so a well-formed directory produces
+        finite prices; anything else (a column of text zeros, a corrupted
+        file that parsed as NaN everywhere) should fail here with a clear
+        message instead of surfacing as NaN fitness deep in a search.
+        """
+        if panel.num_days < 3:
+            raise DataError(
+                f"file backend produced only {panel.num_days} days; "
+                "need at least 3"
+            )
+        dates = np.asarray(panel.dates, dtype=np.float64)
+        if not (np.diff(dates) > 0).all():
+            raise DataError("file backend dates must be strictly increasing")
+        for name in ("open", "high", "low", "close"):
+            values = getattr(panel, name)
+            if not np.isfinite(values).all():
+                raise DataError(f"file backend {name} prices contain non-finite values")
+            if (values < 0).any():
+                raise DataError(f"file backend {name} prices contain negative values")
+        # An all-NaN price column forward-fills to zeros; catch it here
+        # rather than as NaN fitness deep in a search.
+        if (panel.close <= 0).any():
+            raise DataError(
+                "file backend close prices contain non-positive values "
+                "(an all-blank price column forward-fills to zero)"
+            )
+        if not np.isfinite(panel.volume).all() or (panel.volume < 0).any():
+            raise DataError("file backend volumes must be finite and non-negative")
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "directory": str(self.directory),
+            "pattern": self.pattern,
+            "sector_map": str(self.sector_map) if self.sector_map else None,
+        }
+
+
+class ResampledBackend(DataBackend):
+    """A frequency-changing wrapper around any other backend.
+
+    Loads the inner backend's daily panel and aggregates it to weekly or
+    monthly bars through :func:`~repro.data.resample.resample_panel`
+    (calendar-aware for ``YYYYMMDD`` dates, fixed 5/21-day periods for
+    synthetic day indices).
+    """
+
+    kind = "resampled"
+
+    def __init__(self, inner: DataBackend, frequency: str) -> None:
+        if frequency not in RESAMPLE_FREQUENCIES:
+            raise DataError(
+                f"unknown resample frequency {frequency!r}; "
+                f"use one of {RESAMPLE_FREQUENCIES}"
+            )
+        self.inner = inner
+        self.frequency = frequency
+
+    def load_panel(self) -> StockPanel:
+        return resample_panel(self.inner.load_panel(), self.frequency)
+
+    def cache_key(self) -> Hashable:
+        return ("resampled", self.frequency, self.inner.cache_key())
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "frequency": self.frequency,
+            "inner": self.inner.describe(),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: kind → factory ``(spec, market_config, seed) -> DataBackend``.
+BackendFactory = Callable[[DataSpec, MarketConfig | None, int | None], DataBackend]
+
+_REGISTRY: dict[str, BackendFactory] = {}
+
+
+def register_backend(kind: str, factory: BackendFactory | None = None,
+                     overwrite: bool = False):
+    """Register a backend factory under ``kind`` (usable as a decorator).
+
+    The factory receives the :class:`DataSpec`, the experiment's
+    :class:`~repro.data.market_sim.MarketConfig` (or ``None``) and the data
+    seed, and returns a :class:`DataBackend`.  Registering an existing kind
+    raises unless ``overwrite=True``.
+    """
+    def _register(func: BackendFactory) -> BackendFactory:
+        if not overwrite and kind in _REGISTRY:
+            raise DataError(
+                f"data backend kind {kind!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        _REGISTRY[kind] = func
+        return func
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def backend_kinds() -> list[str]:
+    """Sorted names of every registered backend kind."""
+    return sorted(_REGISTRY)
+
+
+def backend_from_spec(
+    spec: DataSpec,
+    market_config: MarketConfig | None = None,
+    seed: int | None = None,
+) -> DataBackend:
+    """Materialise a :class:`DataSpec` into a ready-to-load backend.
+
+    Looks the kind up in the registry, builds the base backend, and wraps
+    it in a :class:`ResampledBackend` when the spec asks for non-daily
+    bars.  Unknown kinds raise a :class:`~repro.errors.DataError` naming
+    the registered alternatives.
+    """
+    factory = _REGISTRY.get(spec.kind)
+    if factory is None:
+        raise DataError(
+            f"unknown data backend kind {spec.kind!r}; "
+            f"registered kinds: {backend_kinds()}"
+        )
+    backend = factory(spec, market_config, seed)
+    if spec.frequency != "daily":
+        backend = ResampledBackend(backend, spec.frequency)
+    return backend
+
+
+@register_backend("synthetic")
+def _make_synthetic(spec: DataSpec, market_config: MarketConfig | None,
+                    seed: int | None) -> DataBackend:
+    return SyntheticBackend(market_config, seed=seed if seed is not None else 0)
+
+
+@register_backend("file")
+def _make_file(spec: DataSpec, market_config: MarketConfig | None,
+               seed: int | None) -> DataBackend:
+    if spec.path is None:
+        raise DataError("DataSpec(kind='file') requires a path to the data directory")
+    return FileBackend(spec.path, sector_map=spec.sector_map, pattern=spec.pattern)

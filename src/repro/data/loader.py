@@ -1,16 +1,27 @@
-"""Loading real OHLCV data from CSV files into a :class:`StockPanel`.
+"""Reading and writing per-stock OHLCV CSV files.
 
 The paper uses 5-year NASDAQ daily data.  When such data is available on
-disk, this loader ingests one CSV per stock (or a single long-format CSV) and
-produces the same :class:`~repro.data.market_sim.StockPanel` container the
-synthetic simulator produces, so every downstream component works unchanged.
+disk, this loader ingests one CSV per stock and produces the same
+:class:`~repro.data.market_sim.StockPanel` container the synthetic simulator
+produces, so every downstream component works unchanged; the
+:class:`~repro.data.backends.FileBackend` is the supported front door and
+adds schema validation plus content-signature caching on top.
 
 Expected per-stock CSV columns (case-insensitive, extra columns ignored)::
 
     date, open, high, low, close, volume
 
+Rows may arrive unsorted — they are ordered by date during parsing — and
+stocks with missing days or blank (NaN) prices are aligned on the union
+calendar and forward-filled.  Duplicate dates within one file are an error.
+
 A sector map file with lines ``TICKER,SECTOR,INDUSTRY`` can be supplied to
 populate the taxonomy; otherwise every stock is placed in a single sector.
+
+:func:`export_panel_csv` is the inverse: it writes any panel (synthetic
+included) into exactly this layout with full float precision, so a panel
+survives a CSV round-trip bit for bit — the contract the file-backed
+scenario and ``tests/data/test_file_edge_cases.py`` rely on.
 """
 
 from __future__ import annotations
@@ -24,7 +35,12 @@ from ..errors import DataError
 from .market_sim import StockPanel
 from .relations import SectorTaxonomy
 
-__all__ = ["load_csv_directory", "load_sector_map", "parse_ohlcv_csv"]
+__all__ = [
+    "export_panel_csv",
+    "load_csv_directory",
+    "load_sector_map",
+    "parse_ohlcv_csv",
+]
 
 _REQUIRED_COLUMNS = ("date", "open", "high", "low", "close", "volume")
 
@@ -53,7 +69,16 @@ def parse_ohlcv_csv(path: str | Path) -> dict[str, np.ndarray]:
                 rows[column].append(value)
     if not rows["date"]:
         raise DataError(f"CSV file {path} contains no data rows")
-    return {name: np.asarray(values, dtype=np.float64) for name, values in rows.items()}
+    columns = {
+        name: np.asarray(values, dtype=np.float64) for name, values in rows.items()
+    }
+    # Rows may arrive in any order; sort chronologically and reject
+    # duplicate dates (two bars for one day cannot be aligned).
+    order = np.argsort(columns["date"], kind="stable")
+    columns = {name: values[order] for name, values in columns.items()}
+    if np.unique(columns["date"]).size != columns["date"].size:
+        raise DataError(f"CSV file {path} contains duplicate dates")
+    return columns
 
 
 def load_sector_map(path: str | Path) -> dict[str, tuple[str, str]]:
@@ -76,16 +101,23 @@ def load_csv_directory(
     directory: str | Path,
     sector_map: dict[str, tuple[str, str]] | None = None,
     pattern: str = "*.csv",
+    exclude: tuple[str, ...] = (),
 ) -> StockPanel:
     """Load every per-stock CSV in ``directory`` into a :class:`StockPanel`.
 
-    Stocks are aligned on the intersection of their dates; stocks whose date
-    coverage misses more than half of the common calendar are dropped.
+    Stocks are aligned on the *union* of their dates (gaps forward-filled
+    for prices, zero-filled for volume); stocks whose date coverage misses
+    more than half of that common calendar are dropped.  ``exclude`` lists
+    file names matched by ``pattern`` that are not OHLCV data (e.g. a
+    sector map living in the same directory).
     """
     directory = Path(directory)
     if not directory.is_dir():
         raise DataError(f"not a directory: {directory}")
-    files = sorted(directory.glob(pattern))
+    files = [
+        path for path in sorted(directory.glob(pattern))
+        if path.name not in exclude
+    ]
     if not files:
         raise DataError(f"no CSV files matching {pattern!r} under {directory}")
 
@@ -144,6 +176,52 @@ def _forward_fill(series: np.ndarray) -> np.ndarray:
         if not np.isfinite(series[i]):
             series[i] = series[i - 1]
     return series
+
+
+def export_panel_csv(panel: StockPanel, directory: str | Path,
+                     sector_map_name: str = "sectors.txt") -> Path:
+    """Write ``panel`` as one OHLCV CSV per stock plus a sector map file.
+
+    The inverse of :func:`load_csv_directory`: floats are written with
+    ``repr`` (full precision), so loading the directory back produces a
+    bitwise-identical panel.  Used by the file-backed scenario to turn the
+    synthetic market into on-disk data, and by tests to assert the
+    round-trip.  Returns the directory path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for k, ticker in enumerate(panel.tickers):
+        with (directory / f"{ticker}.csv").open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(_REQUIRED_COLUMNS)
+            for t in range(panel.num_days):
+                writer.writerow([
+                    _format_date(panel.dates[t]),
+                    repr(float(panel.open[t, k])),
+                    repr(float(panel.high[t, k])),
+                    repr(float(panel.low[t, k])),
+                    repr(float(panel.close[t, k])),
+                    repr(float(panel.volume[t, k])),
+                ])
+    taxonomy = panel.taxonomy
+    with (directory / sector_map_name).open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        for k, ticker in enumerate(panel.tickers):
+            sector = _group_name(taxonomy.sector_names, taxonomy.sector_of(k))
+            industry = _group_name(taxonomy.industry_names, taxonomy.industry_of(k))
+            writer.writerow([ticker, sector, industry])
+    return directory
+
+
+def _format_date(value) -> str:
+    """Dates are integral (day indices or YYYYMMDD); write them as ints."""
+    return str(int(value))
+
+
+def _group_name(names: tuple[str, ...], group_id: int) -> str:
+    if 0 <= group_id < len(names):
+        return names[group_id]
+    return f"GROUP_{group_id}"
 
 
 def _taxonomy_from_map(

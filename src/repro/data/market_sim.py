@@ -30,7 +30,29 @@ from ..config import make_rng
 from ..errors import DataError
 from .relations import SectorTaxonomy, random_taxonomy
 
-__all__ = ["StockPanel", "MarketConfig", "SyntheticMarket"]
+__all__ = ["StockPanel", "MarketConfig", "SyntheticMarket", "panels_bitwise_equal"]
+
+
+def panels_bitwise_equal(left: "StockPanel", right: "StockPanel") -> bool:
+    """Whether two panels carry byte-identical OHLCV data.
+
+    The parity predicate of the data layer's round-trip and backend
+    contracts (benchmark gate and tests alike): every price/volume array
+    must match bit for bit.  Tickers and dates are compared for equality
+    too (dates after integer coercion, since a CSV round trip may change
+    the dtype but must not change the values).
+    """
+    return (
+        all(
+            getattr(left, name).tobytes() == getattr(right, name).tobytes()
+            for name in ("open", "high", "low", "close", "volume")
+        )
+        and left.tickers == right.tickers
+        and np.array_equal(
+            np.asarray(left.dates).astype(np.int64),
+            np.asarray(right.dates).astype(np.int64),
+        )
+    )
 
 
 @dataclass

@@ -1,0 +1,153 @@
+"""Calendar-aware resampling of daily OHLCV panels to lower frequencies.
+
+The paper evaluates on daily bars, but the scenario suite
+(:mod:`repro.scenarios`) also exercises the pipeline on weekly and monthly
+bars — the "multiple relational settings" axis of the evaluation.  This
+module turns a daily :class:`~repro.data.market_sim.StockPanel` into a
+lower-frequency one with the standard OHLCV aggregation rules:
+
+=========  =================================================
+column     aggregation over the period
+=========  =================================================
+open       first day's open
+high       maximum high
+low        minimum low
+close      last day's close
+volume     sum of the daily volumes
+date       last trading day of the period (the bar's stamp)
+=========  =================================================
+
+Periods are *calendar-aware*: when the panel's dates are ``YYYYMMDD``
+integers (the format :mod:`repro.data.loader` produces), weekly bars group
+by ISO calendar week and monthly bars by calendar month, so a holiday-
+shortened week still forms exactly one bar.  Synthetic panels date their
+days ``0, 1, 2, …`` (:class:`~repro.data.market_sim.SyntheticMarket`); for
+those a synthetic calendar of :data:`SYNTHETIC_WEEK_DAYS`-day weeks and
+:data:`SYNTHETIC_MONTH_DAYS`-day months applies.
+
+Tickers and the sector/industry taxonomy pass through unchanged — the
+relation graph is a property of the universe, not of the bar frequency.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import numpy as np
+
+from ..errors import DataError
+from .market_sim import StockPanel
+
+__all__ = [
+    "RESAMPLE_FREQUENCIES",
+    "SYNTHETIC_MONTH_DAYS",
+    "SYNTHETIC_WEEK_DAYS",
+    "resample_panel",
+]
+
+#: Frequencies :func:`resample_panel` understands ("daily" is the identity).
+RESAMPLE_FREQUENCIES: tuple[str, ...] = ("weekly", "monthly")
+
+#: Trading days per week / month of the synthetic day-index calendar.
+SYNTHETIC_WEEK_DAYS = 5
+SYNTHETIC_MONTH_DAYS = 21
+
+#: Smallest value treated as a ``YYYYMMDD`` date rather than a day index.
+_YYYYMMDD_MIN = 1000_01_01
+
+
+def _parse_yyyymmdd(value: int) -> datetime.date:
+    year, rest = divmod(int(value), 10000)
+    month, day = divmod(rest, 100)
+    try:
+        return datetime.date(year, month, day)
+    except ValueError as exc:
+        raise DataError(f"cannot parse date {value} as YYYYMMDD: {exc}") from exc
+
+
+def period_keys(dates: np.ndarray, frequency: str) -> np.ndarray:
+    """Map each date to an integer period key (equal key = same bar).
+
+    ``dates`` may be ``YYYYMMDD`` integers (real calendars: ISO weeks /
+    calendar months) or plain day indices (synthetic calendar: fixed
+    5-day weeks / 21-day months).  Keys increase with time, so sorting by
+    key preserves chronological order.
+    """
+    if frequency not in RESAMPLE_FREQUENCIES:
+        raise DataError(
+            f"unknown resample frequency {frequency!r}; "
+            f"use one of {RESAMPLE_FREQUENCIES}"
+        )
+    values = np.asarray(dates)
+    if values.ndim != 1 or values.size == 0:
+        raise DataError("dates must be a non-empty 1-D array")
+    as_int = values.astype(np.int64)
+    if not np.array_equal(as_int.astype(values.dtype), values):
+        raise DataError("dates must be integral (day indices or YYYYMMDD)")
+    calendar_like = as_int >= _YYYYMMDD_MIN
+    if calendar_like.all():
+        keys = np.empty(as_int.size, dtype=np.int64)
+        for i, raw in enumerate(as_int):
+            day = _parse_yyyymmdd(raw)
+            if frequency == "weekly":
+                iso = day.isocalendar()
+                keys[i] = iso[0] * 100 + iso[1]
+            else:
+                keys[i] = day.year * 100 + day.month
+        return keys
+    if calendar_like.any():
+        # One stray sub-calendar value must not silently flip the whole
+        # panel to day-index interpretation.
+        raise DataError(
+            "dates mix YYYYMMDD values and day indices; fix the out-of-range "
+            f"dates (min {int(as_int.min())}, max {int(as_int.max())})"
+        )
+    if (as_int < 0).any():
+        raise DataError("day-index dates must be non-negative")
+    per = SYNTHETIC_WEEK_DAYS if frequency == "weekly" else SYNTHETIC_MONTH_DAYS
+    return as_int // per
+
+
+def resample_panel(panel: StockPanel, frequency: str) -> StockPanel:
+    """Aggregate a daily panel into weekly or monthly bars.
+
+    The input must be chronologically sorted (every loader in
+    :mod:`repro.data` guarantees this).  Returns a new panel with one row
+    per period; ``frequency`` is one of :data:`RESAMPLE_FREQUENCIES`.
+    """
+    # Strictly increasing dates (not just non-decreasing period keys):
+    # disorder *within* a period would silently swap a bar's open/close.
+    if not (np.diff(np.asarray(panel.dates).astype(np.int64)) > 0).all():
+        raise DataError("panel dates must be strictly increasing before resampling")
+    keys = period_keys(panel.dates, frequency)
+    # Row index where each period starts (keys are sorted, so periods are
+    # contiguous runs).
+    starts = np.flatnonzero(np.r_[True, np.diff(keys) != 0])
+    stops = np.r_[starts[1:], keys.size]
+
+    num_periods = starts.size
+    shape = (num_periods, panel.num_stocks)
+    open_ = np.empty(shape)
+    high = np.empty(shape)
+    low = np.empty(shape)
+    close = np.empty(shape)
+    volume = np.empty(shape)
+    dates = np.empty(num_periods, dtype=panel.dates.dtype)
+    for p, (lo, hi) in enumerate(zip(starts, stops)):
+        open_[p] = panel.open[lo]
+        high[p] = panel.high[lo:hi].max(axis=0)
+        low[p] = panel.low[lo:hi].min(axis=0)
+        close[p] = panel.close[hi - 1]
+        volume[p] = panel.volume[lo:hi].sum(axis=0)
+        dates[p] = panel.dates[hi - 1]
+
+    return StockPanel(
+        open=open_,
+        high=high,
+        low=low,
+        close=close,
+        volume=volume,
+        tickers=panel.tickers,
+        dates=dates,
+        taxonomy=panel.taxonomy,
+    )

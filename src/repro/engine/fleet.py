@@ -101,6 +101,38 @@ class FleetEngine:
         self._warmed = False
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_backend(
+        cls,
+        backend,
+        programs=(),
+        split=None,
+        seed: int | None = 0,
+        max_train_steps: int | None = None,
+        engine: str | None = None,
+        dedup: bool = True,
+    ) -> "FleetEngine":
+        """Build a fleet straight from a :class:`~repro.data.DataBackend`.
+
+        Loads the backend's panel, builds the task set (optionally under an
+        explicit ``split``) and the paired evaluator, and registers
+        ``programs`` — the shortest path from *any* data source (synthetic,
+        file-backed, resampled) to a runnable fleet.  Execution contexts
+        are therefore built from the backend's data, never hand-assembled.
+        """
+        # Imported lazily: repro.core.interpreter imports this package.
+        from ..core.interpreter import AlphaEvaluator
+
+        taskset = backend.build_taskset(split=split)
+        evaluator = AlphaEvaluator(
+            taskset, seed=seed, max_train_steps=max_train_steps, engine=engine
+        )
+        fleet = cls(evaluator, engine=engine, dedup=dedup)
+        for program in programs:
+            fleet.add(program)
+        return fleet
+
+    # ------------------------------------------------------------------
     @property
     def taskset(self):
         """The task set the fleet executes against."""

@@ -1,6 +1,6 @@
 """Experiment runners for every table and figure of the paper's evaluation."""
 
-from .configs import ExperimentConfig, LAPTOP, PAPER, SMOKE, make_taskset
+from .configs import ExperimentConfig, LAPTOP, PAPER, SCALES, SMOKE, make_taskset
 from .recorder import ExperimentResult, PAPER_REFERENCE, load_result, save_result
 from .runner import (
     GeneticStudy,
@@ -27,6 +27,7 @@ __all__ = [
     "PAPER",
     "PAPER_REFERENCE",
     "RoundRecord",
+    "SCALES",
     "SMOKE",
     "format_mean_std",
     "format_value",

@@ -12,13 +12,15 @@ Two scales are provided:
   and a large compute budget and is not exercised by the test-suite.
 
 Every configuration is an immutable dataclass, and :func:`make_taskset`
-deterministically builds the corresponding task set from the synthetic
-market simulator.
+deterministically builds the corresponding task set through the
+configuration's data backend (:mod:`repro.data.backends`) — the synthetic
+market simulator by default, or any registered backend via the ``data``
+spec.  Named workload presets live in :mod:`repro.scenarios`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 from ..config import (
     CORRELATION_CUTOFF,
@@ -28,10 +30,18 @@ from ..config import (
     PAPER_TEST_DAYS,
 )
 from ..core.evolution import EvolutionConfig
-from ..data import MarketConfig, Split, SyntheticMarket, TaskSet, build_taskset
-from ..errors import ConfigurationError
+from ..data import DataSpec, MarketConfig, Split, TaskSet, backend_from_spec
+from ..data.backends import DataBackend
+from ..errors import ConfigurationError, DataError
 
-__all__ = ["ExperimentConfig", "LAPTOP", "SMOKE", "PAPER", "make_taskset"]
+__all__ = ["ExperimentConfig", "LAPTOP", "SCALES", "SMOKE", "PAPER", "make_taskset"]
+
+#: :class:`~repro.data.market_sim.MarketConfig` fields that mirror explicit
+#: ``ExperimentConfig`` fields; overriding them through ``market_overrides``
+#: would desynchronise the two, so it is rejected.
+_STRUCTURAL_MARKET_FIELDS = frozenset(
+    {"num_stocks", "num_days", "num_sectors", "industries_per_sector"}
+)
 
 
 @dataclass(frozen=True)
@@ -47,6 +57,15 @@ class ExperimentConfig:
     industries_per_sector: int = 3
     data_seed: int = 2021
     split: Split | None = Split(train=255, valid=60, test=60)
+    #: Declarative data-backend selection (:mod:`repro.data.backends`).  The
+    #: default synthetic spec reproduces the pre-backend-layer data path bit
+    #: for bit; scenarios swap in file-backed or resampled specs.
+    data: DataSpec = DataSpec()
+    #: Extra :class:`~repro.data.market_sim.MarketConfig` fields as
+    #: ``(name, value)`` pairs — the regime axis of the scenario suite
+    #: (volatilities, signal strengths, spillover).  Structural fields
+    #: (``num_stocks`` …) must be set on the config itself.
+    market_overrides: tuple[tuple[str, object], ...] = ()
 
     # ----- portfolio ------------------------------------------------------
     long_positions: int = 10
@@ -126,13 +145,49 @@ class ExperimentConfig:
 
     # ------------------------------------------------------------------
     def market_config(self) -> MarketConfig:
-        """The synthetic-market parameters for this experiment scale."""
+        """The synthetic-market parameters, with regime overrides applied.
+
+        Unknown or structural ``market_overrides`` keys raise a
+        :class:`~repro.errors.ConfigurationError` that names this
+        configuration, so a broken scenario spec is attributable from the
+        message alone.
+        """
+        overrides = dict(self.market_overrides)
+        known = {field.name for field in fields(MarketConfig)}
+        structural = sorted(set(overrides) & _STRUCTURAL_MARKET_FIELDS)
+        if structural:
+            raise ConfigurationError(
+                f"config {self.name!r}: market_overrides may not set "
+                f"{structural}; set the matching ExperimentConfig field instead"
+            )
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"config {self.name!r}: unknown MarketConfig field(s) "
+                f"{unknown}; valid regime fields: "
+                f"{sorted(known - _STRUCTURAL_MARKET_FIELDS)}"
+            )
         return MarketConfig(
             num_stocks=self.num_stocks,
             num_days=self.num_days,
             num_sectors=self.num_sectors,
             industries_per_sector=self.industries_per_sector,
+            **overrides,
         )
+
+    def data_backend(self) -> DataBackend:
+        """Materialise this configuration's :class:`~repro.data.DataSpec`.
+
+        Backend construction errors (unknown kind, missing path) are
+        re-raised as :class:`~repro.errors.ConfigurationError` carrying the
+        configuration name.
+        """
+        try:
+            return backend_from_spec(
+                self.data, market_config=self.market_config(), seed=self.data_seed
+            )
+        except DataError as exc:
+            raise ConfigurationError(f"config {self.name!r}: {exc}") from exc
 
     def evolution_config(self, max_candidates: int | None = None,
                          max_seconds: float | None = None,
@@ -151,7 +206,21 @@ class ExperimentConfig:
         )
 
     def scaled(self, **overrides) -> "ExperimentConfig":
-        """A copy of this configuration with some fields replaced."""
+        """A copy of this configuration with some fields replaced.
+
+        Unknown field names raise a
+        :class:`~repro.errors.ConfigurationError` that includes this
+        configuration's name — every rebuild path (CLI overrides, scenario
+        materialisation, benchmark trims) funnels through here, so the
+        error always says which config produced it.
+        """
+        known = {field.name for field in fields(self)}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"config {self.name!r}: unknown ExperimentConfig field(s) "
+                f"{unknown}; valid fields: {sorted(known)}"
+            )
         return replace(self, **overrides)
 
 
@@ -206,24 +275,36 @@ PAPER = ExperimentConfig(
     pruning_time_budget_seconds=60 * 3600.0,
 )
 
+#: The named experiment scales the CLI's ``--scale`` and the scenario
+#: suite materialise against — the single registry both consult.
+SCALES: dict[str, ExperimentConfig] = {"laptop": LAPTOP, "smoke": SMOKE}
+
 _TASKSET_CACHE: dict[tuple, TaskSet] = {}
+
+#: Bound on the task-set memo: file-backend keys embed content signatures
+#: (mtimes), so an unbounded dict would strand one dead TaskSet per
+#: re-export in a long-lived process.
+_TASKSET_CACHE_MAX = 8
 
 
 def make_taskset(config: ExperimentConfig, use_cache: bool = True) -> TaskSet:
-    """Build (and memoise) the task set for an experiment configuration."""
-    key = (
-        config.num_stocks,
-        config.num_days,
-        config.num_sectors,
-        config.industries_per_sector,
-        config.data_seed,
-        config.split,
-    )
+    """Build (and memoise) the task set for an experiment configuration.
+
+    The panel comes from the configuration's data backend
+    (:meth:`ExperimentConfig.data_backend`); the memo key is the backend's
+    :meth:`~repro.data.backends.DataBackend.cache_key`, so a synthetic
+    config, a file directory (keyed by content signature) and a resampled
+    view each cache independently (oldest entries are evicted beyond
+    :data:`_TASKSET_CACHE_MAX`).  The default synthetic spec produces a
+    task set bitwise identical to the pre-backend-layer data path.
+    """
+    backend = config.data_backend()
+    key = (backend.cache_key(), config.split)
     if use_cache and key in _TASKSET_CACHE:
         return _TASKSET_CACHE[key]
-    market = SyntheticMarket(config.market_config(), seed=config.data_seed)
-    panel = market.generate()
-    taskset = build_taskset(panel, split=config.split)
+    taskset = backend.build_taskset(split=config.split)
     if use_cache:
+        while len(_TASKSET_CACHE) >= _TASKSET_CACHE_MAX:
+            _TASKSET_CACHE.pop(next(iter(_TASKSET_CACHE)))
         _TASKSET_CACHE[key] = taskset
     return taskset

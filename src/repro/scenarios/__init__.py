@@ -1,0 +1,37 @@
+"""Named scenario suite: declarative workloads over pluggable data backends.
+
+The ROADMAP's north star asks for "as many scenarios as you can imagine";
+this package is where they live.  A scenario is a named, declarative
+description of one workload — data source, bar frequency, market regime and
+experiment sizing — that materialises into an ordinary
+:class:`~repro.experiments.configs.ExperimentConfig` and runs the full
+mine→compile→serve pipeline through one call (or ``repro scenario <name>``
+on the command line):
+
+* :mod:`repro.scenarios.spec`     — :class:`ScenarioSpec` and its
+  materialisation (including the CSV export behind file-backed scenarios);
+* :mod:`repro.scenarios.registry` — the shipped suite (baseline, weekly,
+  file-backed, high-vol, sparse-relations) and :func:`register_scenario`;
+* :mod:`repro.scenarios.runner`   — :func:`run_scenario`, producing one
+  :class:`~repro.experiments.recorder.ExperimentResult` per scenario with
+  the online/offline parity verdict in its metadata.
+
+See ``docs/DATA.md`` for the scenario-spec reference and the guide to
+adding backends and scenarios.
+"""
+
+from .registry import get_scenario, list_scenarios, register_scenario, scenario_names
+from .runner import render_scenario_list, run_scenario
+from .spec import SCENARIO_DATA_ENV, ScenarioSpec, default_data_dir
+
+__all__ = [
+    "SCENARIO_DATA_ENV",
+    "ScenarioSpec",
+    "default_data_dir",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "render_scenario_list",
+    "run_scenario",
+    "scenario_names",
+]

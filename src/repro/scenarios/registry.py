@@ -1,0 +1,120 @@
+"""The named scenario suite and its registry.
+
+Five scenarios ship with the repository, spanning the three axes the data
+layer opens — source, frequency and regime (full reference:
+``docs/DATA.md``):
+
+=================  ========================================================
+name               workload
+=================  ========================================================
+baseline           default synthetic market; bit-for-bit the pre-backend
+                   data path
+weekly             the same generator resampled to weekly bars over a
+                   longer history (calendar-aware aggregation)
+file-backed        the synthetic panel exported to per-stock CSVs and
+                   served through :class:`~repro.data.FileBackend` — the
+                   full on-disk round trip
+high-vol           high-volatility regime on a larger universe (doubled
+                   factor and idiosyncratic volatilities)
+sparse-relations   a near-flat relation graph (two sectors, one industry
+                   each, no industry-momentum spillover) — the regime in
+                   which relational operators have nothing to exploit
+=================  ========================================================
+
+Downstream projects add their own with :func:`register_scenario`; the CLI
+(``repro scenario --list``) and :func:`~repro.scenarios.runner.run_scenario`
+only ever consult this registry.
+"""
+
+from __future__ import annotations
+
+from ..data import DataSpec
+from ..errors import ConfigurationError
+from .spec import ScenarioSpec
+
+__all__ = ["get_scenario", "list_scenarios", "register_scenario", "scenario_names"]
+
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, overwrite: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the registry (error on duplicates unless ``overwrite``)."""
+    if not overwrite and spec.name in _SCENARIOS:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario by name; unknown names list the alternatives."""
+    spec = _SCENARIOS.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available scenarios: {scenario_names()}"
+        )
+    return spec
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_SCENARIOS)
+
+
+def list_scenarios() -> list[ScenarioSpec]:
+    """Every registered scenario, sorted by name."""
+    return [_SCENARIOS[name] for name in scenario_names()]
+
+
+# ---------------------------------------------------------------------------
+# The shipped suite
+# ---------------------------------------------------------------------------
+
+register_scenario(ScenarioSpec(
+    name="baseline",
+    description="Default synthetic market — the paper's setting, bitwise "
+                "identical to the pre-backend data path",
+))
+
+register_scenario(ScenarioSpec(
+    name="weekly",
+    description="Synthetic market resampled to weekly bars over a longer "
+                "history (calendar-aware OHLCV aggregation)",
+    data=DataSpec(frequency="weekly"),
+    # Weekly bars divide the usable history by ~5; extend it and let the
+    # split fall back to the paper's fractional proportions.
+    config_overrides=(("num_days", 1260), ("split", None)),
+    smoke_overrides=(("num_days", 420),),
+))
+
+register_scenario(ScenarioSpec(
+    name="file-backed",
+    description="Synthetic panel exported to per-stock OHLCV CSVs and "
+                "loaded back through the validating FileBackend",
+    data=DataSpec(kind="file"),
+    export_synthetic=True,
+))
+
+register_scenario(ScenarioSpec(
+    name="high-vol",
+    description="High-volatility regime on a larger universe (doubled "
+                "market/sector/idiosyncratic vols)",
+    config_overrides=(("num_stocks", 160),),
+    smoke_overrides=(("num_stocks", 60),),
+    market_overrides=(
+        ("market_vol", 0.016),
+        ("sector_vol", 0.012),
+        ("industry_vol", 0.008),
+        ("idio_vol_range", (0.02, 0.07)),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="sparse-relations",
+    description="Near-flat relation graph: two sectors, one industry each, "
+                "no industry-momentum spillover",
+    config_overrides=(("num_sectors", 2), ("industries_per_sector", 1)),
+    market_overrides=(("relation_spillover_strength", 0.0),),
+))

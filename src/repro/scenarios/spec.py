@@ -1,0 +1,188 @@
+"""Declarative scenario specifications and their materialisation.
+
+A :class:`ScenarioSpec` is a named, immutable description of one workload:
+which data backend feeds it (:class:`~repro.data.DataSpec`), which market
+regime the synthetic generator should produce (``market_overrides``), and
+how the experiment knobs differ from the stock ``LAPTOP``/``SMOKE`` scales
+(``config_overrides`` / ``smoke_overrides``).  Materialising a spec
+produces an ordinary :class:`~repro.experiments.configs.ExperimentConfig`,
+so every existing entry point — tables, benchmarks, ``repro serve`` — runs
+a scenario unchanged.
+
+File-backed scenarios set ``export_synthetic=True``: materialisation first
+exports the scenario's synthetic panel as per-stock CSVs (plus sector map)
+into the scenario data directory and points the config's
+:class:`~repro.data.FileBackend` at them.  The export is idempotent — a
+manifest records the generating backend's cache key and the files are only
+rewritten when it changes.
+
+Errors raised while materialising carry the scenario name, so a typo in a
+spec's overrides is attributable from the message alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..data import DataSpec, SyntheticBackend, export_panel_csv
+from ..errors import ConfigurationError
+from ..experiments.configs import SCALES, ExperimentConfig
+
+__all__ = ["SCENARIO_DATA_ENV", "ScenarioSpec", "default_data_dir"]
+
+#: Environment variable overriding where file-backed scenarios keep their
+#: exported data (default: ``.scenario_data`` under the working directory).
+SCENARIO_DATA_ENV = "REPRO_SCENARIO_DATA"
+
+#: The experiment scales a scenario can materialise at — the same registry
+#: the CLI's ``--scale`` consults.
+_BASES = SCALES
+
+#: ``ExperimentConfig`` fields :meth:`ScenarioSpec.experiment_config` sets
+#: itself; a spec's ``config_overrides`` may not collide with them.
+_RESERVED_OVERRIDES = ("name", "market_overrides", "data")
+
+#: Name of the sector-map file exported next to the per-stock CSVs.
+_SECTOR_MAP = "sectors.txt"
+
+
+def default_data_dir() -> Path:
+    """Directory for exported scenario data (override: ``REPRO_SCENARIO_DATA``)."""
+    return Path(os.environ.get(SCENARIO_DATA_ENV, ".scenario_data"))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named workload for the mine→compile→serve pipeline.
+
+    Attributes
+    ----------
+    name / description:
+        Registry identity and the one-liner ``repro scenario --list`` shows.
+    data:
+        Backend selection (:class:`~repro.data.DataSpec`); the frequency
+        field is how resampled scenarios are expressed.
+    config_overrides:
+        ``(field, value)`` pairs applied to the base scale's
+        :class:`~repro.experiments.configs.ExperimentConfig`.
+    smoke_overrides:
+        Extra pairs applied on top at the ``smoke`` scale (CI sizing).
+    market_overrides:
+        Regime parameters forwarded to
+        :meth:`~repro.experiments.configs.ExperimentConfig.market_config`.
+    export_synthetic:
+        When true, materialisation exports the synthetic panel to CSV and
+        rewrites ``data`` to a file backend over the export — the scenario
+        then exercises the on-disk path end to end.
+    """
+
+    name: str
+    description: str
+    data: DataSpec = DataSpec()
+    config_overrides: tuple[tuple[str, object], ...] = ()
+    smoke_overrides: tuple[tuple[str, object], ...] = ()
+    market_overrides: tuple[tuple[str, object], ...] = ()
+    export_synthetic: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a scenario needs a non-empty name")
+        if self.export_synthetic and self.data.kind != "file":
+            raise ConfigurationError(
+                f"scenario {self.name!r}: export_synthetic requires "
+                "DataSpec(kind='file')"
+            )
+
+    # ------------------------------------------------------------------
+    def overrides_for(self, scale: str) -> dict:
+        """The merged ExperimentConfig overrides at ``scale``."""
+        if scale not in _BASES:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: unknown scale {scale!r}; "
+                f"use one of {sorted(_BASES)}"
+            )
+        overrides = dict(self.config_overrides)
+        if scale == "smoke":
+            overrides.update(dict(self.smoke_overrides))
+        reserved = sorted(set(overrides) & set(_RESERVED_OVERRIDES))
+        if reserved:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: overrides may not set {reserved}; "
+                "those fields belong to the spec itself "
+                "(name / market_overrides / data)"
+            )
+        return overrides
+
+    def experiment_config(self, scale: str = "laptop",
+                          data_dir: str | Path | None = None) -> ExperimentConfig:
+        """Materialise this scenario into an :class:`ExperimentConfig`.
+
+        ``data_dir`` overrides where file-backed scenarios export their
+        CSVs (default :func:`default_data_dir`).  All configuration errors
+        are re-raised with the scenario name attached.
+        """
+        overrides = self.overrides_for(scale)  # validates the scale name
+        base = _BASES[scale]
+        data = self.data
+        try:
+            config = base.scaled(
+                name=f"{self.name}-{scale}",
+                market_overrides=self.market_overrides,
+                **overrides,
+            )
+            if self.export_synthetic:
+                directory = self._export(config, scale, data_dir)
+                data = replace(
+                    data,
+                    path=str(directory),
+                    sector_map=str(directory / _SECTOR_MAP),
+                )
+            config = config.scaled(data=data)
+            # Fail here, not deep inside a search, if the spec is broken.
+            config.market_config()
+            config.data_backend()
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"scenario {self.name!r}: {exc}") from exc
+        return config
+
+    # ------------------------------------------------------------------
+    def _export(self, config: ExperimentConfig, scale: str,
+                data_dir: str | Path | None) -> Path:
+        """Export the scenario's synthetic panel to CSV (idempotently)."""
+        root = Path(data_dir) if data_dir is not None else default_data_dir()
+        directory = root / f"{self.name}-{scale}"
+        backend = SyntheticBackend(config.market_config(), seed=config.data_seed)
+        manifest_path = directory / "manifest.json"
+        manifest = {
+            "cache_key": repr(backend.cache_key()),
+            "num_stocks": config.num_stocks,
+        }
+        if manifest_path.exists():
+            try:
+                intact = (
+                    json.loads(manifest_path.read_text()) == manifest
+                    # A matching manifest over partially deleted data must
+                    # re-export, not serve a silently shrunken universe.
+                    and len(list(directory.glob("*.csv"))) == config.num_stocks
+                    and (directory / _SECTOR_MAP).exists()
+                )
+                if intact:
+                    return directory
+            except (json.JSONDecodeError, OSError):
+                pass
+        # A re-export (changed sizing/regime/seed) must not leave stale
+        # per-stock CSVs behind: FileBackend globs the directory, so any
+        # leftover from the previous generation would silently join the
+        # panel.
+        if directory.exists():
+            for stale in directory.glob("*.csv"):
+                stale.unlink()
+            (directory / _SECTOR_MAP).unlink(missing_ok=True)
+            manifest_path.unlink(missing_ok=True)
+        export_panel_csv(backend.load_panel(), directory,
+                         sector_map_name=_SECTOR_MAP)
+        manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+        return directory

@@ -152,6 +152,29 @@ class AlphaServer:
         self.bar_latencies: list[float] = []
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_backend(
+        cls,
+        backend,
+        split=None,
+        seed: int | np.random.Generator | None = 0,
+        max_train_steps: int | None = None,
+        use_update: bool = True,
+    ) -> "AlphaServer":
+        """Build a server straight from a :class:`~repro.data.DataBackend`.
+
+        Loads the backend's panel and builds the task set the server warms
+        over — so a serving process can warm-start from the synthetic
+        simulator, a directory of OHLCV files, or a resampled view of
+        either, without touching the construction code.
+        """
+        taskset = backend.build_taskset(split=split)
+        return cls(
+            taskset, seed=seed, max_train_steps=max_train_steps,
+            use_update=use_update,
+        )
+
+    # ------------------------------------------------------------------
     @property
     def base_seed(self) -> int:
         """The derived seed shared with the paired offline evaluator."""

@@ -1,0 +1,199 @@
+"""Tests for the pluggable data-backend layer (repro.data.backends)."""
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataSpec,
+    FileBackend,
+    MarketConfig,
+    ResampledBackend,
+    Split,
+    SyntheticBackend,
+    SyntheticMarket,
+    backend_from_spec,
+    backend_kinds,
+    build_taskset,
+    export_panel_csv,
+    panels_bitwise_equal,
+    register_backend,
+)
+from repro.data.backends import _REGISTRY
+from repro.errors import DataError
+
+
+class TestDataSpec:
+    def test_defaults(self):
+        spec = DataSpec()
+        assert spec.kind == "synthetic"
+        assert spec.frequency == "daily"
+
+    def test_bad_frequency(self):
+        with pytest.raises(DataError, match="frequency"):
+            DataSpec(frequency="hourly")
+
+    def test_empty_kind(self):
+        with pytest.raises(DataError, match="kind"):
+            DataSpec(kind="")
+
+    def test_resampled_copy(self):
+        weekly = DataSpec().resampled("weekly")
+        assert weekly.frequency == "weekly"
+        assert weekly.kind == "synthetic"
+
+    def test_hashable(self):
+        assert hash(DataSpec()) == hash(DataSpec())
+
+
+class TestRegistry:
+    def test_builtin_kinds(self):
+        assert {"synthetic", "file"} <= set(backend_kinds())
+
+    def test_unknown_kind_lists_alternatives(self):
+        with pytest.raises(DataError, match="synthetic"):
+            backend_from_spec(DataSpec(kind="nope"))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(DataError, match="already registered"):
+            register_backend("synthetic", lambda spec, mc, seed: None)
+
+    def test_custom_backend_registration(self):
+        @register_backend("test-custom")
+        def _factory(spec, market_config, seed):
+            return SyntheticBackend(MarketConfig(num_stocks=12, num_days=90), seed=1)
+
+        try:
+            backend = backend_from_spec(DataSpec(kind="test-custom"))
+            assert backend.load_panel().num_stocks == 12
+        finally:
+            _REGISTRY.pop("test-custom")
+
+    def test_file_kind_requires_path(self):
+        with pytest.raises(DataError, match="path"):
+            backend_from_spec(DataSpec(kind="file"))
+
+    def test_non_daily_spec_wraps_resampler(self):
+        backend = backend_from_spec(
+            DataSpec(frequency="weekly"),
+            market_config=MarketConfig(num_stocks=10, num_days=120),
+            seed=3,
+        )
+        assert isinstance(backend, ResampledBackend)
+        assert backend.frequency == "weekly"
+
+
+class TestSyntheticBackend:
+    def test_bitwise_parity_with_direct_simulator(self):
+        config = MarketConfig(num_stocks=20, num_days=150)
+        backend = SyntheticBackend(config, seed=11)
+        direct = SyntheticMarket(config, seed=11).generate()
+        assert panels_bitwise_equal(backend.load_panel(), direct)
+
+    def test_taskset_parity_with_pre_refactor_path(self):
+        """The acceptance gate: backend-built task sets == the old path."""
+        config = MarketConfig(num_stocks=25, num_days=200)
+        split = Split(train=100, valid=25, test=25)
+        via_backend = SyntheticBackend(config, seed=9).build_taskset(split=split)
+        old_path = build_taskset(
+            SyntheticMarket(config, seed=9).generate(), split=split
+        )
+        assert via_backend.features.tobytes() == old_path.features.tobytes()
+        assert via_backend.labels.tobytes() == old_path.labels.tobytes()
+        assert np.array_equal(via_backend.dates, old_path.dates)
+
+    def test_cache_key_distinguishes_seed_and_config(self):
+        config = MarketConfig(num_stocks=20, num_days=150)
+        assert SyntheticBackend(config, 1).cache_key() != SyntheticBackend(config, 2).cache_key()
+        assert SyntheticBackend(config, 1).cache_key() == SyntheticBackend(config, 1).cache_key()
+
+    def test_describe_is_jsonable(self):
+        import json
+
+        json.dumps(SyntheticBackend(seed=0).describe())
+
+
+class TestFileBackend:
+    @pytest.fixture()
+    def exported(self, small_panel, tmp_path):
+        export_panel_csv(small_panel, tmp_path)
+        return tmp_path
+
+    def test_cache_returns_same_object(self, exported, small_panel):
+        backend = FileBackend(exported, sector_map=exported / "sectors.txt")
+        first = backend.load_panel()
+        assert backend.load_panel() is first
+        assert panels_bitwise_equal(first, small_panel)
+
+    def test_cache_invalidated_on_touch(self, exported):
+        backend = FileBackend(exported, sector_map=exported / "sectors.txt")
+        first = backend.load_panel()
+        target = sorted(exported.glob("SYN*.csv"))[0]
+        target.write_text(target.read_text())  # same bytes, new mtime
+        assert backend.load_panel() is not first
+
+    def test_cache_keeps_one_entry_per_source(self, exported):
+        """Reloading after a modification replaces the entry — the cache
+        must not strand the previous panel generation in memory."""
+        backend = FileBackend(exported, sector_map=exported / "sectors.txt")
+        backend.load_panel()
+        target = sorted(exported.glob("SYN*.csv"))[0]
+        target.write_text(target.read_text())
+        backend.load_panel()
+        key = backend._source_key()
+        assert sum(1 for k in FileBackend._CACHE if k == key) == 1
+
+    def test_missing_sector_map_is_a_data_error(self, exported):
+        backend = FileBackend(exported, sector_map=exported / "nope.txt")
+        with pytest.raises(DataError, match="sector map"):
+            backend.load_panel()
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(DataError, match="does not exist"):
+            FileBackend(tmp_path / "nope").load_panel()
+
+    def test_empty_directory(self, tmp_path):
+        tmp_path.mkdir(exist_ok=True)
+        with pytest.raises(DataError, match="no files"):
+            FileBackend(tmp_path).load_panel()
+
+    @pytest.mark.skipif(
+        importlib.util.find_spec("pyarrow") is not None,
+        reason="pyarrow installed; the gate does not apply",
+    )
+    def test_parquet_gated_on_pyarrow(self, tmp_path):
+        (tmp_path / "AAA.parquet").write_bytes(b"not really parquet")
+        with pytest.raises(DataError, match="pyarrow"):
+            FileBackend(tmp_path, pattern="*.parquet").load_panel()
+
+    def test_validate_rejects_nonfinite_prices(self, small_panel):
+        bad = SyntheticMarket(
+            MarketConfig(num_stocks=10, num_days=90), seed=2
+        ).generate()
+        bad.close[5, 3] = np.nan
+        with pytest.raises(DataError, match="close"):
+            FileBackend.validate_panel(bad)
+
+    def test_validate_rejects_unsorted_dates(self, small_panel):
+        panel = SyntheticMarket(
+            MarketConfig(num_stocks=10, num_days=90), seed=2
+        ).generate()
+        panel.dates = panel.dates[::-1].copy()
+        with pytest.raises(DataError, match="increasing"):
+            FileBackend.validate_panel(panel)
+
+
+class TestResampledBackend:
+    def test_weekly_shape_and_cache_key(self):
+        config = MarketConfig(num_stocks=10, num_days=100)
+        daily = SyntheticBackend(config, seed=4)
+        weekly = ResampledBackend(daily, "weekly")
+        panel = weekly.load_panel()
+        assert panel.num_days == 20  # 100 synthetic days / 5-day weeks
+        assert weekly.cache_key() != daily.cache_key()
+        assert weekly.describe()["inner"]["kind"] == "synthetic"
+
+    def test_unknown_frequency(self):
+        with pytest.raises(DataError, match="frequency"):
+            ResampledBackend(SyntheticBackend(seed=0), "hourly")

@@ -1,0 +1,160 @@
+"""FileBackend edge cases: gaps, NaNs, unsorted rows, membership, round-trip.
+
+The satellite suite the data layer promises in docs/DATA.md: whatever shape
+real per-stock CSV files arrive in — missing days, blank prices, shuffled
+rows, stocks that only trade part of the calendar — the loaded panel is
+dense, sorted and aligned, and a synthetic panel survives the full
+synthetic → CSV → FileBackend round trip bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    FileBackend,
+    MarketConfig,
+    SyntheticMarket,
+    UniverseFilter,
+    build_taskset,
+    export_panel_csv,
+    panels_bitwise_equal,
+)
+from repro.errors import DataError
+
+
+def write_csv(path, rows):
+    """rows: list of (date, open, high, low, close, volume) tuples."""
+    lines = ["date,open,high,low,close,volume"]
+    for row in rows:
+        lines.append(",".join(str(value) for value in row))
+    path.write_text("\n".join(lines) + "\n")
+
+
+def steady_rows(days, price=50.0, volume=1000.0, skip=()):
+    rows = []
+    for day in days:
+        if day in skip:
+            continue
+        rows.append((20200100 + day, price, price * 1.01, price * 0.99, price, volume))
+    return rows
+
+
+class TestRoundTrip:
+    def test_synthetic_csv_filebackend_round_trip_is_bitwise(self, tmp_path):
+        panel = SyntheticMarket(
+            MarketConfig(num_stocks=20, num_days=150), seed=21
+        ).generate()
+        export_panel_csv(panel, tmp_path)
+        back = FileBackend(tmp_path, sector_map=tmp_path / "sectors.txt").load_panel()
+        assert panels_bitwise_equal(back, panel)
+
+    def test_round_trip_preserves_relation_partitions(self, tmp_path):
+        """Group ids may be renumbered by name sorting; membership may not."""
+        panel = SyntheticMarket(
+            MarketConfig(num_stocks=20, num_days=150), seed=21
+        ).generate()
+        export_panel_csv(panel, tmp_path)
+        back = FileBackend(tmp_path, sector_map=tmp_path / "sectors.txt").load_panel()
+
+        def partition(ids):
+            groups = {}
+            for stock, group in enumerate(ids):
+                groups.setdefault(int(group), []).append(stock)
+            return sorted(tuple(members) for members in groups.values())
+
+        assert partition(back.taxonomy.sector_ids) == partition(panel.taxonomy.sector_ids)
+        assert partition(back.taxonomy.industry_ids) == partition(panel.taxonomy.industry_ids)
+
+    def test_round_trip_taskset_parity(self, tmp_path):
+        """Same panel bytes => same task set bytes, relations included."""
+        panel = SyntheticMarket(
+            MarketConfig(num_stocks=20, num_days=150), seed=8
+        ).generate()
+        export_panel_csv(panel, tmp_path)
+        back = FileBackend(tmp_path, sector_map=tmp_path / "sectors.txt").load_panel()
+        left = build_taskset(panel)
+        right = build_taskset(back)
+        assert left.features.tobytes() == right.features.tobytes()
+        assert left.labels.tobytes() == right.labels.tobytes()
+
+
+class TestMissingDays:
+    def test_gaps_forward_filled_on_union_calendar(self, tmp_path):
+        write_csv(tmp_path / "AAA.csv", steady_rows(range(20), price=10.0))
+        write_csv(tmp_path / "BBB.csv",
+                  steady_rows(range(20), price=30.0, skip={5, 6}))
+        panel = FileBackend(tmp_path).load_panel()
+        assert panel.num_days == 20
+        bbb = panel.tickers.index("BBB")
+        # The two missing days carry the last traded price forward and
+        # zero volume (no trading happened).
+        assert panel.close[5, bbb] == panel.close[4, bbb]
+        assert panel.volume[5, bbb] == 0.0
+        assert panel.volume[7, bbb] == 1000.0
+
+    def test_universe_membership_gap_drops_sparse_stock(self, tmp_path):
+        """A stock covering under half the calendar is not aligned at all."""
+        write_csv(tmp_path / "AAA.csv", steady_rows(range(40)))
+        write_csv(tmp_path / "BBB.csv", steady_rows(range(40)))
+        write_csv(tmp_path / "CCC.csv", steady_rows(range(10)))  # 25% coverage
+        panel = FileBackend(tmp_path).load_panel()
+        assert "CCC" not in panel.tickers
+        assert set(panel.tickers) == {"AAA", "BBB"}
+
+    def test_partial_member_kept_but_filtered_from_universe(self, tmp_path):
+        """A stock with many non-traded days loads fine, then the Section
+        5.1 universe filter removes it from the task universe."""
+        write_csv(tmp_path / "AAA.csv", steady_rows(range(30)))
+        write_csv(tmp_path / "BBB.csv", steady_rows(range(30)))
+        write_csv(tmp_path / "DDD.csv",
+                  steady_rows(range(30), skip=set(range(0, 30, 3))))
+        panel = FileBackend(tmp_path).load_panel()
+        assert "DDD" in panel.tickers
+        filtered, report = UniverseFilter(max_missing_fraction=0.10).apply(panel)
+        assert "DDD" not in filtered.tickers
+        assert report.removed_insufficient_samples >= 1
+
+
+class TestNaNPrices:
+    def test_blank_prices_forward_filled(self, tmp_path):
+        rows = steady_rows(range(10), price=20.0)
+        date, _, high, low, _, volume = rows[4]
+        rows[4] = (date, "", high, low, "", volume)  # blank open/close
+        write_csv(tmp_path / "AAA.csv", rows)
+        write_csv(tmp_path / "BBB.csv", steady_rows(range(10), price=40.0))
+        panel = FileBackend(tmp_path).load_panel()
+        aaa = panel.tickers.index("AAA")
+        assert panel.close[4, aaa] == panel.close[3, aaa]
+        assert np.isfinite(panel.close).all()
+
+    def test_all_nan_column_is_rejected(self, tmp_path):
+        rows = [(20200101 + day, "", "", "", "", 100.0) for day in range(10)]
+        write_csv(tmp_path / "AAA.csv", rows)
+        write_csv(tmp_path / "BBB.csv", steady_rows(range(10)))
+        with pytest.raises(DataError):
+            FileBackend(tmp_path).load_panel()
+
+
+class TestUnsortedInput:
+    def test_rows_sorted_by_date_on_parse(self, tmp_path):
+        rows = [
+            (20200101 + day, 10.0 + day, 11.0 + day, 9.0 + day, 10.0 + day, 100.0)
+            for day in range(12)
+        ]
+        shuffled = [rows[i] for i in (7, 2, 11, 0, 5, 1, 9, 3, 10, 4, 8, 6)]
+        write_csv(tmp_path / "AAA.csv", shuffled)
+        write_csv(tmp_path / "BBB.csv", rows)
+        panel = FileBackend(tmp_path).load_panel()
+        assert (np.diff(panel.dates.astype(np.int64)) > 0).all()
+        aaa = panel.tickers.index("AAA")
+        # Shuffled rows land in chronological order, matching the sorted file.
+        assert np.array_equal(panel.close[:, aaa], 10.0 + np.arange(12))
+        assert np.array_equal(panel.close[:, aaa], panel.close[:, panel.tickers.index("BBB")])
+
+    def test_duplicate_dates_rejected(self, tmp_path):
+        rows = steady_rows(range(10))
+        rows.append(rows[3])
+        write_csv(tmp_path / "AAA.csv", rows)
+        write_csv(tmp_path / "BBB.csv", steady_rows(range(10)))
+        with pytest.raises(DataError, match="duplicate"):
+            FileBackend(tmp_path).load_panel()

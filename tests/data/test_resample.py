@@ -1,0 +1,113 @@
+"""Tests for calendar-aware OHLCV resampling (repro.data.resample)."""
+
+import numpy as np
+import pytest
+
+from repro.data import MarketConfig, StockPanel, SyntheticMarket, resample_panel
+from repro.data.relations import SectorTaxonomy
+from repro.data.resample import period_keys
+from repro.errors import DataError
+
+
+def make_calendar_panel(dates):
+    """A tiny two-stock panel with explicit (YYYYMMDD or index) dates."""
+    T = len(dates)
+    base = np.arange(1.0, T + 1.0)
+    close = np.column_stack([base + 10.0, base + 20.0])
+    return StockPanel(
+        open=close * 0.99,
+        high=close * 1.02,
+        low=close * 0.98,
+        close=close,
+        volume=np.full((T, 2), 100.0),
+        tickers=("AAA", "BBB"),
+        dates=np.asarray(dates, dtype=np.int64),
+        taxonomy=SectorTaxonomy(
+            sector_ids=np.zeros(2, dtype=np.int64),
+            industry_ids=np.zeros(2, dtype=np.int64),
+        ),
+    )
+
+
+class TestPeriodKeys:
+    def test_synthetic_indices_use_fixed_weeks(self):
+        keys = period_keys(np.arange(12), "weekly")
+        assert np.array_equal(keys, np.arange(12) // 5)
+
+    def test_synthetic_indices_use_fixed_months(self):
+        keys = period_keys(np.arange(50), "monthly")
+        assert np.array_equal(keys, np.arange(50) // 21)
+
+    def test_yyyymmdd_weekly_groups_by_iso_week(self):
+        # 2021-01-08 is a Friday; 2021-01-11 the following Monday.
+        keys = period_keys(np.array([20210107, 20210108, 20210111]), "weekly")
+        assert keys[0] == keys[1]
+        assert keys[1] != keys[2]
+
+    def test_yyyymmdd_monthly_groups_by_month(self):
+        keys = period_keys(np.array([20210129, 20210201, 20210226]), "monthly")
+        assert keys[0] != keys[1]
+        assert keys[1] == keys[2]
+
+    def test_unknown_frequency(self):
+        with pytest.raises(DataError, match="frequency"):
+            period_keys(np.arange(10), "hourly")
+
+    def test_invalid_yyyymmdd(self):
+        with pytest.raises(DataError, match="YYYYMMDD"):
+            period_keys(np.array([20211345, 20211346]), "monthly")
+
+    def test_mixed_scale_dates_rejected(self):
+        """One stray day index must not flip a calendar panel to // 5."""
+        with pytest.raises(DataError, match="mix"):
+            period_keys(np.array([0, 20240102, 20240103]), "weekly")
+
+
+class TestResamplePanel:
+    def test_ohlcv_aggregation_rules(self):
+        panel = make_calendar_panel(list(range(10)))  # two 5-day weeks
+        weekly = resample_panel(panel, "weekly")
+        assert weekly.num_days == 2
+        # open = first day's open, close = last day's close.
+        assert np.array_equal(weekly.open[0], panel.open[0])
+        assert np.array_equal(weekly.close[0], panel.close[4])
+        assert np.array_equal(weekly.close[1], panel.close[9])
+        # high/low = extremes, volume = sum, date = last day of the period.
+        assert np.array_equal(weekly.high[0], panel.high[:5].max(axis=0))
+        assert np.array_equal(weekly.low[0], panel.low[:5].min(axis=0))
+        assert np.array_equal(weekly.volume[0], panel.volume[:5].sum(axis=0))
+        assert weekly.dates[0] == panel.dates[4]
+
+    def test_partial_final_period_kept(self):
+        weekly = resample_panel(make_calendar_panel(list(range(7))), "weekly")
+        assert weekly.num_days == 2  # 5-day week + 2-day stub
+
+    def test_unsorted_dates_rejected(self):
+        """Disorder even *within* a period would swap open/close silently."""
+        panel = make_calendar_panel([20240102, 20240101, 20240103])
+        with pytest.raises(DataError, match="strictly increasing"):
+            resample_panel(panel, "weekly")
+
+    def test_calendar_weeks_respect_weekends(self):
+        # Thu, Fri, Mon, Tue: one ISO week boundary over the weekend.
+        panel = make_calendar_panel([20210107, 20210108, 20210111, 20210112])
+        weekly = resample_panel(panel, "weekly")
+        assert weekly.num_days == 2
+        assert weekly.dates.tolist() == [20210108, 20210112]
+
+    def test_taxonomy_and_tickers_pass_through(self):
+        panel = SyntheticMarket(MarketConfig(num_stocks=12, num_days=90), seed=5).generate()
+        monthly = resample_panel(panel, "monthly")
+        assert monthly.tickers == panel.tickers
+        assert monthly.taxonomy is panel.taxonomy
+        assert monthly.num_days == 90 // 21 + 1
+
+    def test_resampled_panel_feeds_the_pipeline(self):
+        from repro.data import build_taskset
+
+        panel = SyntheticMarket(
+            MarketConfig(num_stocks=15, num_days=420), seed=6
+        ).generate()
+        taskset = build_taskset(resample_panel(panel, "weekly"))
+        assert taskset.num_samples >= 3
+        assert taskset.window == 13

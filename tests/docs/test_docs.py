@@ -60,6 +60,10 @@ class TestApiSnippets:
         """The add-a-backend guide's snippets are executable too."""
         run_markdown_doctests("docs/ARCHITECTURE.md")
 
+    def test_data_md_snippets_run_clean(self):
+        """The data/scenario guide's snippets are executable too."""
+        run_markdown_doctests("docs/DATA.md")
+
 
 class TestBenchmarkTable:
     def test_readme_table_matches_artifacts(self):

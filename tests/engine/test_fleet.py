@@ -208,3 +208,42 @@ class TestServing:
             for key, prediction in stepped.items():
                 assert prediction.tobytes() == expected[day][key].tobytes()
             resumed.reveal(labels[day])
+
+
+class TestFromBackend:
+    """Fleets built straight from a data backend (contexts from backends)."""
+
+    def test_from_backend_matches_hand_built_fleet(self, programs):
+        from repro.data import MarketConfig, Split, SyntheticBackend
+
+        backend = SyntheticBackend(
+            MarketConfig(num_stocks=30, num_days=220), seed=123
+        )
+        split = Split(train=110, valid=30, test=30)
+        fleet = FleetEngine.from_backend(
+            backend, programs=programs, split=split, seed=0, max_train_steps=40
+        )
+        assert fleet.num_members == len(programs)
+
+        hand_built = FleetEngine(
+            AlphaEvaluator(backend.build_taskset(split=split), seed=0,
+                           max_train_steps=40)
+        )
+        for program in programs:
+            hand_built.add(program)
+        left = fleet.run(splits=("valid",))
+        right = hand_built.run(splits=("valid",))
+        for program in programs:
+            assert left[program.name]["valid"].tobytes() == \
+                right[program.name]["valid"].tobytes()
+
+    def test_from_backend_accepts_resampled_source(self, programs):
+        from repro.data import MarketConfig, ResampledBackend, SyntheticBackend
+
+        weekly = ResampledBackend(
+            SyntheticBackend(MarketConfig(num_stocks=20, num_days=420), seed=7),
+            "weekly",
+        )
+        fleet = FleetEngine.from_backend(weekly, programs=programs[:1], seed=0)
+        runs = fleet.run(splits=("valid",))
+        assert runs[programs[0].name]["valid"].shape[1] == fleet.taskset.num_tasks

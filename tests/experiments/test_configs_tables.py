@@ -60,6 +60,41 @@ class TestExperimentConfig:
         taskset = make_taskset(SMOKE)
         assert taskset.split == SMOKE.split
 
+    def test_scaled_unknown_field_names_the_config(self):
+        """Rebuild paths must say which config produced the error."""
+        with pytest.raises(ConfigurationError, match="'smoke'.*num_stokcs"):
+            SMOKE.scaled(num_stokcs=11)
+
+    def test_market_overrides_reach_market_config(self):
+        config = SMOKE.scaled(market_overrides=(("market_vol", 0.02),))
+        assert config.market_config().market_vol == 0.02
+
+    def test_unknown_market_override_names_the_config(self):
+        config = SMOKE.scaled(name="bad-market",
+                              market_overrides=(("market_volatility", 0.02),))
+        with pytest.raises(ConfigurationError, match="'bad-market'"):
+            config.market_config()
+
+    def test_structural_market_override_rejected(self):
+        config = SMOKE.scaled(market_overrides=(("num_stocks", 10),))
+        with pytest.raises(ConfigurationError, match="ExperimentConfig field"):
+            config.market_config()
+
+    def test_data_backend_errors_name_the_config(self):
+        from repro.data import DataSpec
+
+        config = SMOKE.scaled(name="file-no-path", data=DataSpec(kind="file"))
+        with pytest.raises(ConfigurationError, match="'file-no-path'"):
+            config.data_backend()
+
+    def test_make_taskset_through_resampled_backend(self):
+        from repro.data import DataSpec
+
+        config = SMOKE.scaled(num_days=420, split=None,
+                              data=DataSpec(frequency="weekly"))
+        taskset = make_taskset(config, use_cache=False)
+        assert 3 <= taskset.num_samples < 100
+
 
 class TestTables:
     def test_format_value(self):

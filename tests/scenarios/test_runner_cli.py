@@ -1,0 +1,88 @@
+"""End-to-end scenario runs (mine → compile → serve) and the scenario CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import load_result
+from repro.scenarios import list_scenarios, run_scenario
+
+#: Trims that keep an end-to-end smoke run to well under a second per
+#: scenario while exercising the full mine → compile → serve pipeline.
+TINY = {"serve_top_k": 1, "max_candidates": 25, "population_size": 10}
+
+
+class TestRunScenario:
+    def test_baseline_end_to_end(self, tmp_path):
+        result = run_scenario("baseline", scale="smoke", data_dir=tmp_path,
+                              overrides=TINY)
+        assert result.experiment == "scenario-baseline"
+        assert result.metadata["parity"] is True
+        assert result.metadata["scenario"] == "baseline"
+        assert result.rows and "sharpe" in result.rows[0]
+        json.dumps(result.to_dict())  # JSON-serialisable end to end
+
+    @pytest.mark.parametrize(
+        "name", [spec.name for spec in list_scenarios() if spec.name != "baseline"]
+    )
+    def test_every_scenario_completes_with_parity(self, name, tmp_path):
+        """Acceptance gate: each named scenario completes mine→compile→serve."""
+        result = run_scenario(name, scale="smoke", data_dir=tmp_path,
+                              overrides=TINY)
+        assert result.metadata["parity"] is True
+        assert result.metadata["taskset"]["num_samples"] >= 3
+        assert result.rows
+
+    def test_unknown_override_names_the_scenario_config(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="baseline-smoke"):
+            run_scenario("baseline", scale="smoke", data_dir=tmp_path,
+                         overrides={"serve_topk": 1})
+
+    def test_rendered_report_names_backend_and_taskset(self, tmp_path):
+        result = run_scenario("baseline", scale="smoke", data_dir=tmp_path,
+                              overrides=TINY)
+        assert "backend=" in result.rendered
+        assert "taskset=" in result.rendered
+        assert "parity" in result.rendered
+
+
+class TestScenarioCli:
+    def test_list(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("baseline", "weekly", "file-backed", "high-vol"):
+            assert name in out
+
+    def test_no_name_is_usage_error(self, capsys):
+        assert main(["scenario"]) == 2
+        assert "--list" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_end_to_end_with_output(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO_DATA", str(tmp_path / "data"))
+        code = main([
+            "scenario", "baseline", "--scale", "smoke",
+            "--top-k", "1", "--candidates", "25",
+            "--output", str(tmp_path / "results"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scenario 'baseline'" in out
+        saved = load_result(tmp_path / "results" / "scenario-baseline.json")
+        assert saved.metadata["parity"] is True
+        assert saved.metadata["scale"] == "smoke"
+
+    def test_data_dir_flag_controls_export_location(self, tmp_path, capsys):
+        code = main([
+            "scenario", "file-backed", "--scale", "smoke",
+            "--top-k", "1", "--candidates", "25",
+            "--data-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "file-backed-smoke" / "manifest.json").exists()

@@ -1,0 +1,186 @@
+"""Tests for scenario specs, materialisation and the registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.data import DataSpec
+from repro.errors import ConfigurationError
+from repro.experiments import SMOKE, make_taskset
+from repro.scenarios import (
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.registry import _SCENARIOS
+
+
+class TestRegistry:
+    def test_shipped_suite_is_registered(self):
+        assert {
+            "baseline", "weekly", "file-backed", "high-vol", "sparse-relations"
+        } <= set(scenario_names())
+
+    def test_get_unknown_lists_alternatives(self):
+        with pytest.raises(ConfigurationError, match="baseline"):
+            get_scenario("nope")
+
+    def test_list_matches_names(self):
+        assert [spec.name for spec in list_scenarios()] == scenario_names()
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_scenario(ScenarioSpec(name="baseline", description="dup"))
+
+    def test_custom_registration(self):
+        spec = register_scenario(ScenarioSpec(name="test-tmp", description="x"))
+        try:
+            assert get_scenario("test-tmp") is spec
+        finally:
+            _SCENARIOS.pop("test-tmp")
+
+
+class TestSpecValidation:
+    def test_needs_name(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            ScenarioSpec(name="", description="x")
+
+    def test_export_requires_file_kind(self):
+        with pytest.raises(ConfigurationError, match="kind='file'"):
+            ScenarioSpec(name="x", description="x", export_synthetic=True)
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            get_scenario("baseline").experiment_config("warehouse")
+
+    def test_unknown_config_field_names_the_scenario(self):
+        """The satellite fix: rebuild errors say which scenario broke."""
+        spec = ScenarioSpec(
+            name="broken-config", description="x",
+            config_overrides=(("num_stokcs", 10),),
+        )
+        with pytest.raises(ConfigurationError, match="broken-config"):
+            spec.experiment_config("smoke")
+
+    def test_unknown_market_field_names_the_scenario(self):
+        spec = ScenarioSpec(
+            name="broken-market", description="x",
+            market_overrides=(("market_volatility", 0.5),),
+        )
+        with pytest.raises(ConfigurationError, match="broken-market"):
+            spec.experiment_config("smoke")
+
+    def test_reserved_override_names_the_scenario(self):
+        """Colliding with spec-owned fields must not escape as TypeError."""
+        spec = ScenarioSpec(
+            name="reserved", description="x",
+            config_overrides=(("name", "boom"),),
+        )
+        with pytest.raises(ConfigurationError, match="reserved"):
+            spec.experiment_config("smoke")
+
+    def test_structural_market_override_rejected(self):
+        spec = ScenarioSpec(
+            name="structural", description="x",
+            market_overrides=(("num_stocks", 10),),
+        )
+        with pytest.raises(ConfigurationError, match="ExperimentConfig field"):
+            spec.experiment_config("smoke")
+
+
+class TestMaterialisation:
+    def test_baseline_smoke_is_bitwise_the_smoke_taskset(self):
+        """Acceptance gate: the default scenario is the pre-refactor path."""
+        config = get_scenario("baseline").experiment_config("smoke")
+        left = make_taskset(config, use_cache=False)
+        right = make_taskset(SMOKE, use_cache=False)
+        assert left.features.tobytes() == right.features.tobytes()
+        assert left.labels.tobytes() == right.labels.tobytes()
+
+    def test_config_name_embeds_scenario_and_scale(self):
+        config = get_scenario("high-vol").experiment_config("smoke")
+        assert config.name == "high-vol-smoke"
+
+    def test_regime_overrides_reach_market_config(self):
+        config = get_scenario("high-vol").experiment_config("smoke")
+        market = config.market_config()
+        assert market.market_vol == pytest.approx(0.016)
+        assert market.num_stocks == 60
+
+    def test_sparse_relations_regime(self):
+        config = get_scenario("sparse-relations").experiment_config("smoke")
+        market = config.market_config()
+        assert market.num_sectors == 2
+        assert market.relation_spillover_strength == 0.0
+
+    def test_weekly_scenario_builds_resampled_taskset(self):
+        config = get_scenario("weekly").experiment_config("smoke")
+        assert config.data.frequency == "weekly"
+        taskset = make_taskset(config)
+        # 420 daily bars -> 84 weekly bars -> far fewer sample days than
+        # the daily smoke scale's 216.
+        assert taskset.num_samples < 100
+
+    def test_file_backed_exports_and_reuses(self, tmp_path):
+        spec = get_scenario("file-backed")
+        config = spec.experiment_config("smoke", data_dir=tmp_path)
+        directory = tmp_path / "file-backed-smoke"
+        assert (directory / "manifest.json").exists()
+        assert sorted(directory.glob("SYN*.csv"))
+        assert config.data.kind == "file"
+        stamp = (directory / "SYN0000.csv").stat().st_mtime_ns
+        # Second materialisation must reuse the export, not rewrite it.
+        spec.experiment_config("smoke", data_dir=tmp_path)
+        assert (directory / "SYN0000.csv").stat().st_mtime_ns == stamp
+
+    def test_partially_deleted_export_is_rebuilt(self, tmp_path):
+        """A matching manifest over missing CSVs must re-export, not serve
+        a silently shrunken universe."""
+        spec = get_scenario("file-backed")
+        spec.experiment_config("smoke", data_dir=tmp_path)
+        directory = tmp_path / "file-backed-smoke"
+        total = len(list(directory.glob("SYN*.csv")))
+        for victim in sorted(directory.glob("SYN*.csv"))[: total // 2]:
+            victim.unlink()
+        config = spec.experiment_config("smoke", data_dir=tmp_path)
+        assert len(list(directory.glob("SYN*.csv"))) == total
+        assert config.data_backend().load_panel().num_stocks == total
+
+    def test_reexport_removes_stale_csvs(self, tmp_path):
+        """Shrinking a scenario must not leave the old generation's CSVs
+        behind for the FileBackend glob to pick up."""
+        big = ScenarioSpec(
+            name="resize", description="x", data=DataSpec(kind="file"),
+            export_synthetic=True, smoke_overrides=(("num_stocks", 40),),
+        )
+        big.experiment_config("smoke", data_dir=tmp_path)
+        directory = tmp_path / "resize-smoke"
+        assert len(list(directory.glob("SYN*.csv"))) == 40
+        small = ScenarioSpec(
+            name="resize", description="x", data=DataSpec(kind="file"),
+            export_synthetic=True, smoke_overrides=(("num_stocks", 30),),
+        )
+        config = small.experiment_config("smoke", data_dir=tmp_path)
+        assert len(list(directory.glob("SYN*.csv"))) == 30
+        assert config.data_backend().load_panel().num_stocks == 30
+
+    def test_file_backed_smoke_taskset_matches_baseline(self, tmp_path):
+        """CSV round trip preserves the panel, so tasks are bitwise equal."""
+        config = get_scenario("file-backed").experiment_config("smoke", data_dir=tmp_path)
+        left = make_taskset(config, use_cache=False)
+        right = make_taskset(SMOKE, use_cache=False)
+        assert left.features.tobytes() == right.features.tobytes()
+        assert left.labels.tobytes() == right.labels.tobytes()
+
+    def test_every_shipped_scenario_materialises_at_both_scales(self, tmp_path):
+        for spec in list_scenarios():
+            for scale in ("smoke", "laptop"):
+                config = spec.experiment_config(scale, data_dir=tmp_path)
+                assert config.name == f"{spec.name}-{scale}"
+                config.data_backend()  # resolvable backend
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            get_scenario("baseline").name = "other"

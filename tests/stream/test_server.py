@@ -226,3 +226,46 @@ class TestSuspendResume:
         server = make_server(small_taskset, fleet, warm=False)
         with pytest.raises(StreamError, match="never warmed"):
             server.suspend()
+
+
+class TestFromBackend:
+    """Servers warm-started straight from a data backend."""
+
+    def test_from_backend_parity_with_taskset_server(self, fleet):
+        from repro.data import MarketConfig, Split, SyntheticBackend
+
+        backend = SyntheticBackend(
+            MarketConfig(num_stocks=30, num_days=220), seed=123
+        )
+        split = Split(train=110, valid=30, test=30)
+        server = AlphaServer.from_backend(
+            backend, split=split, seed=0, max_train_steps=40
+        )
+        for index, program in enumerate(fleet):
+            server.register(program, name=f"alpha_{index}")
+        server.warm_start()
+
+        reference = make_server(backend.build_taskset(split=split), fleet)
+        features = server.taskset.split_features("valid")
+        labels = server.taskset.split_labels("valid")
+        for day in range(3):
+            served = server.on_bar(features[day])
+            expected = reference.on_bar(features[day])
+            for name in served:
+                assert served[name].tobytes() == expected[name].tobytes()
+            server.reveal(labels[day])
+            reference.reveal(labels[day])
+
+    def test_from_backend_file_source(self, small_panel, tmp_path, fleet):
+        from repro.data import FileBackend, Split, export_panel_csv
+
+        export_panel_csv(small_panel, tmp_path)
+        backend = FileBackend(tmp_path, sector_map=tmp_path / "sectors.txt")
+        server = AlphaServer.from_backend(
+            backend, split=Split(train=110, valid=30, test=30), seed=0,
+            max_train_steps=40,
+        )
+        server.register(fleet[0], name="alpha_file")
+        server.warm_start()
+        prediction = server.on_bar(server.taskset.split_features("valid")[0])
+        assert prediction["alpha_file"].shape == (server.taskset.num_tasks,)
