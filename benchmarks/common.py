@@ -29,6 +29,7 @@ __all__ = [
     "build_programs",
     "report",
     "reports_identical",
+    "telemetry_block",
     "write_bench_json",
 ]
 
@@ -81,14 +82,31 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 REPO_ROOT = RESULTS_DIR.parent.parent
 
 
+def telemetry_block() -> dict:
+    """The shared ``telemetry`` block every benchmark JSON carries.
+
+    Host facts plus whatever instruments the process-wide telemetry
+    registry holds at write time (empty unless the benchmark ran inside a
+    :func:`repro.obs.telemetry_session`), so artifacts record where and
+    under what observed conditions they were measured.
+    """
+    from repro.obs import TELEMETRY, host_info
+
+    return {"host": host_info(), "instruments": TELEMETRY.snapshot()}
+
+
 def write_bench_json(name: str, payload: dict) -> Path:
     """Persist one benchmark payload as ``BENCH_<name>.json``.
 
     ``benchmarks/results/`` is the single source of truth; the root-level
     ``BENCH_<name>.json`` is a byte-identical convenience copy written in
     the same call, so the two can never drift apart.  Returns the primary
-    (results-dir) path.
+    (results-dir) path.  A shared ``telemetry`` block
+    (:func:`telemetry_block`) is attached unless the payload already
+    carries one.
     """
+    payload = dict(payload)
+    payload.setdefault("telemetry", telemetry_block())
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     RESULTS_DIR.mkdir(exist_ok=True)
     primary = RESULTS_DIR / f"BENCH_{name}.json"

@@ -119,6 +119,19 @@ def _render_data(payload: dict) -> list[Row]:
     )]
 
 
+def _render_obs(payload: dict) -> list[Row]:
+    overhead = payload.get("overhead", {})
+    if "disabled_overhead_pct" not in overhead:
+        return []
+    return [(
+        "telemetry overhead (disabled / enabled) on compiled full evaluation",
+        f"{overhead['disabled_overhead_pct']}% / "
+        f"{overhead['enabled_overhead_pct']}%",
+        f"`bench_obs.py`, {payload['num_programs']} programs, "
+        "on/off bitwise parity across 4 execution paths",
+    )]
+
+
 def _render_generic(name: str, payload: dict) -> list[Row]:
     """Fallback row for an artifact without a registered renderer."""
     speedup = payload.get("speedup") or payload.get("headline_speedup")
@@ -141,6 +154,7 @@ RENDERERS = {
     "stream": _render_stream,
     "engine": _render_engine,
     "data": _render_data,
+    "obs": _render_obs,
 }
 
 

@@ -10,6 +10,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli serve --scale smoke    # mine top-K alphas, serve online
     python -m repro.cli scenario --list        # the named scenario suite
     python -m repro.cli scenario weekly --scale smoke   # one scenario, end to end
+    python -m repro.cli stats serve.runrecord.json      # render a run record
 
 Each experiment command prints the regenerated table (in the paper's layout)
 and, when ``--output`` is given, stores the structured rows as JSON through
@@ -32,6 +33,13 @@ scenario* of the suite in :mod:`repro.scenarios` (``--list`` shows them):
 the scenario picks the data backend (synthetic, file-backed, resampled)
 and market regime, ``--scale``/``--top-k``/``--candidates`` size the run,
 and ``--output`` stores a per-scenario results JSON.
+
+``serve`` and ``scenario`` accept ``--telemetry <path>``: the run executes
+under an enabled :func:`repro.obs.telemetry_session` (results are bitwise
+unchanged — telemetry is strictly observational) and its
+:class:`~repro.obs.RunRecord` — provenance, phase timings, metric snapshot
+and span tree — is written to ``<path>``.  ``stats`` renders such a record
+(or a result JSON embedding one) back as a human-readable report.
 """
 
 from __future__ import annotations
@@ -82,7 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
                "alpha fleet and streams it through the online AlphaServer "
                "with a bitwise parity check against the offline batch path; "
                "'repro scenario <name>' (or --list) runs one named scenario "
-               "of the suite in repro.scenarios end to end.",
+               "of the suite in repro.scenarios end to end; 'repro stats "
+               "<record.json>' renders a saved run record (provenance, span "
+               "tree, instrument table).",
     )
     parser.add_argument(
         "experiment",
@@ -305,6 +315,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="directory to write a serve.json result file into",
     )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="JSON",
+        help="collect metrics and spans during the run and write the run "
+             "record (readable by 'repro stats') to this path",
+    )
     return parser
 
 
@@ -327,9 +342,12 @@ def resolve_serve_config(args: argparse.Namespace):
 
 def run_serve_command(argv: list[str]) -> int:
     """Entry point of ``repro serve``."""
+    from contextlib import nullcontext
+
     from .core import AlphaProgram
     from .errors import StreamError
     from .experiments.recorder import ExperimentResult
+    from .obs import save_run_record, telemetry_session
     from .stream import run_serve
 
     args = build_serve_parser().parse_args(argv)
@@ -353,18 +371,26 @@ def run_serve_command(argv: list[str]) -> int:
             names.append(
                 program.name if count == 1 else f"{program.name}#{count}"
             )
+    # --telemetry turns the collectors on for this run; without it the run
+    # proceeds with telemetry in whatever state the process already had.
+    session = telemetry_session() if args.telemetry else nullcontext()
     try:
-        report = run_serve(config, programs=programs, names=names)
+        with session:
+            report = run_serve(config, programs=programs, names=names)
     except StreamError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.render())
+    if args.telemetry and report.run_record is not None:
+        path = save_run_record(report.run_record, args.telemetry)
+        print(f"\nwrote run record {path}")
     if args.output:
         result = ExperimentResult(
             experiment="serve",
             rows=[row.row() for row in report.rows],
             rendered=report.render(),
             metadata={**report.metadata, **report.stats},
+            run_record=report.run_record,
         )
         path = save_result(result, args.output)
         print(f"\nsaved {path}")
@@ -414,12 +440,20 @@ def build_scenario_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="directory to write a scenario-<name>.json result file into",
     )
+    parser.add_argument(
+        "--telemetry", default=None, metavar="JSON",
+        help="collect metrics and spans during the run and write the run "
+             "record (readable by 'repro stats') to this path",
+    )
     return parser
 
 
 def run_scenario_command(argv: list[str]) -> int:
     """Entry point of ``repro scenario [<name> | --list]``."""
+    from contextlib import nullcontext
+
     from .errors import ConfigurationError, DataError, StreamError
+    from .obs import save_run_record, telemetry_session
     from .scenarios import render_scenario_list, run_scenario
 
     args = build_scenario_parser().parse_args(argv)
@@ -436,21 +470,63 @@ def run_scenario_command(argv: list[str]) -> int:
         overrides["max_candidates"] = args.candidates
     if args.seed is not None:
         overrides["search_seed"] = args.seed
+    session = telemetry_session() if args.telemetry else nullcontext()
     try:
-        result = run_scenario(
-            args.name,
-            scale=args.scale,
-            data_dir=args.data_dir,
-            overrides=overrides or None,
-        )
+        with session:
+            result = run_scenario(
+                args.name,
+                scale=args.scale,
+                data_dir=args.data_dir,
+                overrides=overrides or None,
+            )
     except (ConfigurationError, DataError, StreamError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(result.rendered)
+    if args.telemetry and result.run_record is not None:
+        path = save_run_record(result.run_record, args.telemetry)
+        print(f"\nwrote run record {path}")
     if args.output:
         path = save_result(result, args.output)
         print(f"\nsaved {path}")
     return 0 if result.metadata.get("parity") else 1
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    """Argument parser of the ``stats`` subcommand (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro stats",
+        description="Render a run record — provenance, per-phase timing, "
+                    "span tree and instrument table — from a "
+                    "*.runrecord.json (or a result JSON embedding one), as "
+                    "written by 'repro serve/scenario --telemetry' or "
+                    "--output.",
+    )
+    parser.add_argument(
+        "record",
+        help="path to a run-record JSON, or a result JSON with a "
+             "'run_record' key",
+    )
+    return parser
+
+
+def run_stats_command(argv: list[str]) -> int:
+    """Entry point of ``repro stats <record.json>``."""
+    from .errors import ObservabilityError
+    from .obs import load_run_record, render_run_record
+
+    args = build_stats_parser().parse_args(argv)
+    path = Path(args.record)
+    if not path.exists():
+        print(f"error: no such record file: {path}", file=sys.stderr)
+        return 2
+    try:
+        record = load_run_record(path)
+    except (ObservabilityError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_run_record(record))
+    return 0
 
 
 def _emit(result, args: argparse.Namespace) -> None:
@@ -477,6 +553,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_serve_command(argv[1:])
     if argv and argv[0] == "scenario":
         return run_scenario_command(argv[1:])
+    if argv and argv[0] == "stats":
+        return run_stats_command(argv[1:])
     args = build_parser().parse_args(argv)
     config = resolve_config(args)
     if args.experiment == "all":

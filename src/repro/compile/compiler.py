@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from ..core.memory import LABEL
 from ..core.program import AlphaProgram
 from ..core.pruning import prune_program
+from ..obs import TELEMETRY
 from .ir import IRProgram, lower_program
 from .passes import (
     DataflowInfo,
@@ -101,6 +102,15 @@ def compile_program(program: AlphaProgram) -> CompiledProgram:
     stats.append(cse_stats)
     ir, dse_stats, dataflow = eliminate_dead_code(ir)
     stats.append(dse_stats)
+    if TELEMETRY.enabled:
+        TELEMETRY.counter("compile.programs").inc()
+        for pass_stats in stats:
+            TELEMETRY.counter(f"compile.pass.{pass_stats.name}.removed").inc(
+                pass_stats.removed
+            )
+            TELEMETRY.counter(f"compile.pass.{pass_stats.name}.rewritten").inc(
+                pass_stats.rewritten
+            )
     fused = _fused_eligible(ir, dataflow)
     return CompiledProgram(
         program=program,

@@ -40,6 +40,7 @@ import numpy as np
 from ..backtest.engine import BacktestEngine
 from ..config import POPULATION_SIZE, TOURNAMENT_SIZE, make_rng
 from ..errors import EvolutionError
+from ..obs import TELEMETRY
 from .cache import CacheStats, FingerprintCache
 from .correlation import CorrelationFilter
 from .fitness import INVALID_FITNESS, FitnessReport
@@ -258,6 +259,7 @@ class CandidateScorer:
         serial and batched scoring produce identical reports and cache
         statistics.
         """
+        batch_started = time.perf_counter() if TELEMETRY.enabled else 0.0
         reports: list[FitnessReport | None] = [None] * len(programs)
         pending: list[_PendingEvaluation] = []
         pending_by_key: dict[str, int] = {}
@@ -287,6 +289,12 @@ class CandidateScorer:
             self.cache.record(item.key, report)
             for slot in item.slots:
                 reports[slot] = report
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("search.candidates").inc(len(programs))
+            TELEMETRY.counter("search.evaluations").inc(len(pending))
+            TELEMETRY.histogram("search.score_batch_seconds").observe(
+                time.perf_counter() - batch_started
+            )
         return reports
 
     # ------------------------------------------------------------------
@@ -424,6 +432,21 @@ class EvolutionController:
         fitness reports (the mutator and tournament RNGs do advance across
         calls, as independent restarts should).
         """
+        with TELEMETRY.span("search.run"):
+            result = self._run(initial_program)
+        if TELEMETRY.enabled:
+            stats = result.cache_stats
+            if stats.searched:
+                TELEMETRY.gauge("search.cache_hit_rate").set(
+                    stats.skipped / stats.searched
+                )
+            if result.elapsed_seconds > 0:
+                TELEMETRY.gauge("search.candidates_per_second").set(
+                    result.candidates_generated / result.elapsed_seconds
+                )
+        return result
+
+    def _run(self, initial_program: AlphaProgram) -> EvolutionResult:
         config = self.config
         self._start_time = time.perf_counter()
         self.scorer.reset()

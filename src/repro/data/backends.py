@@ -46,6 +46,7 @@ import numpy as np
 
 from ..config import WINDOW
 from ..errors import DataError
+from ..obs import TELEMETRY
 from .dataset import Split, TaskSet, build_taskset
 from .loader import load_csv_directory, load_sector_map
 from .market_sim import MarketConfig, StockPanel, SyntheticMarket
@@ -253,7 +254,11 @@ class FileBackend(DataBackend):
         signature = self._signature()
         cached = self._CACHE.get(self._source_key())
         if cached is not None and cached[0] == signature:
+            if TELEMETRY.enabled:
+                TELEMETRY.counter("data.file_cache.hits").inc()
             return cached[1]
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("data.file_cache.misses").inc()
         panel = self._load()
         self.validate_panel(panel)
         self._CACHE[self._source_key()] = (signature, panel)

@@ -42,6 +42,7 @@ from typing import Callable
 import numpy as np
 
 from ..data.dataset import TaskSet
+from ..obs import TELEMETRY
 from .backends import ExecutionEngine
 
 __all__ = [
@@ -125,6 +126,18 @@ def training_pass(
     if day_indices is None:
         day_indices = np.arange(features.shape[0])
     if time_batched and can_batch_training(backend, use_update):
+        # Telemetry is recorded per *stage call*, never per day: the
+        # disabled cost of this instrumentation is one boolean test.
+        if TELEMETRY.enabled:
+            if predictions_out is not None:
+                TELEMETRY.counter("engine.kernel.batched_calls").inc()
+                TELEMETRY.counter("engine.kernel.batched_days").inc(
+                    int(day_indices.size)
+                )
+            else:
+                # The recorded predictions are unobservable: the whole
+                # training stage is elided, not batched.
+                TELEMETRY.counter("engine.kernel.elided_training_stages").inc()
         if predictions_out is not None:
             visited = (
                 features if day_indices.size == features.shape[0]
@@ -132,6 +145,9 @@ def training_pass(
             )
             predictions_out[day_indices] = backend.run_inference_batch(visited)
         return predictions_out
+    if TELEMETRY.enabled:
+        TELEMETRY.counter("engine.kernel.loop_calls").inc()
+        TELEMETRY.counter("engine.kernel.loop_days").inc(int(day_indices.size))
     for day in day_indices:
         backend.set_input(features[day])
         backend.run_predict()
@@ -157,7 +173,15 @@ def inference_pass(
     otherwise the split replays through :func:`stream_days`.
     """
     if time_batched and backend.supports_fused_inference:
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("engine.kernel.batched_calls").inc()
+            TELEMETRY.counter("engine.kernel.batched_days").inc(
+                int(features.shape[0])
+            )
         return backend.run_inference_batch(features)
+    if TELEMETRY.enabled:
+        TELEMETRY.counter("engine.kernel.loop_calls").inc()
+        TELEMETRY.counter("engine.kernel.loop_days").inc(int(features.shape[0]))
     out = np.zeros(features.shape[:2])
 
     def step(day: int, bar: np.ndarray) -> None:

@@ -66,3 +66,7 @@ class StreamError(ReproError):
 
 class BaselineError(ReproError):
     """Raised by baseline models (genetic programming / neural networks)."""
+
+
+class ObservabilityError(ReproError):
+    """Raised by the telemetry subsystem (:mod:`repro.obs`)."""

@@ -33,6 +33,7 @@ from ..core.evolution import EvolutionConfig
 from ..data import DataSpec, MarketConfig, Split, TaskSet, backend_from_spec
 from ..data.backends import DataBackend
 from ..errors import ConfigurationError, DataError
+from ..obs import TELEMETRY
 
 __all__ = ["ExperimentConfig", "LAPTOP", "SCALES", "SMOKE", "PAPER", "make_taskset"]
 
@@ -301,8 +302,13 @@ def make_taskset(config: ExperimentConfig, use_cache: bool = True) -> TaskSet:
     backend = config.data_backend()
     key = (backend.cache_key(), config.split)
     if use_cache and key in _TASKSET_CACHE:
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("data.taskset_memo.hits").inc()
         return _TASKSET_CACHE[key]
-    taskset = backend.build_taskset(split=config.split)
+    if TELEMETRY.enabled:
+        TELEMETRY.counter("data.taskset_memo.misses").inc()
+    with TELEMETRY.span("data.build_taskset", split=str(config.split)):
+        taskset = backend.build_taskset(split=config.split)
     if use_cache:
         while len(_TASKSET_CACHE) >= _TASKSET_CACHE_MAX:
             _TASKSET_CACHE.pop(next(iter(_TASKSET_CACHE)))

@@ -16,6 +16,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import RunRecord, save_run_record
+
 __all__ = ["ExperimentResult", "save_result", "load_result", "PAPER_REFERENCE"]
 
 
@@ -27,15 +29,21 @@ class ExperimentResult:
     rows: list[dict]
     rendered: str
     metadata: dict = field(default_factory=dict)
+    #: Provenance + telemetry of the run that produced this result, when
+    #: the producing pipeline collected one (serve / scenario runs do).
+    run_record: RunRecord | None = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable representation."""
-        return {
+        state = {
             "experiment": self.experiment,
             "rows": _jsonable(self.rows),
             "rendered": self.rendered,
             "metadata": _jsonable(self.metadata),
         }
+        if self.run_record is not None:
+            state["run_record"] = self.run_record.to_dict()
+        return state
 
 
 def _jsonable(value):
@@ -53,12 +61,21 @@ def _jsonable(value):
 
 
 def save_result(result: ExperimentResult, directory: str | Path) -> Path:
-    """Write the result to ``<directory>/<experiment>.json`` and return the path."""
+    """Write the result to ``<directory>/<experiment>.json`` and return the path.
+
+    When the result carries a :class:`~repro.obs.RunRecord`, a standalone
+    copy is written alongside as ``<experiment>.runrecord.json`` — either
+    file feeds ``repro stats``.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{result.experiment}.json"
     with path.open("w") as handle:
         json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+    if result.run_record is not None:
+        save_run_record(
+            result.run_record, directory / f"{result.experiment}.runrecord.json"
+        )
     return path
 
 
@@ -66,11 +83,13 @@ def load_result(path: str | Path) -> ExperimentResult:
     """Load a previously saved result."""
     with Path(path).open() as handle:
         payload = json.load(handle)
+    embedded = payload.get("run_record")
     return ExperimentResult(
         experiment=payload["experiment"],
         rows=payload["rows"],
         rendered=payload["rendered"],
         metadata=payload.get("metadata", {}),
+        run_record=RunRecord.from_dict(embedded) if embedded else None,
     )
 
 

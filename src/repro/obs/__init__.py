@@ -1,0 +1,75 @@
+"""Unified telemetry: metrics registry, span tracer, run provenance.
+
+The observability layer every other subsystem reports through (see
+``docs/OBSERVABILITY.md`` for conventions and a guide):
+
+* :mod:`repro.obs.metrics`    — named counters, gauges and bounded-memory
+  histograms (p50/p95/p99 from a fixed-size reservoir) in one
+  :class:`MetricsRegistry` with a JSON snapshot;
+* :mod:`repro.obs.trace`      — a span-based :class:`Tracer` producing the
+  hierarchical timing tree of a run, the process-wide :data:`TELEMETRY`
+  switchboard (near-zero overhead while disabled) and structured events on
+  stdlib ``logging``;
+* :mod:`repro.obs.provenance` — the versioned :class:`RunRecord` (config
+  hash, data key, engine, git describe, host, phases, metric snapshot,
+  span tree) written alongside every serve/scenario result and rendered by
+  ``repro stats``.
+
+Telemetry is strictly *observational*: enabling it changes no prediction
+bit on any execution path (interpreter, compiled loop, time-batched,
+fleet) — a contract asserted by ``tests/obs/test_obs_parity.py`` and gated in
+CI by ``benchmarks/bench_obs.py --smoke``, which also bounds the
+disabled-path overhead.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_instrument_table,
+)
+from .provenance import (
+    RunRecord,
+    build_run_record,
+    config_hash,
+    git_describe,
+    host_info,
+    load_run_record,
+    render_run_record,
+    save_run_record,
+)
+from .trace import (
+    Span,
+    TELEMETRY,
+    Telemetry,
+    Tracer,
+    get_telemetry,
+    log_event,
+    render_span_tree,
+    telemetry_session,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunRecord",
+    "Span",
+    "TELEMETRY",
+    "Telemetry",
+    "Tracer",
+    "build_run_record",
+    "config_hash",
+    "get_telemetry",
+    "git_describe",
+    "host_info",
+    "load_run_record",
+    "log_event",
+    "render_instrument_table",
+    "render_run_record",
+    "render_span_tree",
+    "save_run_record",
+    "telemetry_session",
+]

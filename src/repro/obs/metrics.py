@@ -1,0 +1,296 @@
+"""Process-local metrics: named counters, gauges and bounded histograms.
+
+Every subsystem in this repository reports *what it did* through one
+:class:`MetricsRegistry` of named instruments (see ``docs/OBSERVABILITY.md``
+for the naming conventions).  Three instrument kinds exist:
+
+* :class:`Counter` — a monotonically increasing integer (candidates scored,
+  cache hits, kernel calls);
+* :class:`Gauge` — a last-value-wins float (candidates per second, cache
+  hit-rate);
+* :class:`Histogram` — a value distribution with **bounded** memory: exact
+  ``count``/``total``/``min``/``max`` plus a fixed-size reservoir sample
+  that percentiles (p50/p95/p99) are computed from.  Memory never grows
+  with the number of observations, so a histogram can absorb a
+  year-long serving stream without leaking — this is what replaced the
+  unbounded ``AlphaServer.bar_latencies`` list.
+
+Determinism and parity: instruments only *observe*.  The reservoir's
+eviction choices come from a private :class:`random.Random` seeded from the
+instrument name, so recording a measurement can never perturb NumPy's (or
+any evaluator's) random state — telemetry on/off is bitwise-invisible to
+every execution path, a contract enforced by
+``tests/obs/test_obs_parity.py`` and ``benchmarks/bench_obs.py``.
+
+The registry snapshot (:meth:`MetricsRegistry.snapshot`) is plain
+JSON-serialisable dicts; it is what lands in every
+:class:`~repro.obs.provenance.RunRecord` and ``BENCH_*.json`` telemetry
+block.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+
+from ..errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_instrument_table",
+]
+
+#: Default reservoir bound of a :class:`Histogram`.
+DEFAULT_RESERVOIR_SIZE = 1024
+
+#: The percentiles every histogram snapshot reports.
+SNAPSHOT_PERCENTILES = (50, 95, 99)
+
+
+class Instrument:
+    """Base class of all instruments: a name plus a snapshot contract."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str) -> None:
+        if not name or any(ch.isspace() for ch in name):
+            raise ObservabilityError(
+                f"instrument names must be non-empty and contain no "
+                f"whitespace, got {name!r}"
+            )
+        self.name = name
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable state of this instrument."""
+        raise NotImplementedError
+
+
+class Counter(Instrument):
+    """A monotonically increasing integer count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> int:
+        """Add ``amount`` (>= 0) and return the new value."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += int(amount)
+        return self.value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge(Instrument):
+    """A last-value-wins measurement (a rate, a ratio, a size)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.value = 0.0
+
+    def set(self, value: float) -> float:
+        """Record the current value and return it."""
+        self.value = float(value)
+        return self.value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram(Instrument):
+    """A bounded-memory value distribution.
+
+    ``count``, ``total``, ``min`` and ``max`` are exact over *all*
+    observations; percentiles come from a reservoir sample of at most
+    ``reservoir_size`` values (algorithm R), so memory is O(reservoir_size)
+    no matter how long the stream runs.  While the stream is shorter than
+    the reservoir, percentiles (and :attr:`values`) are exact too.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str,
+                 reservoir_size: int = DEFAULT_RESERVOIR_SIZE) -> None:
+        super().__init__(name)
+        if reservoir_size < 1:
+            raise ObservabilityError(
+                f"histogram {name!r} needs a positive reservoir size"
+            )
+        self.reservoir_size = int(reservoir_size)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._reservoir: list[float] = []
+        # Private PRNG: eviction decisions must never touch global random
+        # state (parity!), and seeding from the name keeps runs repeatable.
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one measurement."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = value
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Exact mean over every observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def values(self) -> list[float]:
+        """The reservoir sample, in arrival order (bounded)."""
+        return list(self._reservoir)
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile of the reservoir (0.0 when empty).
+
+        Linear interpolation between closest ranks, matching
+        ``numpy.percentile``'s default — but computed on the bounded
+        reservoir, without NumPy.
+        """
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        weight = rank - low
+        return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+    def snapshot(self) -> dict:
+        state = {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "reservoir_size": self.reservoir_size,
+        }
+        for p in SNAPSHOT_PERCENTILES:
+            state[f"p{p}"] = self.percentile(p)
+        return state
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted as one dict.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call under a name creates the instrument, later calls return the same
+    object, and asking for a different kind under an existing name raises
+    (one name, one meaning).  Iteration order is creation order.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, cls: type, **kwargs) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, cls):
+            raise ObservabilityError(
+                f"instrument {name!r} is a {instrument.kind}, not a "
+                f"{cls.kind}; pick a distinct name per instrument kind"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str,
+                  reservoir_size: int = DEFAULT_RESERVOIR_SIZE) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get_or_create(name, Histogram,
+                                   reservoir_size=reservoir_size)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def names(self) -> list[str]:
+        """Instrument names, in creation order."""
+        return list(self._instruments)
+
+    def get(self, name: str) -> Instrument | None:
+        """The instrument named ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def snapshot(self) -> dict[str, dict]:
+        """name → instrument state, JSON-serialisable, in creation order."""
+        return {
+            name: instrument.snapshot()
+            for name, instrument in self._instruments.items()
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh run starts from nothing)."""
+        self._instruments.clear()
+
+
+def render_instrument_table(snapshot: dict[str, dict]) -> str:
+    """A printable table of one registry snapshot (``repro stats``)."""
+    if not snapshot:
+        return "(no instruments recorded)"
+    header = ("instrument", "type", "value")
+    rows = [header]
+    for name in sorted(snapshot):
+        state = snapshot[name]
+        kind = state.get("type", "?")
+        if kind == "histogram":
+            value = (
+                f"count={state['count']} mean={state['mean']:.6g} "
+                f"p50={state['p50']:.6g} p95={state['p95']:.6g} "
+                f"p99={state['p99']:.6g} max={state['max']:.6g}"
+            )
+        else:
+            raw = state.get("value", 0)
+            value = f"{raw:.6g}" if isinstance(raw, float) else str(raw)
+        rows.append((name, kind, value))
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+        for row in rows
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)

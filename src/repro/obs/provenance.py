@@ -1,0 +1,254 @@
+"""Run provenance: one versioned record of *what ran*.
+
+A :class:`RunRecord` is the durable footprint of one mine → compile → serve
+run: the configuration (name + content hash), the data identity (the
+backend's cache key), the execution engine, the code version (git
+describe), host facts, the per-phase wall-clock breakdown, the full metric
+snapshot and the span tree.  It is written alongside every
+``ExperimentResult``/scenario JSON (``<experiment>.runrecord.json``) and
+dumped on demand via ``--telemetry <path>``; ``repro stats <record.json>``
+renders it back as a span tree plus an instrument table.
+
+The shape follows the constants-DB pattern of the related CLEO work: one
+shared, versioned record consumed identically by online serving and offline
+analysis, so a result can always answer "what produced you?" without
+replaying the run.
+
+Everything here is stdlib-only and JSON-round-trip safe
+(:func:`save_run_record` / :func:`load_run_record` are inverses, a tested
+contract).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field, fields as dataclass_fields, is_dataclass
+from pathlib import Path
+
+from ..errors import ObservabilityError
+from .metrics import render_instrument_table
+from .trace import TELEMETRY, Telemetry, render_span_tree
+
+__all__ = [
+    "RunRecord",
+    "build_run_record",
+    "config_hash",
+    "git_describe",
+    "host_info",
+    "load_run_record",
+    "render_run_record",
+    "save_run_record",
+]
+
+#: Bumped whenever the record layout changes incompatibly.
+RUN_RECORD_VERSION = 1
+
+
+def config_hash(config) -> str:
+    """A stable content hash of a configuration object.
+
+    Dataclasses hash their sorted ``(field, repr(value))`` pairs, anything
+    else the ``repr`` of the object itself — enough to tell two runs apart
+    without serialising every nested structure.
+    """
+    if is_dataclass(config) and not isinstance(config, type):
+        payload = repr(sorted(
+            (spec.name, repr(getattr(config, spec.name)))
+            for spec in dataclass_fields(config)
+        ))
+    else:
+        payload = repr(config)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def git_describe() -> str | None:
+    """``git describe --always --dirty`` of this checkout, or ``None``.
+
+    Provenance must never fail a run: any error (no git binary, not a
+    repository, timeout) degrades to ``None``.
+    """
+    try:
+        completed = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    return completed.stdout.strip() or None
+
+
+def host_info() -> dict:
+    """Facts about the machine a record was produced on."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+@dataclass
+class RunRecord:
+    """Provenance + telemetry of one run (see the module docstring)."""
+
+    experiment: str
+    config_name: str = ""
+    config_hash: str = ""
+    data_key: str = ""
+    engine: str = ""
+    git: str | None = None
+    host: dict = field(default_factory=dict)
+    phase_seconds: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+    version: int = RUN_RECORD_VERSION
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation (the on-disk layout)."""
+        return {
+            "version": self.version,
+            "experiment": self.experiment,
+            "config_name": self.config_name,
+            "config_hash": self.config_hash,
+            "data_key": self.data_key,
+            "engine": self.engine,
+            "git": self.git,
+            "host": dict(self.host),
+            "phase_seconds": dict(self.phase_seconds),
+            "metrics": self.metrics,
+            "spans": self.spans,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        version = payload.get("version", RUN_RECORD_VERSION)
+        if version != RUN_RECORD_VERSION:
+            raise ObservabilityError(
+                f"run record has version {version}, this build reads "
+                f"version {RUN_RECORD_VERSION}"
+            )
+        return cls(
+            experiment=payload.get("experiment", ""),
+            config_name=payload.get("config_name", ""),
+            config_hash=payload.get("config_hash", ""),
+            data_key=payload.get("data_key", ""),
+            engine=payload.get("engine", ""),
+            git=payload.get("git"),
+            host=payload.get("host", {}),
+            phase_seconds=payload.get("phase_seconds", {}),
+            metrics=payload.get("metrics", {}),
+            spans=payload.get("spans", []),
+            metadata=payload.get("metadata", {}),
+            version=version,
+        )
+
+
+def build_run_record(
+    experiment: str,
+    config=None,
+    data_key: str = "",
+    engine: str = "",
+    phase_seconds: dict | None = None,
+    metadata: dict | None = None,
+    telemetry: Telemetry | None = None,
+) -> RunRecord:
+    """Assemble a :class:`RunRecord` from a run's context and telemetry.
+
+    ``config`` contributes its ``name`` attribute (when present) and its
+    :func:`config_hash`; the metric snapshot and span tree come from
+    ``telemetry`` (default: the process-wide :data:`~repro.obs.TELEMETRY`).
+    """
+    telemetry = TELEMETRY if telemetry is None else telemetry
+    return RunRecord(
+        experiment=experiment,
+        config_name=getattr(config, "name", "") if config is not None else "",
+        config_hash=config_hash(config) if config is not None else "",
+        data_key=data_key,
+        engine=engine,
+        git=git_describe(),
+        host=host_info(),
+        phase_seconds=dict(phase_seconds or {}),
+        metrics=telemetry.snapshot(),
+        spans=telemetry.tracer.tree(),
+        metadata=dict(metadata or {}),
+    )
+
+
+def save_run_record(record: RunRecord, path: str | Path) -> Path:
+    """Write ``record`` as JSON to ``path`` (parents created) and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_run_record(path: str | Path) -> RunRecord:
+    """Load a record written by :func:`save_run_record`.
+
+    Also accepts an ``ExperimentResult`` JSON that embeds a record under a
+    top-level ``"run_record"`` key, so ``repro stats`` works on either
+    artifact.
+    """
+    payload = json.loads(Path(path).read_text())
+    if "run_record" in payload and "spans" not in payload:
+        embedded = payload["run_record"]
+        if not isinstance(embedded, dict):
+            raise ObservabilityError(
+                f"{path}: 'run_record' is not an object"
+            )
+        payload = embedded
+    if "spans" not in payload and "metrics" not in payload:
+        raise ObservabilityError(
+            f"{path} is neither a run record nor a result JSON embedding one"
+        )
+    return RunRecord.from_dict(payload)
+
+
+def render_run_record(record: RunRecord) -> str:
+    """The printable report of ``repro stats``: provenance, phases, spans,
+    instruments."""
+    lines = [f"# run record: {record.experiment}"]
+    for label, value in (
+        ("config", record.config_name),
+        ("config hash", record.config_hash[:16] if record.config_hash else ""),
+        ("data key", record.data_key),
+        ("engine", record.engine),
+        ("git", record.git or ""),
+    ):
+        if value:
+            lines.append(f"{label}: {value}")
+    host = record.host or {}
+    if host:
+        lines.append(
+            "host: "
+            + ", ".join(f"{key}={value}" for key, value in sorted(host.items()))
+        )
+    if record.phase_seconds:
+        lines.append("")
+        lines.append("## phases")
+        total = sum(record.phase_seconds.values())
+        for phase, seconds in record.phase_seconds.items():
+            share = (seconds / total * 100.0) if total > 0 else 0.0
+            lines.append(f"{phase:<10} {seconds:>10.3f} s  ({share:.1f}%)")
+        lines.append(f"{'total':<10} {total:>10.3f} s")
+    lines.append("")
+    lines.append("## span tree")
+    lines.append(render_span_tree(record.spans))
+    lines.append("")
+    lines.append("## instruments")
+    lines.append(render_instrument_table(record.metrics))
+    return "\n".join(lines)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -38,6 +39,7 @@ from ..core.interpreter import AlphaEvaluator
 from ..core.program import AlphaProgram
 from ..data.dataset import TaskSet
 from ..errors import ConfigurationError, ParallelError
+from ..obs import TELEMETRY
 
 __all__ = ["PoolSpec", "PoolEvaluation", "EvaluationPool"]
 
@@ -239,10 +241,24 @@ class EvaluationPool:
             programs[start:start + chunk_size]
             for start in range(0, len(programs), chunk_size)
         ]
-        futures = [self._executor.submit(_evaluate_batch, chunk) for chunk in chunks]
-        evaluations: list[PoolEvaluation] = []
-        for future in futures:
-            evaluations.extend(future.result())
+        # Timed per *dispatch* (one batch of chunks), never per program:
+        # the disabled cost is one boolean test.
+        dispatch_started = time.perf_counter() if TELEMETRY.enabled else 0.0
+        with TELEMETRY.span(
+            "pool.dispatch", programs=len(programs), chunks=len(chunks)
+        ):
+            futures = [
+                self._executor.submit(_evaluate_batch, chunk) for chunk in chunks
+            ]
+            evaluations: list[PoolEvaluation] = []
+            for future in futures:
+                evaluations.extend(future.result())
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("pool.batches").inc(len(chunks))
+            TELEMETRY.counter("pool.programs").inc(len(programs))
+            TELEMETRY.histogram("pool.dispatch_seconds").observe(
+                time.perf_counter() - dispatch_started
+            )
         return evaluations
 
     def evaluate(self, programs: list[AlphaProgram]) -> list[FitnessReport]:

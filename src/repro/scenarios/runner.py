@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 
 from ..experiments.recorder import ExperimentResult
+from ..obs import TELEMETRY
 from ..stream import run_serve
 from .registry import get_scenario, list_scenarios
 from .spec import ScenarioSpec
@@ -37,7 +38,9 @@ def run_scenario(
     materialisation (the CLI uses them for ``--top-k``/``--candidates``
     style trims); unknown fields raise a configuration error naming the
     scenario.  The result's metadata records the scenario, scale, backend
-    description, task-set shape, serving statistics and the parity verdict.
+    description, task-set shape, serving statistics, the parity verdict and
+    the per-phase (mine / compile / serve) wall-clock breakdown; the
+    result's ``run_record`` carries the full provenance for ``repro stats``.
     """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     config = spec.experiment_config(scale, data_dir=data_dir)
@@ -46,7 +49,8 @@ def run_scenario(
 
     started = time.perf_counter()
     backend = config.data_backend()
-    report = run_serve(config)
+    with TELEMETRY.span("scenario.run", scenario=spec.name, scale=scale):
+        report = run_serve(config)
     seconds = time.perf_counter() - started
     # run_serve built (and memoised) the task set; re-resolve it for the
     # shape summary without paying a second build.
@@ -73,12 +77,25 @@ def run_scenario(
         "taskset": taskset.describe(),
         "parity": report.parity,
         "seconds": round(seconds, 3),
+        # Per-phase wall clock (mine / compile / serve), measured by
+        # run_serve regardless of whether telemetry is enabled.
+        "phase_seconds": report.metadata.get("phase_seconds", {}),
     }
+    run_record = report.run_record
+    if run_record is not None:
+        run_record.experiment = f"scenario-{spec.name}"
+        run_record.metadata.update({"scenario": spec.name, "scale": scale})
+        if TELEMETRY.enabled:
+            # Refresh the snapshot run_serve took: the scenario.run span
+            # has closed since, so the tree now carries its elapsed time.
+            run_record.spans = TELEMETRY.tracer.tree()
+            run_record.metrics = TELEMETRY.snapshot()
     return ExperimentResult(
         experiment=f"scenario-{spec.name}",
         rows=rows,
         rendered=header + report.render(),
         metadata=metadata,
+        run_record=run_record,
     )
 
 

@@ -34,6 +34,7 @@ from ..core.program import AlphaProgram
 from ..data.dataset import TaskSet
 from ..engine.protocol import stream_days
 from ..errors import StreamError
+from ..obs import TELEMETRY, RunRecord, build_run_record
 from .server import AlphaServer
 
 __all__ = ["ServedAlphaRow", "ServeReport", "OnlineBacktestDriver", "run_serve"]
@@ -76,6 +77,8 @@ class ServeReport:
     predictions: dict[str, dict[str, np.ndarray]]
     elapsed_seconds: float
     metadata: dict = field(default_factory=dict)
+    #: Provenance + telemetry of the run (attached by :func:`run_serve`).
+    run_record: RunRecord | None = None
 
     @property
     def parity(self) -> bool:
@@ -312,7 +315,10 @@ def run_serve(config, programs: list[AlphaProgram] | None = None,
     ``config.serve_top_k`` weakly correlated alphas — one search per
     initialisation, cycling D → NN → R as in the paper's protocol — and the
     accepted set is what gets served.  The report's metadata records how the
-    fleet was obtained.
+    fleet was obtained; its ``run_record`` captures provenance plus the
+    per-phase (mine / compile / serve) wall-clock breakdown — and, when
+    telemetry is enabled (``--telemetry`` or :func:`~repro.obs.telemetry_session`),
+    the full metric snapshot and span tree.
     """
     # Imported lazily: repro.experiments sits above repro.stream.
     from ..core.initializations import get_initialization
@@ -323,33 +329,37 @@ def run_serve(config, programs: list[AlphaProgram] | None = None,
     #: Initialisations worth mining from (NOOP is the ablation baseline).
     mining_codes = ("D", "NN", "R")
 
+    phase_seconds: dict[str, float] = {}
+    phase_started = time.perf_counter()
     taskset = make_taskset(config)
     mined_names: list[str] | None = names
     if programs is None:
-        session = MiningSession(
-            taskset,
-            evolution_config=config.evolution_config(),
-            correlation_cutoff=config.correlation_cutoff,
-            long_k=config.long_positions,
-            short_k=config.short_positions,
-            max_train_steps=config.max_train_steps,
-            seed=config.search_seed,
-            checkpoint_dir=config.checkpoint_dir,
-        )
-        dims = Dimensions(taskset.num_features, taskset.window)
-        codes = [
-            mining_codes[i % len(mining_codes)]
-            for i in range(config.serve_top_k)
-        ]
-        for i, code in enumerate(codes):
-            mined = session.search(
-                get_initialization(code, dims, seed=config.search_seed + i),
-                name=f"alpha_AE_{code}_{i}",
-                enforce_cutoff=True,
+        with TELEMETRY.span("serve.mine", top_k=config.serve_top_k):
+            session = MiningSession(
+                taskset,
+                evolution_config=config.evolution_config(),
+                correlation_cutoff=config.correlation_cutoff,
+                long_k=config.long_positions,
+                short_k=config.short_positions,
+                max_train_steps=config.max_train_steps,
+                seed=config.search_seed,
+                checkpoint_dir=config.checkpoint_dir,
             )
-            session.accept(mined)
-        programs = session.accepted_programs()
-        mined_names = [alpha.name for alpha in session.accepted]
+            dims = Dimensions(taskset.num_features, taskset.window)
+            codes = [
+                mining_codes[i % len(mining_codes)]
+                for i in range(config.serve_top_k)
+            ]
+            for i, code in enumerate(codes):
+                mined = session.search(
+                    get_initialization(code, dims, seed=config.search_seed + i),
+                    name=f"alpha_AE_{code}_{i}",
+                    enforce_cutoff=True,
+                )
+                session.accept(mined)
+            programs = session.accepted_programs()
+            mined_names = [alpha.name for alpha in session.accepted]
+    phase_seconds["mine"] = time.perf_counter() - phase_started
 
     driver = OnlineBacktestDriver(
         taskset,
@@ -360,10 +370,37 @@ def run_serve(config, programs: list[AlphaProgram] | None = None,
         long_k=config.long_positions,
         short_k=config.short_positions,
     )
+    start = time.perf_counter()
+    # The compile phase covers registration (canonical-IR dedup), tape
+    # compilation and the warm-start training replay.
+    phase_started = time.perf_counter()
+    with TELEMETRY.span("serve.compile", fleet=len(programs)):
+        server = driver.build_server()
+    phase_seconds["compile"] = time.perf_counter() - phase_started
+    phase_started = time.perf_counter()
+    with TELEMETRY.span("serve.stream"):
+        served = driver.stream(server)
     # Parity violations are recorded in the report (and turned into a
     # non-zero exit by the CLI) instead of raising, so the rendered table
     # and --output diagnostics survive a failure.
-    report = driver.run(strict_parity=False)
+    report = driver.verify(server, served, strict_parity=False,
+                           start_time=start)
+    phase_seconds["serve"] = time.perf_counter() - phase_started
     report.metadata["scale"] = config.name
     report.metadata["serve_top_k"] = getattr(config, "serve_top_k", len(programs))
+    report.metadata["phase_seconds"] = {
+        phase: round(seconds, 6) for phase, seconds in phase_seconds.items()
+    }
+    report.run_record = build_run_record(
+        "serve",
+        config=config,
+        data_key=str(config.data_backend().cache_key()),
+        engine="fleet-compiled",
+        phase_seconds=report.metadata["phase_seconds"],
+        metadata={
+            "fleet": list(report.predictions),
+            "parity": report.parity,
+            "days_served": report.stats.get("days_served", 0),
+        },
+    )
     return report

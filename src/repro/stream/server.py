@@ -50,11 +50,17 @@ from ..core.program import AlphaProgram
 from ..data.dataset import TaskSet
 from ..engine.fleet import FleetEngine, FleetMember
 from ..errors import StreamError
+from ..obs import TELEMETRY, Histogram
 
 __all__ = ["Registration", "ServerState", "AlphaServer"]
 
 #: Bumped whenever the server-state layout changes incompatibly.
 SERVER_STATE_VERSION = 1
+
+#: Reservoir size of the per-bar latency histogram: large enough that every
+#: bar of a laptop-scale serve (and the bench suite) is kept exactly, yet a
+#: years-long live stream stays bounded.
+BAR_LATENCY_RESERVOIR = 4096
 
 
 def taskset_fingerprint(taskset: TaskSet) -> str:
@@ -148,8 +154,12 @@ class AlphaServer:
         self.fleet = FleetEngine(self.evaluator)
         self.registrations: list[Registration] = []
         self.days_served = 0
-        #: Wall-clock seconds of each ``on_bar`` call.
-        self.bar_latencies: list[float] = []
+        #: Bounded per-bar latency histogram: exact count/total/min/max plus
+        #: a reservoir for percentiles — a long-lived serving process no
+        #: longer grows a per-day Python list without limit.
+        self._bar_latency = Histogram(
+            "serve.bar_latency_seconds", reservoir_size=BAR_LATENCY_RESERVOIR
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -234,7 +244,12 @@ class AlphaServer:
             raise StreamError("server is already warm")
         if not self.registrations:
             raise StreamError("no alphas registered; nothing to warm-start")
-        self.fleet.warm_start(use_update=self.use_update)
+        with TELEMETRY.span(
+            "serve.warm_start",
+            registered=self.num_registered,
+            unique=self.num_unique,
+        ):
+            self.fleet.warm_start(use_update=self.use_update)
 
     # ------------------------------------------------------------------
     def on_bar(self, features: np.ndarray) -> dict[str, np.ndarray]:
@@ -250,7 +265,11 @@ class AlphaServer:
                               "before serving bars")
         start = time.perf_counter()
         by_key = self.fleet.step_bar(features)
-        self.bar_latencies.append(time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self._bar_latency.observe(elapsed)
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("serve.bars").inc()
+            TELEMETRY.histogram("serve.bar_latency_ms").observe(elapsed * 1e3)
         self.days_served += 1
         return {
             registration.name: by_key[registration.key]
@@ -316,15 +335,24 @@ class AlphaServer:
         self.days_served = int(state.days_served)
 
     # ------------------------------------------------------------------
+    @property
+    def bar_latencies(self) -> list[float]:
+        """Per-bar wall-clock seconds (the histogram's bounded reservoir).
+
+        Exact and complete up to :data:`BAR_LATENCY_RESERVOIR` served bars;
+        beyond that it is a uniform sample — use :meth:`stats` for exact
+        count/mean/total however long the stream runs.
+        """
+        return self._bar_latency.values
+
     def stats(self) -> dict[str, float | int]:
         """Serving statistics: fleet size, dedup wins and bar latency."""
-        latencies = np.asarray(self.bar_latencies)
-        mean_latency = float(latencies.mean()) if latencies.size else 0.0
-        p95_latency = (
-            float(np.percentile(latencies, 95)) if latencies.size else 0.0
-        )
-        total = float(latencies.sum())
-        alpha_days = self.num_registered * len(self.bar_latencies)
+        histogram = self._bar_latency
+        served = histogram.count
+        mean_latency = histogram.mean if served else 0.0
+        p95_latency = histogram.percentile(95.0) if served else 0.0
+        total = histogram.total
+        alpha_days = self.num_registered * served
         return {
             "registered_alphas": self.num_registered,
             "unique_executors": self.num_unique,
@@ -333,6 +361,7 @@ class AlphaServer:
                 1 for registration in self.registrations if registration.redundant
             ),
             "days_served": self.days_served,
+            "bars_timed": served,
             "mean_bar_latency_ms": mean_latency * 1e3,
             "p95_bar_latency_ms": p95_latency * 1e3,
             "alpha_days_per_second": (alpha_days / total) if total > 0 else 0.0,

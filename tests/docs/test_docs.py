@@ -64,6 +64,10 @@ class TestApiSnippets:
         """The data/scenario guide's snippets are executable too."""
         run_markdown_doctests("docs/DATA.md")
 
+    def test_observability_md_snippets_run_clean(self):
+        """The telemetry guide's snippets are executable too."""
+        run_markdown_doctests("docs/OBSERVABILITY.md")
+
 
 class TestBenchmarkTable:
     def test_readme_table_matches_artifacts(self):

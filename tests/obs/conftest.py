@@ -1,0 +1,17 @@
+"""Telemetry tests share one process-wide switchboard; keep it clean."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import TELEMETRY
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    """Every obs test starts and ends with telemetry off and empty."""
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+    yield
+    TELEMETRY.disable()
+    TELEMETRY.reset()

@@ -1,0 +1,185 @@
+"""Metrics registry semantics: counters, gauges, bounded histograms."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_instrument_table,
+)
+
+
+class TestCounter:
+    def test_increments_and_returns_value(self):
+        counter = Counter("c")
+        assert counter.inc() == 1
+        assert counter.inc(4) == 5
+        assert counter.value == 5
+
+    def test_zero_increment_is_allowed(self):
+        counter = Counter("c")
+        assert counter.inc(0) == 0
+
+    def test_rejects_negative_increments(self):
+        counter = Counter("c")
+        with pytest.raises(ObservabilityError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_snapshot(self):
+        counter = Counter("c")
+        counter.inc(3)
+        assert counter.snapshot() == {"type": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge("g")
+        gauge.set(1.5)
+        gauge.set(2.5)
+        assert gauge.snapshot() == {"type": "gauge", "value": 2.5}
+
+
+class TestInstrumentNames:
+    @pytest.mark.parametrize("bad", ["", "has space", "tab\tname"])
+    def test_rejects_empty_or_whitespace_names(self, bad):
+        with pytest.raises(ObservabilityError, match="instrument names"):
+            Counter(bad)
+
+
+class TestHistogram:
+    def test_exact_stats_small_stream(self):
+        histogram = Histogram("h")
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.mean == 2.0
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert sorted(histogram.values) == [1.0, 2.0, 3.0]
+
+    def test_percentiles_match_numpy_below_reservoir_bound(self):
+        histogram = Histogram("h", reservoir_size=256)
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=100)
+        for value in data:
+            histogram.observe(value)
+        for p in (0, 25, 50, 95, 99, 100):
+            assert histogram.percentile(p) == pytest.approx(
+                float(np.percentile(data, p)), abs=1e-12
+            )
+
+    def test_memory_is_bounded_but_exact_stats_are_not_sampled(self):
+        histogram = Histogram("h", reservoir_size=64)
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert len(histogram.values) == 64
+        assert histogram.count == 10_000
+        assert histogram.total == sum(float(v) for v in range(10_000))
+        assert histogram.min == 0.0
+        assert histogram.max == 9999.0
+
+    def test_reservoir_stays_representative(self):
+        # Uniform stream: the sampled median must land near the true one.
+        histogram = Histogram("h", reservoir_size=128)
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert abs(histogram.percentile(50) - 5000.0) < 1500.0
+
+    def test_empty_histogram_snapshot_is_defined(self):
+        state = Histogram("h").snapshot()
+        assert state["count"] == 0
+        assert state["min"] == 0.0 and state["max"] == 0.0
+        assert state["p50"] == 0.0
+
+    def test_snapshot_reports_percentiles(self):
+        histogram = Histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        state = histogram.snapshot()
+        assert state["type"] == "histogram"
+        assert state["p50"] == pytest.approx(50.5)
+        assert state["p95"] == pytest.approx(95.05)
+        assert state["p99"] == pytest.approx(99.01)
+
+    def test_rejects_nonpositive_reservoir(self):
+        with pytest.raises(ObservabilityError, match="positive reservoir"):
+            Histogram("h", reservoir_size=0)
+
+    def test_observing_never_touches_global_random_state(self):
+        # The parity contract at the instrument level: reservoir eviction
+        # uses a private PRNG, so global random/NumPy draws are unaffected.
+        random.seed(123)
+        np_state = np.random.default_rng(9)
+        expected_py = random.Random(123).random()
+        expected_np = np.random.default_rng(9).normal()
+        histogram = Histogram("h", reservoir_size=4)
+        for value in range(1000):
+            histogram.observe(float(value))
+        assert random.random() == expected_py
+        assert np_state.normal() == expected_np
+
+    def test_same_name_same_stream_is_deterministic(self):
+        def fill():
+            histogram = Histogram("h", reservoir_size=16)
+            for value in range(5000):
+                histogram.observe(float(value))
+            return histogram.values
+
+        assert fill() == fill()
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ObservabilityError, match="is a counter"):
+            registry.gauge("a")
+
+    def test_names_and_membership_in_creation_order(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["b", "a"]
+        assert "b" in registry and "missing" not in registry
+        assert len(registry) == 2
+        assert registry.get("missing") is None
+
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc(2)
+        registry.histogram("lat").observe(1.0)
+        snapshot = registry.snapshot()
+        assert snapshot["calls"]["value"] == 2
+        assert snapshot["lat"]["count"] == 1
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.snapshot() == {}
+
+
+class TestRenderInstrumentTable:
+    def test_renders_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc(7)
+        registry.gauge("rate").set(1.25)
+        registry.histogram("lat").observe(2.0)
+        table = render_instrument_table(registry.snapshot())
+        assert "calls" in table and "counter" in table and "7" in table
+        assert "rate" in table and "1.25" in table
+        assert "lat" in table and "p95" in table
+
+    def test_empty_snapshot(self):
+        assert "no instruments" in render_instrument_table({})

@@ -1,0 +1,185 @@
+"""Run-record provenance: hashing, round trips, the stats CLI and the
+recorder integration."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main, run_stats_command
+from repro.errors import ObservabilityError
+from repro.experiments.recorder import ExperimentResult, load_result, save_result
+from repro.obs import (
+    RunRecord,
+    TELEMETRY,
+    build_run_record,
+    config_hash,
+    git_describe,
+    host_info,
+    load_run_record,
+    render_run_record,
+    save_run_record,
+    telemetry_session,
+)
+from repro.obs.provenance import RUN_RECORD_VERSION
+
+
+@dataclasses.dataclass
+class FakeConfig:
+    name: str = "smoke"
+    num_stocks: int = 40
+
+
+def sample_record() -> RunRecord:
+    with telemetry_session():
+        TELEMETRY.counter("engine.kernel.loop_calls").inc(3)
+        TELEMETRY.histogram("serve.bar_latency_ms").observe(0.2)
+        with TELEMETRY.span("serve.mine", top_k=2):
+            with TELEMETRY.span("search.run"):
+                pass
+        return build_run_record(
+            "serve",
+            config=FakeConfig(),
+            data_key="synthetic/40",
+            engine="fleet-compiled",
+            phase_seconds={"mine": 1.5, "compile": 0.2, "serve": 0.3},
+            metadata={"parity": True},
+        )
+
+
+class TestConfigHash:
+    def test_stable_and_sensitive_for_dataclasses(self):
+        assert config_hash(FakeConfig()) == config_hash(FakeConfig())
+        assert config_hash(FakeConfig()) != config_hash(
+            FakeConfig(num_stocks=41)
+        )
+
+    def test_non_dataclass_falls_back_to_repr(self):
+        assert config_hash("abc") == config_hash("abc")
+        assert config_hash("abc") != config_hash("abd")
+
+
+class TestHostFacts:
+    def test_host_info_shape(self):
+        info = host_info()
+        assert set(info) == {"platform", "python", "cpu_count"}
+        assert info["cpu_count"] >= 1
+
+    def test_git_describe_never_raises(self):
+        described = git_describe()
+        assert described is None or isinstance(described, str)
+
+
+class TestRunRecordRoundTrip:
+    def test_build_pulls_telemetry_and_config(self):
+        record = sample_record()
+        assert record.config_name == "smoke"
+        assert record.config_hash == config_hash(FakeConfig())
+        assert record.metrics["engine.kernel.loop_calls"]["value"] == 3
+        assert record.spans[0]["name"] == "serve.mine"
+        assert record.spans[0]["children"][0]["name"] == "search.run"
+        assert record.phase_seconds == {
+            "mine": 1.5, "compile": 0.2, "serve": 0.3,
+        }
+
+    def test_dict_round_trip(self):
+        record = sample_record()
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone == record
+
+    def test_version_mismatch_raises(self):
+        payload = sample_record().to_dict()
+        payload["version"] = RUN_RECORD_VERSION + 1
+        with pytest.raises(ObservabilityError, match="version"):
+            RunRecord.from_dict(payload)
+
+    def test_save_load_round_trip(self, tmp_path):
+        record = sample_record()
+        path = save_run_record(record, tmp_path / "sub" / "record.json")
+        assert path.exists()
+        assert load_run_record(path) == record
+
+    def test_load_accepts_result_json_with_embedded_record(self, tmp_path):
+        record = sample_record()
+        path = tmp_path / "result.json"
+        path.write_text(json.dumps({
+            "experiment": "serve",
+            "rows": [],
+            "rendered": "",
+            "run_record": record.to_dict(),
+        }))
+        assert load_run_record(path) == record
+
+    def test_load_rejects_unrelated_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"rows": []}))
+        with pytest.raises(ObservabilityError, match="neither a run record"):
+            load_run_record(path)
+
+
+class TestRenderRunRecord:
+    def test_report_contains_all_sections(self):
+        text = render_run_record(sample_record())
+        assert "# run record: serve" in text
+        assert "config: smoke" in text
+        assert "engine: fleet-compiled" in text
+        assert "## phases" in text and "mine" in text and "75.0%" in text
+        assert "## span tree" in text and "serve.mine" in text
+        assert "## instruments" in text
+        assert "engine.kernel.loop_calls" in text
+
+    def test_minimal_record_renders(self):
+        text = render_run_record(RunRecord(experiment="bare"))
+        assert "bare" in text
+        assert "(no spans recorded)" in text
+        assert "(no instruments recorded)" in text
+
+
+class TestStatsCli:
+    def test_round_trip_through_the_cli(self, tmp_path, capsys):
+        path = save_run_record(sample_record(), tmp_path / "record.json")
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# run record: serve" in out
+        assert "serve.mine" in out
+        assert "engine.kernel.loop_calls" in out
+
+    def test_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        assert run_stats_command([str(tmp_path / "absent.json")]) == 2
+        assert "no such record" in capsys.readouterr().err
+
+    def test_non_record_json_is_a_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text("{\"rows\": []}")
+        assert run_stats_command([str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRecorderIntegration:
+    def test_save_result_writes_runrecord_sidecar(self, tmp_path):
+        record = sample_record()
+        result = ExperimentResult(
+            experiment="serve",
+            rows=[{"alpha": "a", "sharpe": 1.0}],
+            rendered="table",
+            run_record=record,
+        )
+        path = save_result(result, tmp_path)
+        sidecar = tmp_path / "serve.runrecord.json"
+        assert sidecar.exists()
+        assert load_run_record(sidecar) == record
+        # ... and the result JSON itself embeds the record for repro stats.
+        assert load_run_record(path) == record
+        loaded = load_result(path)
+        assert loaded.run_record == record
+
+    def test_results_without_record_stay_unchanged(self, tmp_path):
+        result = ExperimentResult(
+            experiment="table1", rows=[], rendered="",
+        )
+        path = save_result(result, tmp_path)
+        assert not (tmp_path / "table1.runrecord.json").exists()
+        assert "run_record" not in json.loads(path.read_text())
+        assert load_result(path).run_record is None

@@ -1,0 +1,143 @@
+"""Tracer semantics: nesting, exception safety, the disabled fast path,
+telemetry sessions and structured events."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs import (
+    TELEMETRY,
+    Tracer,
+    get_telemetry,
+    log_event,
+    render_span_tree,
+    telemetry_session,
+)
+
+
+def enabled_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.enabled = True
+    return tracer
+
+
+class TestTracer:
+    def test_spans_nest_by_runtime_containment(self):
+        tracer = enabled_tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", step=1):
+                pass
+            with tracer.span("inner", step=2):
+                pass
+        tree = tracer.tree()
+        assert len(tree) == 1
+        outer = tree[0]
+        assert outer["name"] == "outer"
+        assert [child["name"] for child in outer["children"]] == [
+            "inner", "inner",
+        ]
+        assert outer["children"][0]["attrs"] == {"step": 1}
+        assert outer["seconds"] >= sum(
+            child["seconds"] for child in outer["children"]
+        )
+
+    def test_exception_closes_span_and_propagates(self):
+        tracer = enabled_tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise ValueError("boom")
+        assert tracer.depth == 0  # nothing left open
+        tree = tracer.tree()
+        assert tree[0]["error"] is True
+        failing = tree[0]["children"][0]
+        assert failing["error"] is True
+        assert failing["seconds"] >= 0.0
+
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer()
+        first = tracer.span("a")
+        second = tracer.span("b", attr=1)
+        assert first is second  # one shared object: no per-call allocation
+        with first:
+            pass
+        assert tracer.tree() == []
+
+    def test_reset_drops_everything(self):
+        tracer = enabled_tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.tree() == []
+        assert tracer.depth == 0
+
+
+class TestRenderSpanTree:
+    def test_renders_nested_tree_with_attrs_and_errors(self):
+        tracer = enabled_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("run", scale="smoke"):
+                with tracer.span("step"):
+                    raise RuntimeError
+        text = render_span_tree(tracer.tree())
+        assert "run" in text and "scale=smoke" in text
+        assert "  step" in text  # indented child
+        assert "[error]" in text
+
+    def test_empty_tree(self):
+        assert render_span_tree([]) == "(no spans recorded)"
+
+
+class TestTelemetrySession:
+    def test_collects_and_restores_disabled_state(self):
+        assert not TELEMETRY.enabled
+        with telemetry_session() as telemetry:
+            assert telemetry is TELEMETRY
+            assert TELEMETRY.enabled
+            TELEMETRY.counter("x").inc()
+        assert not TELEMETRY.enabled
+        # recorded data survives the session for snapshotting
+        assert TELEMETRY.snapshot()["x"]["value"] == 1
+
+    def test_session_resets_previous_data(self):
+        TELEMETRY.registry.counter("stale").inc()
+        with telemetry_session():
+            assert "stale" not in TELEMETRY.registry
+
+    def test_nested_session_is_passthrough(self):
+        with telemetry_session():
+            TELEMETRY.counter("outer").inc()
+            with telemetry_session():
+                TELEMETRY.counter("inner").inc()
+            # the inner session neither reset nor disabled
+            assert TELEMETRY.enabled
+            snapshot = TELEMETRY.snapshot()
+            assert "outer" in snapshot and "inner" in snapshot
+        assert not TELEMETRY.enabled
+
+    def test_disabled_session_forces_telemetry_off(self):
+        TELEMETRY.enable()
+        with telemetry_session(enabled=False):
+            assert not TELEMETRY.enabled
+        assert TELEMETRY.enabled  # restored
+
+    def test_exception_still_restores_state(self):
+        with pytest.raises(RuntimeError):
+            with telemetry_session():
+                raise RuntimeError
+        assert not TELEMETRY.enabled
+
+    def test_get_telemetry_returns_the_singleton(self):
+        assert get_telemetry() is TELEMETRY
+
+
+class TestLogEvent:
+    def test_emits_only_while_enabled(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.obs"):
+            log_event("search.round", round=1)  # disabled: swallowed
+            with telemetry_session():
+                log_event("search.round", round=2, best=0.5)
+        messages = [record.getMessage() for record in caplog.records]
+        assert messages == ["search.round round=2 best=0.5"]
