@@ -3,17 +3,24 @@
 
 Measures what the engine layer (:mod:`repro.engine`) buys on top of the
 per-program execution paths it replaced, behind a **hard bitwise-parity
-gate** across all four paths:
+gate** across all five paths:
 
 * **parity gate** — for every benchmarked program the valid/test prediction
   panels of the reference interpreter, the compiled day-loop
-  (``time_batched=False``), the time-batched compiled path and a
-  :class:`~repro.engine.fleet.FleetEngine` evaluation must be bit-for-bit
-  identical (non-zero exit on any divergence);
+  (``time_batched=False``), the time-batched compiled path, a
+  :class:`~repro.engine.fleet.FleetEngine` evaluation with stacking off and
+  one with stacking on must be bit-for-bit identical (non-zero exit on any
+  divergence);
 * **fleet evaluation throughput** — evaluating an N-program fleet (with the
   duplicate rate a real mined fleet has) through one ``FleetEngine`` — one
   shared context, one data pass, canonical dedup — versus the per-program
   loop of building and running a fresh evaluator per program;
+* **cross-program mega-batching** — a fleet-size scaling curve over mining
+  generation snapshots (:func:`common.build_generation`): at each fleet
+  size P the per-program loop, the non-stacked fleet and the stacked fleet
+  (signature groups executing as one ``(P, ...)`` tape) are timed; the
+  largest point is the ``programs_per_second_stacked`` headline and must
+  clear a >= 3x stacked speedup at >= 100 unique programs post-dedup;
 * **static-predict time batching** — for programs whose whole ``Predict()``
   tape is day-loop invariant, the full train+inference evaluation with the
   engine's time-batched fast path on versus off (the fast path collapses
@@ -27,7 +34,8 @@ Run with::
     python benchmarks/bench_engine.py [--programs N] [--stocks K] [--smoke]
 
 ``--smoke`` shrinks the universe and program count but keeps the full
-four-way parity gate — CI uses it as the engine-parity gate.
+five-way parity gate (including at least one multi-program stack group) —
+CI uses it as the engine-parity gate.
 """
 
 from __future__ import annotations
@@ -43,7 +51,7 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-from common import build_programs, write_bench_json
+from common import build_generation, build_programs, write_bench_json
 from repro.core import AlphaEvaluator, Dimensions
 from repro.data import MarketConfig, Split, SyntheticMarket, build_taskset
 from repro.engine import FleetEngine, run_protocol
@@ -67,18 +75,21 @@ def make_evaluator(taskset, **kwargs) -> AlphaEvaluator:
     )
 
 
-def check_parity(taskset, programs) -> tuple[bool, int]:
-    """The hard gate: four execution paths, bitwise-identical panels.
+def check_parity(taskset, programs) -> tuple[bool, int, int]:
+    """The hard gate: five execution paths, bitwise-identical panels.
 
-    Returns ``(parity, num_static_predict)``.
+    Returns ``(parity, num_static_predict, stack_groups)``.
     """
     interpreter = make_evaluator(taskset, engine="interpreter")
     compiled_loop = make_evaluator(taskset, time_batched=False)
     compiled_batched = make_evaluator(taskset, time_batched=True)
-    fleet = FleetEngine(make_evaluator(taskset))
+    fleet = FleetEngine(make_evaluator(taskset), stacked=False)
+    stacked_fleet = FleetEngine(make_evaluator(taskset), stacked=True)
     for program in programs:
         fleet.add(program)
+        stacked_fleet.add(program)
     fleet_runs = fleet.run(splits=SPLITS)
+    stacked_runs = stacked_fleet.run(splits=SPLITS)
 
     parity = True
     num_static = 0
@@ -88,6 +99,7 @@ def check_parity(taskset, programs) -> tuple[bool, int]:
             "compiled-loop": compiled_loop.run(program, splits=SPLITS),
             "time-batched": compiled_batched.run(program, splits=SPLITS),
             "fleet": fleet_runs[program.name],
+            "stacked-fleet": stacked_runs[program.name],
         }
         if compiled_batched.make_backend(program).supports_static_predict:
             num_static += 1
@@ -97,7 +109,7 @@ def check_parity(taskset, programs) -> tuple[bool, int]:
                     print(f"PARITY VIOLATION: {program.name} on {split} "
                           f"via {label}", file=sys.stderr)
                     parity = False
-    return parity, num_static
+    return parity, num_static, stacked_fleet.stack_groups
 
 
 def bench_fleet(taskset, programs, repeats: int = 3) -> dict:
@@ -131,6 +143,70 @@ def bench_fleet(taskset, programs, repeats: int = 3) -> dict:
         "programs_per_second_loop": round(len(programs) / loop_best, 2),
         "programs_per_second_fleet": round(len(programs) / fleet_best, 2),
         "speedup": round(loop_best / fleet_best, 2),
+    }
+
+
+def bench_stacked_scaling(taskset, sizes=(8, 32, 128, 200),
+                          repeats: int = 2) -> dict:
+    """Fleet-size scaling of the stacked executor over generation snapshots.
+
+    At each size P a fresh mining-generation fleet is built and three paths
+    are timed end to end: the per-program loop (fresh evaluator per member),
+    the non-stacked ``FleetEngine`` (dedup + shared data pass only) and the
+    stacked ``FleetEngine`` (signature groups executing as ``(P, ...)``
+    tapes).  The largest point is the headline.
+    """
+    dims = Dimensions(taskset.num_features, taskset.window)
+    curve = []
+    for size in sizes:
+        programs = build_generation(dims, size)
+
+        loop_best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for program in programs:
+                make_evaluator(taskset).evaluate(program)
+            loop_best = min(loop_best, time.perf_counter() - start)
+
+        timings = {}
+        unique = stack_groups = 0
+        for stacked in (False, True):
+            best = float("inf")
+            for _ in range(repeats):
+                fleet = FleetEngine(make_evaluator(taskset), stacked=stacked)
+                for program in programs:
+                    fleet.add(program)
+                start = time.perf_counter()
+                fleet.evaluate()
+                best = min(best, time.perf_counter() - start)
+            timings[stacked] = best
+            if stacked:
+                unique = fleet.num_unique
+                stack_groups = fleet.stack_groups
+        curve.append({
+            "num_programs": size,
+            "unique_programs": unique,
+            "stack_groups": stack_groups,
+            "per_program_loop_seconds": round(loop_best, 4),
+            "fleet_seconds": round(timings[False], 4),
+            "stacked_fleet_seconds": round(timings[True], 4),
+            "programs_per_second_loop": round(size / loop_best, 2),
+            "programs_per_second_fleet": round(size / timings[False], 2),
+            "programs_per_second_stacked": round(size / timings[True], 2),
+            "stacked_speedup_vs_loop": round(loop_best / timings[True], 2),
+            "stacked_speedup_vs_fleet": round(
+                timings[False] / timings[True], 2
+            ),
+        })
+    headline = curve[-1]
+    return {
+        "scaling_curve": curve,
+        "num_programs": headline["num_programs"],
+        "unique_programs": headline["unique_programs"],
+        "stack_groups": headline["stack_groups"],
+        "programs_per_second_stacked": headline["programs_per_second_stacked"],
+        "stacked_speedup_vs_loop": headline["stacked_speedup_vs_loop"],
+        "stacked_speedup_vs_fleet": headline["stacked_speedup_vs_fleet"],
     }
 
 
@@ -169,28 +245,46 @@ def bench_static_predict(taskset, programs, repeats: int = 3) -> dict:
     }
 
 
-def run_benchmark(num_programs: int = 18, num_stocks: int = 40) -> dict:
+def run_benchmark(num_programs: int = 18, num_stocks: int = 40,
+                  smoke: bool = False) -> dict:
     taskset = build_taskset_for(num_stocks)
     dims = Dimensions(taskset.num_features, taskset.window)
     # max_mutations=6 over three cycling bases yields the duplicate rate a
     # mined fleet has (identical early candidates dedup canonically).
     programs = build_programs(dims, num_programs, max_mutations=6, rename=True)
+    # The parity gate additionally covers a generation snapshot, so the
+    # stacked path is exercised on >= 1 multi-program signature group.
+    parity_programs = programs + build_generation(
+        dims, 8 if smoke else 16, jitter_seed=31
+    )
+    seen: set[str] = set()
+    parity_programs = [
+        program.copy(name=f"parity_{index}")
+        for index, program in enumerate(parity_programs)
+    ]
 
-    parity, num_static = check_parity(taskset, programs)
+    parity, num_static, parity_groups = check_parity(taskset, parity_programs)
     fleet = bench_fleet(taskset, programs)
+    if smoke:
+        stacked = bench_stacked_scaling(taskset, sizes=(16,), repeats=1)
+    else:
+        stacked = bench_stacked_scaling(taskset)
     static = bench_static_predict(taskset, programs)
 
     return {
-        "benchmark": "unified execution engine: fleet batching and "
-                     "static-predict time vectorization",
+        "benchmark": "unified execution engine: fleet batching, stacked "
+                     "fleet kernels and static-predict time vectorization",
         "num_programs": len(programs),
         "num_stocks": taskset.num_tasks,
         "train_days": taskset.split.train,
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
-        "parity_interpreter_compiled_fleet_time_batched": bool(parity),
+        "parity_interpreter_compiled_fleet_time_batched_stacked": bool(parity),
+        "parity_programs": len(parity_programs),
+        "parity_stack_groups": parity_groups,
         "static_predict_programs": num_static,
         "fleet_evaluation": fleet,
+        "stacked_fleet": stacked,
         "static_predict_time_batching": static,
     }
 
@@ -207,7 +301,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.smoke:
-        payload = run_benchmark(num_programs=8, num_stocks=30)
+        payload = run_benchmark(num_programs=8, num_stocks=30, smoke=True)
     else:
         payload = run_benchmark(args.programs, args.stocks)
     print(json.dumps(payload, indent=2, sort_keys=True))
@@ -216,11 +310,15 @@ def main(argv: list[str] | None = None) -> int:
         path = write_bench_json("engine", payload)
         print(f"\nsaved {path}")
 
-    if not payload["parity_interpreter_compiled_fleet_time_batched"]:
+    if not payload["parity_interpreter_compiled_fleet_time_batched_stacked"]:
         print("ERROR: execution paths diverge bitwise", file=sys.stderr)
         return 1
     if payload["static_predict_programs"] < 1:
         print("ERROR: no static-predict program exercised the time-batched "
+              "path", file=sys.stderr)
+        return 1
+    if payload["parity_stack_groups"] < 1:
+        print("ERROR: no multi-program stack group exercised the stacked "
               "path", file=sys.stderr)
         return 1
     static = payload["static_predict_time_batching"]
@@ -228,11 +326,24 @@ def main(argv: list[str] | None = None) -> int:
         print("ERROR: static-predict time batching is less than 1.5x faster "
               f"than the day loop ({static.get('speedup')}x)", file=sys.stderr)
         return 1
+    stacked = payload["stacked_fleet"]
+    if not args.smoke:
+        if stacked["unique_programs"] < 100:
+            print("ERROR: stacked headline fleet has fewer than 100 unique "
+                  f"programs post-dedup ({stacked['unique_programs']})",
+                  file=sys.stderr)
+            return 1
+        if stacked["stacked_speedup_vs_loop"] < 3.0:
+            print("ERROR: stacked fleet is less than 3x faster than the "
+                  f"per-program loop ({stacked['stacked_speedup_vs_loop']}x)",
+                  file=sys.stderr)
+            return 1
     if args.smoke:
         print("\nengine-parity smoke check passed "
-              f"({payload['num_programs']} programs, "
+              f"({payload['parity_programs']} programs, "
               f"{payload['static_predict_programs']} static-predict, "
-              "4 execution paths bitwise identical)")
+              f"{payload['parity_stack_groups']} stack groups, "
+              "5 execution paths bitwise identical)")
     return 0
 
 

@@ -88,7 +88,7 @@ def run_benchmark(num_programs: int = 48, worker_counts: tuple[int, ...] = (1, 2
         workers_payload[last]["candidates_per_second"]
         / workers_payload[first]["candidates_per_second"]
     )
-    return {
+    payload = {
         "benchmark": "parallel candidate-evaluation throughput",
         "scale": SMOKE.name,
         "num_programs": len(programs),
@@ -100,9 +100,19 @@ def run_benchmark(num_programs: int = 48, worker_counts: tuple[int, ...] = (1, 2
             "candidates_per_second": round(len(programs) / serial_seconds, 3),
         },
         "workers": workers_payload,
-        f"speedup_{last}_vs_{first}_workers": round(speedup, 3),
         "bitwise_identical_to_serial": bitwise_identical,
     }
+    if os.cpu_count() == 1:
+        # A speedup headline measured on one core is noise dressed up as a
+        # regression: every worker count time-slices the same CPU.  Record
+        # why the headline is absent instead of publishing a ~1x number.
+        payload["skipped_speedup_note"] = (
+            "speedup headline skipped: single-CPU machine, worker counts "
+            "time-slice one core (parity gate still enforced)"
+        )
+    else:
+        payload[f"speedup_{last}_vs_{first}_workers"] = round(speedup, 3)
+    return payload
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -26,6 +26,7 @@ from repro.experiments import ExperimentConfig, LAPTOP, PAPER_REFERENCE, SMOKE, 
 
 __all__ = [
     "bench_config",
+    "build_generation",
     "build_programs",
     "report",
     "reports_identical",
@@ -53,6 +54,63 @@ def build_programs(dims: Dimensions, count: int, seed: int = 11,
         if rename:
             program = program.copy(name=f"alpha_{len(programs)}")
         programs.append(program)
+    return programs
+
+
+def build_generation(dims: Dimensions, count: int, seed: int = 11,
+                     jitter_seed: int = 29) -> list:
+    """A deterministic mining-generation snapshot of ``count`` candidates.
+
+    Models what :class:`~repro.core.evolution.CandidateScorer` actually
+    receives from a converged evolutionary population: a handful of
+    structural ancestors (the D / NN / R initialisations plus one structural
+    mutant each), a majority of **param-tweak children** — the mutator's
+    params-only move resamples an operation's parameters without touching
+    the tape, so children share their parent's stack signature — and every
+    fourth slot an **elite clone** carried forward unchanged (elitism
+    re-scores survivors each generation; clones dedup canonically).  The
+    elite family dominates the slot cycle the way a converged population
+    concentrates on its fittest structure.
+    """
+    from repro.config import make_rng
+    from repro.core.ops import sample_params
+    from repro.core.program import COMPONENTS, Operation
+
+    mutator = Mutator(dims, seed=seed)
+    bases = [get_initialization(code, dims, seed=seed)
+             for code in ("D", "NN", "R")]
+    parents = list(bases)
+    while len(parents) < 6:
+        parents.append(mutator.mutate(bases[len(parents) % 3]))
+
+    rng = make_rng(jitter_seed)
+
+    def jitter_params(program, name):
+        child = program.copy(name=name)
+        for component in COMPONENTS:
+            operations = child.component(component)
+            for index, operation in enumerate(operations):
+                if operation.spec.param_names:
+                    operations[index] = Operation.make(
+                        operation.spec.name, operation.inputs,
+                        operation.output,
+                        sample_params(operation.spec, dims, rng),
+                    )
+        return child
+
+    # Parent indices for the child slots, weighted toward the elite family
+    # (0 = D base, 3 = its structural mutant); the matrix-heavy NN family
+    # (1, 4) is the converged population's minority.
+    cycle = [0, 3, 2, 0, 3, 5, 0, 3, 1, 0, 3, 2, 0, 3, 5, 4]
+    programs = []
+    while len(programs) < count:
+        index = len(programs)
+        if index % 4 == 3:
+            parent = parents[(index // 4) % len(parents)]
+            programs.append(parent.copy(name=f"alpha_{index}"))
+        else:
+            parent = parents[cycle[index % len(cycle)]]
+            programs.append(jitter_params(parent, f"alpha_{index}"))
     return programs
 
 

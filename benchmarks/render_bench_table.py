@@ -66,6 +66,13 @@ def _render_parallel(payload: dict) -> list[Row]:
     serial = payload["serial_baseline"]["candidates_per_second"]
     if not workers or not serial:
         return []
+    if "skipped_speedup_note" in payload:
+        return [(
+            "evaluation pool vs serial",
+            "n/a",
+            f"`bench_parallel.py` on {payload['cpu_count']} CPU(s): "
+            "speedup headline skipped (single core), bitwise parity held",
+        )]
     count, best = max(
         workers.items(), key=lambda item: item[1]["candidates_per_second"]
     )
@@ -95,7 +102,7 @@ def _render_engine(payload: dict) -> list[Row]:
             "static-predict time batching vs per-day loop (full evaluation)",
             f"{static['speedup']}x",
             f"`bench_engine.py`, {static['num_programs']} static-predict "
-            "programs, 4-way bitwise parity",
+            "programs, 5-way bitwise parity",
         ))
     fleet = payload.get("fleet_evaluation", {})
     if fleet.get("num_programs"):
@@ -105,6 +112,16 @@ def _render_engine(payload: dict) -> list[Row]:
             f"`bench_engine.py`, {fleet['num_programs']} programs "
             f"({fleet['unique_programs']} unique after canonical dedup), "
             f"{fleet['programs_per_second_fleet']} programs/s",
+        ))
+    stacked = payload.get("stacked_fleet", {})
+    if stacked.get("num_programs"):
+        rows.append((
+            "stacked fleet kernels vs per-program loop (mining generation)",
+            f"{stacked['stacked_speedup_vs_loop']}x",
+            f"`bench_engine.py`, {stacked['num_programs']} programs "
+            f"({stacked['unique_programs']} unique, "
+            f"{stacked['stack_groups']} stack groups), "
+            f"{stacked['programs_per_second_stacked']} programs/s",
         ))
     return rows
 

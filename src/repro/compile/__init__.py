@@ -25,8 +25,9 @@ from .compiler import (
     compile_program,
     describe_compilation,
 )
-from .executor import CompiledAlpha, TAPE_STATE_VERSION, TapeState
+from .executor import CompiledAlpha, TAPE_STATE_VERSION, TapeState, tape_key_for
 from .ir import IRComponent, IRInstruction, IRProgram, IRValue, lower_program
+from .stacked import StackedAlpha, stack_signature
 from .passes import (
     DataflowInfo,
     PassStats,
@@ -46,6 +47,7 @@ __all__ = [
     "IRProgram",
     "IRValue",
     "PassStats",
+    "StackedAlpha",
     "TAPE_STATE_VERSION",
     "TapeState",
     "analyze_dataflow",
@@ -58,4 +60,6 @@ __all__ = [
     "eliminate_dead_code",
     "fold_constants",
     "lower_program",
+    "stack_signature",
+    "tape_key_for",
 ]

@@ -40,10 +40,20 @@ from ..core.ops import ExecutionContext, get_op, sanitize
 from ..errors import ExecutionError
 from .compiler import CompiledProgram
 
-__all__ = ["CompiledAlpha", "TapeState", "TAPE_STATE_VERSION"]
+__all__ = ["CompiledAlpha", "TapeState", "TAPE_STATE_VERSION", "tape_key_for"]
 
 #: Bumped whenever the suspended-state layout changes incompatibly.
 TAPE_STATE_VERSION = 1
+
+
+def tape_key_for(ir) -> str:
+    """The tape identity key: a hash of the execution-pipeline IR.
+
+    Shared by :class:`CompiledAlpha` and the stacked group executor
+    (:class:`~repro.compile.stacked.StackedAlpha`), so a
+    :class:`TapeState` suspended from either resumes into the other.
+    """
+    return hashlib.sha256(ir.render().encode("utf-8")).hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -233,9 +243,7 @@ class CompiledAlpha:
         else:
             self._prediction = self._state[PREDICTION]
         self._prediction_id = prediction_value
-        self._tape_key = hashlib.sha256(
-            ir.render().encode("utf-8")
-        ).hexdigest()
+        self._tape_key = tape_key_for(ir)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,711 @@
+"""Stacked (cross-program) execution of signature-grouped compiled alphas.
+
+:class:`CompiledAlpha` removed the per-operation bookkeeping; its fused
+inference path removed the per-*day* dispatch.  The one axis still paid per
+member is the *program* axis: a fleet of P structurally identical programs
+costs P separate tape walks however similar they are.  :class:`StackedAlpha`
+removes it — a group of compiled programs sharing one
+:func:`stack_signature` (same opcode sequence, same SSA wiring, same operand
+inputs/exports; parameter *values* free to differ) executes as **one** tape
+whose state and buffers carry a leading program axis:
+
+* scalar operands/values become ``(P, K)``, vectors ``(P, K, w)``, matrices
+  ``(P, K, f, w)``;
+* an instruction whose parameters agree across the group and whose operator
+  is exact under a leading axis — the ``_BATCH_SAFE`` / ``_BATCH_OVERRIDES``
+  registry the fused day path trusts, plus the stack-only extensions below —
+  runs as **one** NumPy call for the whole group;
+* the extraction operators (``get_scalar`` / ``get_row`` / ``get_column``)
+  with *differing* per-member indices run as one advanced-indexing gather;
+* everything else falls back to a per-member slice loop *inside* the entry
+  — bitwise identical by construction (the per-lane raw results are written
+  first and sanitised in one elementwise pass), while the batched majority
+  still collapses P-fold dispatch into one call.
+
+Bitwise parity with per-program execution is the same hard contract the
+compiled executor honours against the interpreter.  On top of the fused day
+path's elementwise registry, stacking may also batch the trailing-axis
+reductions, the fixed-subscript contractions and the cross-sectional rank
+(:data:`_STACK_SAFE` / :data:`_STACK_OVERRIDES`): each lane's reduction run
+— the contiguous trailing axis over which NumPy accumulates — is unchanged
+by a leading program axis, so the per-element accumulation order (and hence
+every bit of the result) is identical to the per-program call.
+Transcendentals stay in the per-lane loop: their SIMD kernels may take a
+different code path for different array lengths, which is exactly the kind
+of shape dependence the parity contract forbids relying on.
+
+Suspend/resume slices cleanly in and out of the stacked buffers:
+:meth:`StackedAlpha.suspend_member` emits a :class:`TapeState`
+indistinguishable from the one a solo :class:`CompiledAlpha` of the same
+program would produce (same ``tape_key``, same operand set), so checkpoints
+move freely between stacked and per-program serving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.memory import INPUT_MATRIX, LABEL, Operand, OperandType, PREDICTION
+from ..core.ops import _EPS, CLIP_VALUE, get_op, sanitize
+from ..core.program import COMPONENTS
+from ..errors import ExecutionError
+from .compiler import CompiledProgram
+from .executor import TAPE_STATE_VERSION, TapeState, _batched_func, tape_key_for
+
+__all__ = ["StackedAlpha", "stack_signature"]
+
+#: Ceiling on elements of one stacked+day-batched buffer; the fused path
+#: chunks the day axis so a ``(P, C, K, f, w)`` matrix buffer stays around
+#: 32 MB however large the fleet grows.
+_MAX_CHUNK_ELEMENTS = 1 << 22
+
+#: Operators whose registry implementation is already leading-axis-agnostic
+#: (negative-axis reductions, broadcasting matmul) *and* whose per-lane
+#: accumulation runs are unchanged by a leading program axis — NumPy reduces
+#: each trailing-axis run independently in a fixed per-element order, so the
+#: stacked result is bit-for-bit the per-program result.
+_STACK_SAFE = frozenset({
+    "v_sum", "v_mean", "v_std", "v_norm",
+    "m_norm", "m_mean", "m_std", "m_mean_axis", "m_std_axis",
+    "matmul",
+})
+
+
+def _stacked_rank(values: np.ndarray) -> np.ndarray:
+    """Tie-averaged cross-sectional rank over the last axis, any leading axes.
+
+    Vectorised form of :func:`repro.core.ops._cross_sectional_rank`: ranks
+    are a permutation of ``arange(n)`` and tie runs average *consecutive*
+    integers, so every intermediate is an exactly representable integer (or
+    half-integer) and the result is bit-for-bit the 1-D implementation's.
+    """
+    n = values.shape[-1]
+    if n == 1:
+        return np.zeros_like(values)
+    order = np.argsort(values, axis=-1, kind="stable")
+    sorted_values = np.take_along_axis(values, order, -1)
+    positions = np.arange(n, dtype=np.float64)
+    is_run_start = np.ones(sorted_values.shape, dtype=bool)
+    is_run_start[..., 1:] = sorted_values[..., 1:] != sorted_values[..., :-1]
+    # Each sorted slot's rank is the average of its tie run's positions =
+    # (run start + run end) / 2.  Run starts forward-fill; run ends are the
+    # next run's start minus one (sentinel n past the last slot).
+    starts = np.where(is_run_start, positions, 0.0)
+    np.maximum.accumulate(starts, axis=-1, out=starts)
+    next_start = np.where(is_run_start, positions, np.inf)
+    next_start = np.minimum.accumulate(
+        next_start[..., ::-1], axis=-1
+    )[..., ::-1]
+    ends = np.empty_like(sorted_values)
+    ends[..., :-1] = np.minimum(next_start[..., 1:], float(n)) - 1.0
+    ends[..., -1] = float(n - 1)
+    ranks = np.empty_like(sorted_values)
+    np.put_along_axis(ranks, order, (starts + ends) * 0.5, -1)
+    return ranks / (n - 1)
+
+
+#: Stack-only batched kernels: exact re-implementations whose per-lane
+#: arithmetic (contraction order, rank/tie math) reproduces the registry
+#: operator bit for bit under any leading axes.  Unlike ``_BATCH_OVERRIDES``
+#: these are *not* used by the solo fused day path — they exist for the
+#: stacked program axis (and the stacked fused path, where the same
+#: per-run-order argument applies to the day axis).
+_STACK_OVERRIDES = {
+    "v_dot": lambda ctx, inputs, params: np.einsum(
+        "...w,...w->...", inputs[0], inputs[1]
+    ),
+    "matvec": lambda ctx, inputs, params: np.einsum(
+        "...fw,...w->...f", inputs[0], inputs[1]
+    ),
+    "rank": lambda ctx, inputs, params: _stacked_rank(inputs[0]),
+}
+
+
+def _stacked_func(name: str):
+    """The stack-batched kernel for operator ``name`` (``None`` → lane loop)."""
+    func = _batched_func(name)
+    if func is not None:
+        return func
+    if name in _STACK_SAFE:
+        return get_op(name).func
+    return _STACK_OVERRIDES.get(name)
+
+
+def _sanitize_into(out: np.ndarray, values: np.ndarray) -> None:
+    """Write ``sanitize(values)`` into ``out`` without allocating.
+
+    Same three elementwise steps as :func:`repro.core.ops.sanitize` (clip
+    maps ``±inf`` to the bounds, the masked write zeroes NaN), fused into
+    the preallocated output buffer — on the large ``(P, ...)`` stacked
+    buffers the avoided copies are a measurable share of the day loop.
+    """
+    np.clip(values, -CLIP_VALUE, CLIP_VALUE, out=out)
+    np.copyto(out, 0.0, where=np.isnan(out))
+
+
+def _binary_out(ufunc):
+    return lambda inputs, out: ufunc(inputs[0], inputs[1], out=out)
+
+
+def _unary_out(ufunc):
+    return lambda inputs, out: ufunc(inputs[0], out=out)
+
+
+def _divide_out(inputs, out):
+    # Same guarded quotient as ops._protected_divide, written into ``out``.
+    np.divide(
+        inputs[0],
+        np.where(np.abs(inputs[1]) < _EPS, 1.0, inputs[1]),
+        out=out,
+    )
+
+
+#: Elementwise operators backed by a single ufunc: the stacked path calls
+#: them with ``out=`` so the result lands directly in the entry's
+#: preallocated ``(P, ...)`` buffer and is sanitised in place — skipping a
+#: temporary allocation plus one full copy pass per instruction, which on
+#: DRAM-sized matrix-group buffers is a large share of the day loop.  A
+#: ufunc computes each element identically with or without ``out=``, so the
+#: result is bit-for-bit the registry operator's.
+_OUT_KERNELS = {}
+for _shape in ("s", "v", "m"):
+    _OUT_KERNELS.update({
+        f"{_shape}_add": _binary_out(np.add),
+        f"{_shape}_sub": _binary_out(np.subtract),
+        f"{_shape}_mul": _binary_out(np.multiply),
+        f"{_shape}_div": _divide_out,
+        f"{_shape}_min": _binary_out(np.minimum),
+        f"{_shape}_max": _binary_out(np.maximum),
+        f"{_shape}_abs": _unary_out(np.abs),
+    })
+_OUT_KERNELS["s_sign"] = _unary_out(np.sign)
+
+
+def stack_signature(compiled: CompiledProgram) -> str:
+    """The stacking key: the execution IR rendered with parameters masked.
+
+    Two compiled programs with equal signatures have identical opcode
+    sequences, SSA wiring, operand input/export sets and parameter *names*
+    per instruction — everything :class:`StackedAlpha` needs to run them as
+    one tape — while parameter *values* (constants, seeds, extraction
+    indices) are lifted into the stacked per-program axis.  Fused-inference
+    and static-predict eligibility are pure functions of this structure, so
+    they always agree within a group.
+    """
+    ir = compiled.ir
+    lines: list[str] = []
+    for name in COMPONENTS:
+        component = ir.components[name]
+        lines.append(f"{name}:")
+        names: dict[int, str] = {
+            vid: operand.name for operand, vid in component.inputs.items()
+        }
+        if component.inputs:
+            declared = ", ".join(
+                operand.name for operand in sorted(component.inputs)
+            )
+            lines.append(f"  in {declared}")
+        for index, instr in enumerate(component.instructions):
+            names[instr.result] = f"%{index}"
+            args = ", ".join(names.get(vid, f"?{vid}") for vid in instr.inputs)
+            masked = "; " + ", ".join(
+                f"{key}=*" for key, _ in sorted(instr.params)
+            ) if instr.params else ""
+            lines.append(f"  %{index} = {instr.op}({args}{masked})")
+        if component.exports:
+            exported = ", ".join(
+                f"{operand.name}={names.get(vid, f'?{vid}')}"
+                for operand, vid in sorted(component.exports.items())
+            )
+            lines.append(f"  out {exported}")
+    return "\n".join(lines)
+
+
+class _StackedEntry:
+    """One instruction of the stacked tape, execution strategy pre-resolved.
+
+    ``mode`` is decided once at bind time:
+
+    * ``"stacked"`` — parameters identical across members and the operator
+      has a leading-axis-exact kernel: one call over ``(P, ...)`` arrays;
+    * ``"gather"`` — an extraction operator with per-member indices: one
+      advanced-indexing call with precomputed index vectors;
+    * ``"loop"`` — per-member slice fallback (exact by construction).
+    """
+
+    __slots__ = (
+        "op", "mode", "func", "out_func", "nan_free", "spec_func", "gather",
+        "inputs", "input_ids", "output", "output_id", "params0",
+        "member_params", "calls",
+    )
+
+    def __init__(self, op, mode, func, spec_func, gather, inputs, input_ids,
+                 output, output_id, params0, member_params, calls):
+        self.op = op
+        self.mode = mode
+        self.func = func
+        #: ``out=``-writing variant (elementwise ufuncs only, stacked mode).
+        self.out_func = _OUT_KERNELS.get(op) if mode == "stacked" else None
+        #: Whether the post-clip NaN scan is provably a no-op (see
+        #: ``StackedAlpha._bind_entry``).
+        self.nan_free = False
+        self.spec_func = spec_func
+        self.gather = gather
+        self.inputs = inputs
+        self.input_ids = input_ids
+        self.output = output
+        self.output_id = output_id
+        self.params0 = params0
+        self.member_params = member_params
+        #: Kernel calls one execution of this entry issues (telemetry).
+        self.calls = calls
+
+
+def _make_gather(op: str, member_params, ctx):
+    """Advanced-indexing kernel for an extraction op with per-member indices."""
+    P = len(member_params)
+    pidx = np.arange(P)
+    if op == "get_scalar":
+        rows = np.array([p["row"] % ctx.num_features for p in member_params])
+        cols = np.array([p["col"] % ctx.window for p in member_params])
+        kidx = np.arange(ctx.num_tasks)
+        return lambda m: m[
+            pidx[:, None], kidx[None, :], rows[:, None], cols[:, None]
+        ]
+    if op == "get_row":
+        rows = np.array([p["row"] % ctx.num_features for p in member_params])
+        return lambda m: m[pidx, :, rows, :]
+    if op == "get_column":
+        cols = np.array([p["col"] % ctx.window for p in member_params])
+        return lambda m: m[pidx, :, :, cols]
+    return None
+
+
+class StackedAlpha:
+    """One signature group of compiled alphas executed as a single tape.
+
+    Satisfies the :class:`~repro.engine.backends.ExecutionEngine` per-day
+    vocabulary with every array carrying a leading program axis:
+    :attr:`prediction` is ``(P, K)``, :meth:`run_inference_batch` returns
+    ``(D, P, K)``, and :meth:`set_input` / :meth:`set_label` broadcast one
+    shared bar across the whole group — so the engine-layer protocol drives
+    a group exactly as it drives one program.
+
+    Parameters
+    ----------
+    compiled_group:
+        The group's :class:`~repro.compile.compiler.CompiledProgram` members,
+        all sharing one :func:`stack_signature` (validated here).
+    ctx:
+        The shared evaluation context every member binds to.
+    """
+
+    def __init__(self, compiled_group, ctx) -> None:
+        compiled_group = list(compiled_group)
+        if not compiled_group:
+            raise ExecutionError("cannot stack an empty program group")
+        template = compiled_group[0]
+        signature = stack_signature(template)
+        for other in compiled_group[1:]:
+            if stack_signature(other) != signature:
+                raise ExecutionError(
+                    f"cannot stack {other.program.name!r} with "
+                    f"{template.program.name!r}: tape signatures differ"
+                )
+        self.group = compiled_group
+        self.ctx = ctx
+        self.num_programs = P = len(compiled_group)
+        #: Batched NumPy kernel calls issued so far (telemetry counter feed).
+        self.kernel_calls = 0
+        #: Set by :meth:`resume`: tape-restored state may hold raw captures
+        #: of the feature/label arrays, so ``nan_free`` skips are disabled.
+        self._force_nan_scan = False
+
+        shapes = {
+            OperandType.SCALAR: (P, ctx.num_tasks),
+            OperandType.VECTOR: (P, ctx.num_tasks, ctx.window),
+            OperandType.MATRIX: (P, ctx.num_tasks, ctx.num_features,
+                                 ctx.window),
+        }
+        ir = template.ir
+        carried = template.dataflow.carried
+
+        self._state: dict[Operand, np.ndarray] = {}
+
+        def state_array(operand: Operand) -> np.ndarray:
+            array = self._state.get(operand)
+            if array is None:
+                array = np.zeros(shapes[operand.type])
+                self._state[operand] = array
+            return array
+
+        for operand in (INPUT_MATRIX, LABEL, PREDICTION):
+            state_array(operand)
+
+        self._buffers: dict[int, np.ndarray] = {}
+        self._static_tape: list[_StackedEntry] = []
+        self._tapes: dict[str, list[_StackedEntry]] = {}
+        self._copies: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+
+        for name, component in ir.components.items():
+            static_ids: set[int] = set()
+            tape: list[_StackedEntry] = []
+            for index, instr in enumerate(component.instructions):
+                arrays = []
+                for vid in instr.inputs:
+                    value = ir.values[vid]
+                    if value.operand is not None:
+                        arrays.append(state_array(value.operand))
+                    else:
+                        arrays.append(self._buffers[vid])
+                output = np.zeros(shapes[ir.values[instr.result].type])
+                self._buffers[instr.result] = output
+                member_params = tuple(
+                    member.ir.components[name].instructions[index].param_dict
+                    for member in compiled_group
+                )
+                entry = self._bind_entry(
+                    instr, tuple(arrays), output, member_params
+                )
+                is_static = name != "setup" and all(
+                    vid in static_ids for vid in instr.inputs
+                )
+                if is_static:
+                    static_ids.add(instr.result)
+                    self._static_tape.append(entry)
+                else:
+                    tape.append(entry)
+            self._tapes[name] = tape
+            self._copies[name] = [
+                (state_array(operand), self._buffers[vid])
+                for operand, vid in component.exports.items()
+                if operand in carried
+            ]
+
+        predict = ir.components["predict"]
+        prediction_value = predict.exports.get(PREDICTION)
+        if prediction_value is not None:
+            self._prediction = self._buffers[prediction_value]
+        else:
+            self._prediction = self._state[PREDICTION]
+        self._prediction_id = prediction_value
+        #: Per-member tape identity — the same key a solo CompiledAlpha of
+        #: that member would carry, so suspended lanes resume anywhere.
+        self.tape_keys = tuple(
+            tape_key_for(member.ir) for member in compiled_group
+        )
+
+    # ------------------------------------------------------------------
+    def _bind_entry(self, instr, inputs, output, member_params):
+        params0 = member_params[0]
+        same_params = all(p == params0 for p in member_params[1:])
+        stacked_func = _stacked_func(instr.op)
+        if same_params and stacked_func is not None:
+            entry = _StackedEntry(
+                instr.op, "stacked", stacked_func, instr.spec.func, None,
+                inputs, instr.inputs, output, instr.result, params0,
+                member_params, calls=1,
+            )
+            if entry.out_func is not None:
+                # The _OUT_KERNELS ops are closed over finite sanitised
+                # inputs: sums/products/extrema of |x| <= CLIP_VALUE stay
+                # finite, and the guarded divide is bounded by
+                # CLIP_VALUE / _EPS.  Every input except the raw feature /
+                # label arrays is a post-sanitize buffer, so unless the
+                # entry reads those (or state was resumed from a tape —
+                # see :meth:`resume`), the post-clip NaN scan cannot fire
+                # and is skipped.
+                raw = (self._state[INPUT_MATRIX], self._state[LABEL])
+                entry.nan_free = not any(
+                    array is raw[0] or array is raw[1] for array in inputs
+                )
+            return entry
+        gather = None if same_params else _make_gather(
+            instr.op, member_params, self.ctx
+        )
+        if gather is not None:
+            return _StackedEntry(
+                instr.op, "gather", None, instr.spec.func, gather,
+                inputs, instr.inputs, output, instr.result, params0,
+                member_params, calls=1,
+            )
+        return _StackedEntry(
+            instr.op, "loop", None, instr.spec.func, None,
+            inputs, instr.inputs, output, instr.result, params0,
+            member_params, calls=self.num_programs,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def prediction(self) -> np.ndarray:
+        """The ``(P, K)`` predictions left by the last ``run_predict``."""
+        return self._prediction
+
+    @property
+    def supports_fused_inference(self) -> bool:
+        """Whether the group's inference runs as batched tape passes."""
+        return self.group[0].fused_inference
+
+    @property
+    def supports_static_predict(self) -> bool:
+        """Whether the group's whole ``Predict()`` tape is day-invariant."""
+        return self.group[0].static_predict
+
+    # ------------------------------------------------------------------
+    def set_input(self, features: np.ndarray) -> None:
+        """Broadcast one day's shared ``(K, f, w)`` bar into every lane."""
+        self._state[INPUT_MATRIX][...] = features
+
+    def set_label(self, labels: np.ndarray) -> None:
+        """Broadcast one day's realised ``(K,)`` labels into every lane."""
+        self._state[LABEL][...] = labels
+
+    # ------------------------------------------------------------------
+    def _run_tape(self, entries) -> None:
+        ctx = self.ctx
+        force_scan = self._force_nan_scan
+        calls = 0
+        for entry in entries:
+            mode = entry.mode
+            if mode == "stacked":
+                out_func = entry.out_func
+                if out_func is not None:
+                    out = entry.output
+                    out_func(entry.inputs, out)
+                    np.clip(out, -CLIP_VALUE, CLIP_VALUE, out=out)
+                    if force_scan or not entry.nan_free:
+                        np.copyto(out, 0.0, where=np.isnan(out))
+                else:
+                    _sanitize_into(
+                        entry.output,
+                        entry.func(ctx, entry.inputs, entry.params0),
+                    )
+            elif mode == "gather":
+                _sanitize_into(entry.output, entry.gather(entry.inputs[0]))
+            else:
+                output = entry.output
+                func = entry.spec_func
+                inputs = entry.inputs
+                for lane, params in enumerate(entry.member_params):
+                    output[lane] = func(
+                        ctx, tuple(array[lane] for array in inputs), params
+                    )
+                # sanitize is elementwise, so one pass over the stacked
+                # buffer equals P per-lane passes bit for bit — and costs
+                # one dispatch instead of P.
+                _sanitize_into(output, output)
+            calls += entry.calls
+        self.kernel_calls += calls
+
+    @staticmethod
+    def _write_back(copies) -> None:
+        for target, source in copies:
+            target[...] = source
+
+    def run_setup(self) -> None:
+        """Run every lane's ``Setup()`` once, plus the static prologue."""
+        self._run_tape(self._tapes["setup"])
+        self._write_back(self._copies["setup"])
+        self._run_tape(self._static_tape)
+
+    def run_predict(self) -> None:
+        """Run every lane's ``Predict()`` for the current day."""
+        self._run_tape(self._tapes["predict"])
+        self._write_back(self._copies["predict"])
+
+    def run_update(self) -> None:
+        """Run every lane's ``Update()`` for the current day."""
+        self._run_tape(self._tapes["update"])
+        self._write_back(self._copies["update"])
+
+    # ------------------------------------------------------------------
+    # Suspend / resume: lanes slice in and out of the stacked buffers
+    # ------------------------------------------------------------------
+    def suspend_member(self, lane: int) -> TapeState:
+        """Snapshot one lane as a standard :class:`TapeState`.
+
+        The snapshot carries the member's *own* tape key and the per-program
+        operand shapes, so it is interchangeable with one produced by a solo
+        :class:`~repro.compile.executor.CompiledAlpha` of the same program —
+        stacked fleets checkpoint into per-program servers and back.
+        """
+        ctx = self.ctx
+        return TapeState(
+            version=TAPE_STATE_VERSION,
+            tape_key=self.tape_keys[lane],
+            base_seed=ctx.base_seed,
+            shape=(ctx.num_tasks, ctx.num_features, ctx.window),
+            operands={
+                operand.name: array[lane].copy()
+                for operand, array in self._state.items()
+            },
+        )
+
+    def resume(self, states) -> None:
+        """Restore one :class:`TapeState` per lane into this fresh group.
+
+        Validates each snapshot against its lane (tape key, binding shape,
+        seed, operand set) before any lane is touched, re-runs the static
+        prologue, then writes every lane's operand state.
+        """
+        states = list(states)
+        if len(states) != self.num_programs:
+            raise ExecutionError(
+                f"expected {self.num_programs} tape states for this stacked "
+                f"group, got {len(states)}"
+            )
+        ctx = self.ctx
+        shape = (ctx.num_tasks, ctx.num_features, ctx.window)
+        expected = {operand.name for operand in self._state}
+        for lane, state in enumerate(states):
+            if state.version != TAPE_STATE_VERSION:
+                raise ExecutionError(
+                    f"tape state has version {state.version}, this build "
+                    f"reads version {TAPE_STATE_VERSION}"
+                )
+            if state.tape_key != self.tape_keys[lane]:
+                raise ExecutionError(
+                    "tape state was suspended from a different compiled "
+                    "program"
+                )
+            if state.shape != shape:
+                raise ExecutionError(
+                    f"tape state was bound to shape {state.shape}, "
+                    f"this executor is bound to {shape}"
+                )
+            if state.base_seed != ctx.base_seed:
+                raise ExecutionError(
+                    f"tape state was produced under base seed "
+                    f"{state.base_seed}, this executor runs under "
+                    f"{ctx.base_seed}"
+                )
+            snapshot = set(state.operands)
+            if expected != snapshot:
+                raise ExecutionError(
+                    "tape state operand set does not match this tape "
+                    f"(missing {sorted(expected - snapshot)}, "
+                    f"unexpected {sorted(snapshot - expected)})"
+                )
+        self._run_tape(self._static_tape)
+        for operand, array in self._state.items():
+            name = operand.name
+            for lane, state in enumerate(states):
+                array[lane] = state.operands[name]
+        # Restored operand state is whatever the tape holds — including raw
+        # feature/label captures — so the nan_free scan skip no longer
+        # applies to reads of carried state.
+        self._force_nan_scan = True
+
+    # ------------------------------------------------------------------
+    def run_inference_batch(self, features: np.ndarray) -> np.ndarray:
+        """Run the whole group's inference stage in batched tape passes.
+
+        ``features`` is the shared ``(D, K, f, w)`` split; the return value
+        holds ``(D, P, K)`` predictions, bit-for-bit equal to running each
+        member's own fused (or day-loop) inference.  The day axis is chunked
+        so the largest ``(P, C, K, f, w)`` intermediate stays bounded
+        (:data:`_MAX_CHUNK_ELEMENTS`) however big the fleet.
+        """
+        template = self.group[0]
+        if not template.fused_inference:
+            raise ValueError(
+                "program group is not eligible for fused inference; "
+                "run day by day"
+            )
+        ctx = self.ctx
+        P = self.num_programs
+        num_days = features.shape[0]
+        predict = template.ir.components["predict"]
+        input_matrix_value = predict.inputs.get(INPUT_MATRIX)
+
+        # Which values depend on the day axis is structural, hence shared.
+        batched_ids: set[int] = set()
+        if input_matrix_value is not None:
+            batched_ids.add(input_matrix_value)
+        for entry in self._tapes["predict"]:
+            if any(vid in batched_ids for vid in entry.input_ids):
+                batched_ids.add(entry.output_id)
+
+        # Entries off the day axis read only current stacked state: one
+        # execution covers every day (same move as the solo fused path).
+        static_entries = [
+            entry for entry in self._tapes["predict"]
+            if entry.output_id not in batched_ids
+        ]
+        self._run_tape(static_entries)
+
+        pred_vid = self._prediction_id
+        if pred_vid is None or pred_vid not in batched_ids:
+            # Prediction independent of m0: every day sees the same value.
+            return np.broadcast_to(
+                self._prediction, (num_days,) + self._prediction.shape
+            ).copy()
+
+        out = np.empty((num_days, P, ctx.num_tasks))
+        per_day = P * ctx.num_tasks * ctx.num_features * ctx.window
+        chunk = max(1, _MAX_CHUNK_ELEMENTS // max(per_day, 1))
+        calls = 0
+        for day0 in range(0, num_days, chunk):
+            days = features[day0:day0 + chunk]
+            C = days.shape[0]
+            batched: dict[int, np.ndarray] = {}
+            if input_matrix_value is not None:
+                # Stride-0 view: the shared bar chunk is never materialised
+                # P times.
+                batched[input_matrix_value] = np.broadcast_to(
+                    days, (P,) + days.shape
+                )
+            for entry in self._tapes["predict"]:
+                if entry.output_id not in batched_ids:
+                    continue
+                inputs = tuple(
+                    batched[vid] if vid in batched else array[:, None]
+                    for vid, array in zip(entry.input_ids, entry.inputs)
+                )
+                output = np.empty((P, C) + entry.output.shape[1:])
+                day_func = _batched_func(entry.op)
+                if entry.mode == "stacked":
+                    if entry.out_func is not None:
+                        entry.out_func(inputs, output)
+                        np.clip(output, -CLIP_VALUE, CLIP_VALUE, out=output)
+                        if self._force_nan_scan or not entry.nan_free:
+                            np.copyto(
+                                output, 0.0, where=np.isnan(output)
+                            )
+                    else:
+                        _sanitize_into(
+                            output, entry.func(ctx, inputs, entry.params0)
+                        )
+                    calls += 1
+                elif day_func is not None:
+                    # Per-member parameters, but the operator batches over
+                    # the day axis: one day-batched call per lane (the
+                    # elementwise sanitize hoists to one stacked pass).
+                    for lane, params in enumerate(entry.member_params):
+                        output[lane] = day_func(
+                            ctx,
+                            tuple(array[lane] for array in inputs),
+                            params,
+                        )
+                    _sanitize_into(output, output)
+                    calls += P
+                else:
+                    day_flags = tuple(
+                        vid in batched for vid in entry.input_ids
+                    )
+                    for lane, params in enumerate(entry.member_params):
+                        lane_inputs = tuple(array[lane] for array in inputs)
+                        for day in range(C):
+                            day_inputs = tuple(
+                                array[day] if flag else array[0]
+                                for array, flag in zip(lane_inputs, day_flags)
+                            )
+                            output[lane, day] = entry.spec_func(
+                                ctx, day_inputs, params
+                            )
+                    _sanitize_into(output, output)
+                    calls += P * C
+                batched[entry.output_id] = output
+            out[day0:day0 + C] = batched[pred_vid].transpose(1, 0, 2)
+        self.kernel_calls += calls
+        return out

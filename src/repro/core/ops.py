@@ -51,12 +51,21 @@ CLIP_VALUE = 1e6
 
 
 def sanitize(values: np.ndarray) -> np.ndarray:
-    """Replace non-finite entries and clip to ``[-CLIP_VALUE, CLIP_VALUE]``."""
-    return np.clip(
-        np.nan_to_num(values, nan=0.0, posinf=CLIP_VALUE, neginf=-CLIP_VALUE),
-        -CLIP_VALUE,
-        CLIP_VALUE,
-    )
+    """Replace non-finite entries and clip to ``[-CLIP_VALUE, CLIP_VALUE]``.
+
+    Bit-for-bit equal to ``clip(nan_to_num(values), ...)`` — ``clip`` already
+    maps ``±inf`` to the bounds and propagates NaN, which the masked write
+    then zeroes — but in one output allocation and three passes instead of
+    ``nan_to_num``'s copy plus three finiteness scans.  This runs after
+    *every* operator of every execution path, so its constant matters.
+    """
+    out = np.clip(np.asarray(values), -CLIP_VALUE, CLIP_VALUE)
+    if not isinstance(out, np.ndarray):
+        # ufuncs collapse 0-d inputs to scalars, which copyto rejects.
+        return out if out == out else out.dtype.type(0.0)
+    if out.dtype.kind == "f":
+        np.copyto(out, 0.0, where=np.isnan(out))
+    return out
 
 
 class OpKind(str, Enum):

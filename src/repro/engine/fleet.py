@@ -19,13 +19,24 @@ arriving bar across its registered alphas.  Both used to own their fan-out;
   training-day subsample are resolved once per fleet call, not once per
   program, and every member runs under the single protocol implementation
   of :mod:`repro.engine.protocol` (including its static-predict
-  time-batched fast path).
+  time-batched fast path);
+* **cross-program mega-batching** — after dedup, the surviving unique
+  programs are grouped by :func:`~repro.compile.stacked.stack_signature`
+  (same opcode sequence and SSA wiring; parameter values free to differ)
+  and every group of two or more executes as **one**
+  :class:`~repro.compile.stacked.StackedAlpha` tape whose state carries a
+  leading program axis — one batched ``(P, T, K, ...)`` kernel call per
+  instruction offline, one ``(P, K, ...)`` call per bar online, instead of
+  P separate tape walks.  Mining fleets are near-duplicate-heavy by
+  construction, so most of a candidate generation lands in a few groups.
 
 Offline, :meth:`run` / :meth:`evaluate` replace looping a fresh
 :class:`~repro.core.interpreter.AlphaEvaluator` over the programs; online,
 :meth:`warm_start` / :meth:`step_bar` / :meth:`reveal` back
 :class:`repro.stream.server.AlphaServer`.  Results are bitwise identical
-to the per-program paths in both modes (a tested contract).
+to the per-program paths in both modes and with stacking on or off (a
+tested contract — stacked entries are restricted to the same
+elementwise-exact kernel registry the fused day path trusts).
 """
 
 from __future__ import annotations
@@ -34,13 +45,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..compile import (
+    CompiledAlpha, StackedAlpha, compile_program, stack_signature,
+)
 from ..core.cache import fingerprint
 from ..core.program import AlphaProgram
 from ..core.pruning import prune_program
 from ..errors import StreamError
+from ..obs import TELEMETRY
 from .backends import make_backend, resolve_engine
 from .incremental import IncrementalExecutor
-from .protocol import run_protocol
+from .protocol import run_protocol, training_pass
 
 __all__ = ["FleetMember", "FleetEngine"]
 
@@ -61,6 +76,157 @@ class FleetMember:
     redundant: bool
 
 
+class _SingleUnit:
+    """Serving unit for a key whose signature matched no other member."""
+
+    def __init__(self, key: str, executor: IncrementalExecutor) -> None:
+        self.key = key
+        self.executor = executor
+
+    def warm_start(self, features, labels, day_indices=None,
+                   use_update=True) -> None:
+        self.executor.warm_start(
+            features, labels, day_indices=day_indices, use_update=use_update
+        )
+
+    def step_bar(self, features) -> dict[str, np.ndarray]:
+        return {self.key: self.executor.step(features)}
+
+    def reveal(self, labels) -> None:
+        self.executor.reveal(labels)
+
+    def suspend(self) -> dict[str, object]:
+        return {self.key: self.executor.suspend()}
+
+    def resume(self, tapes: dict[str, object], days_served: int = 0) -> None:
+        self.executor.resume(tapes[self.key], days_served=days_served)
+
+    def views(self) -> dict[str, object]:
+        return {self.key: self.executor}
+
+
+class _StackedUnit:
+    """Serving unit for one signature group: P lanes, one stacked tape.
+
+    Mirrors :class:`~repro.engine.incremental.IncrementalExecutor`'s
+    step/reveal contract (including the pending-label guards) around a
+    :class:`~repro.compile.stacked.StackedAlpha`, scattering the ``(P, K)``
+    per-bar prediction back to the group's member keys.
+    """
+
+    def __init__(self, keys, backend: StackedAlpha) -> None:
+        self.keys = list(keys)
+        self.backend = backend
+        self.days_served = 0
+        self._warmed = False
+        self._awaiting_label = False
+        self._reported_kernel_calls = 0
+
+    @property
+    def is_warm(self) -> bool:
+        return self._warmed
+
+    def warm_start(self, features, labels, day_indices=None,
+                   use_update=True) -> None:
+        if self._warmed:
+            raise StreamError("stacked group is already warm")
+        self.backend.run_setup()
+        # Day loop, exactly as IncrementalExecutor: the suspended operand
+        # state must evolve as a live process's would — the stacking win is
+        # one (P, K, ...) call per instruction per day instead of P walks.
+        training_pass(
+            self.backend, features, labels,
+            day_indices=day_indices, use_update=use_update,
+        )
+        self._warmed = True
+
+    def step_bar(self, features) -> dict[str, np.ndarray]:
+        if self._awaiting_label:
+            raise StreamError("previous day's label was never revealed; "
+                              "call reveal() between steps")
+        backend = self.backend
+        backend.set_input(features)
+        backend.run_predict()
+        self.days_served += 1
+        self._awaiting_label = True
+        prediction = backend.prediction
+        return {
+            key: prediction[lane].copy()
+            for lane, key in enumerate(self.keys)
+        }
+
+    def reveal(self, labels) -> None:
+        if not self._awaiting_label:
+            raise StreamError("no prediction is pending a label; "
+                              "call step() first")
+        self.backend.set_label(labels)
+        self._awaiting_label = False
+
+    def suspend(self) -> dict[str, object]:
+        if self._awaiting_label:
+            raise StreamError("cannot suspend between step() and reveal(); "
+                              "reveal the pending label first")
+        return {
+            key: self.backend.suspend_member(lane)
+            for lane, key in enumerate(self.keys)
+        }
+
+    def resume(self, tapes: dict[str, object], days_served: int = 0) -> None:
+        if self._warmed:
+            raise StreamError("cannot resume into a stacked group that "
+                              "already ran")
+        self.backend.resume([tapes[key] for key in self.keys])
+        self.days_served = int(days_served)
+        self._warmed = True
+
+    def drain_kernel_calls(self) -> int:
+        """Batched kernel calls issued since the last drain (telemetry)."""
+        total = self.backend.kernel_calls
+        delta = total - self._reported_kernel_calls
+        self._reported_kernel_calls = total
+        return delta
+
+    def views(self) -> dict[str, object]:
+        return {
+            key: _StackedLane(self, lane)
+            for lane, key in enumerate(self.keys)
+        }
+
+
+class _StackedLane:
+    """Per-key executor view of one lane of a :class:`_StackedUnit`.
+
+    Presents the :class:`~repro.engine.incremental.IncrementalExecutor`
+    read surface (``is_warm`` / ``days_served`` / ``suspend``) for one
+    member of a stacked group, so fleet consumers that inspect
+    :attr:`FleetEngine.executors` see the same shape whether or not the
+    key's program was stacked.
+    """
+
+    def __init__(self, unit: _StackedUnit, lane: int) -> None:
+        self._unit = unit
+        self._lane = lane
+
+    @property
+    def program(self) -> AlphaProgram:
+        return self._unit.backend.group[self._lane].program
+
+    @property
+    def is_warm(self) -> bool:
+        return self._unit.is_warm
+
+    @property
+    def days_served(self) -> int:
+        return self._unit.days_served
+
+    def suspend(self):
+        """This lane's :class:`~repro.compile.executor.TapeState`."""
+        if self._unit._awaiting_label:
+            raise StreamError("cannot suspend between step() and reveal(); "
+                              "reveal the pending label first")
+        return self._unit.backend.suspend_member(self._lane)
+
+
 class FleetEngine:
     """Executes a fleet of programs over one shared context and data pass.
 
@@ -78,15 +244,25 @@ class FleetEngine:
         The scorer disables this: its cache layer already decides which
         candidates share an evaluation, and the pruning-disabled ablation
         must not dedup behind its back.
+    stacked:
+        Whether unique programs sharing a tape signature execute as one
+        stacked ``(P, ...)`` tape.  Defaults on for the compiled engine
+        (the interpreter has no tape to stack).  Stacking never changes a
+        bit of any result — it only changes how many NumPy calls produce
+        them — and unlike ``dedup`` it is safe under the scorer, since
+        every member keeps its own lane, parameters and score.
     """
 
     def __init__(self, evaluator, engine: str | None = None,
-                 dedup: bool = True) -> None:
+                 dedup: bool = True, stacked: bool | None = None) -> None:
         self.evaluator = evaluator
         self.engine_name = resolve_engine(
             engine if engine is not None else getattr(evaluator, "engine", None)
         )
         self.dedup = bool(dedup)
+        if stacked is None:
+            stacked = self.engine_name == "compiled"
+        self.stacked = bool(stacked) and self.engine_name == "compiled"
         self.members: list[FleetMember] = []
         self._by_name: dict[str, str] = {}
         #: name → the program registered under that name (deduplicated
@@ -95,10 +271,13 @@ class FleetEngine:
         self._program_by_name: dict[str, AlphaProgram] = {}
         #: key → representative program, in registration order.
         self._programs: dict[str, AlphaProgram] = {}
-        #: key → serving executor (built lazily on warm_start/resume).
-        self._executors: dict[str, IncrementalExecutor] = {}
+        #: key → serving executor view (built lazily on warm_start/resume).
+        self._executors: dict[str, object] = {}
+        #: Serving units: one per stacked signature group or unmatched key.
+        self._units: list[object] = []
         self._ctx = None
         self._warmed = False
+        self._stack_group_count: int | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -111,6 +290,7 @@ class FleetEngine:
         max_train_steps: int | None = None,
         engine: str | None = None,
         dedup: bool = True,
+        stacked: bool | None = None,
     ) -> "FleetEngine":
         """Build a fleet straight from a :class:`~repro.data.DataBackend`.
 
@@ -127,7 +307,7 @@ class FleetEngine:
         evaluator = AlphaEvaluator(
             taskset, seed=seed, max_train_steps=max_train_steps, engine=engine
         )
-        fleet = cls(evaluator, engine=engine, dedup=dedup)
+        fleet = cls(evaluator, engine=engine, dedup=dedup, stacked=stacked)
         for program in programs:
             fleet.add(program)
         return fleet
@@ -159,14 +339,34 @@ class FleetEngine:
         return self._warmed
 
     @property
-    def executors(self) -> dict[str, IncrementalExecutor]:
-        """key → serving executor (one per unique program).
+    def executors(self) -> dict[str, object]:
+        """key → serving executor view (one per unique program).
 
-        Empty until :meth:`warm_start` or :meth:`resume_tapes` builds the
-        backends — reading this never triggers compilation as a side
-        effect.
+        Unstacked keys map to their
+        :class:`~repro.engine.incremental.IncrementalExecutor`; keys served
+        through a stacked group map to a per-lane view with the same read
+        surface (``is_warm`` / ``days_served`` / ``suspend``).  Empty until
+        :meth:`warm_start` or :meth:`resume_tapes` builds the backends —
+        reading this never triggers compilation as a side effect.
         """
         return self._executors
+
+    @property
+    def stack_groups(self) -> int:
+        """Number of ≥2-member signature groups behind the unique programs.
+
+        Zero when stacking is off (or the fleet is empty); computed from
+        the registered programs, so it is valid before and after
+        warm-start.
+        """
+        if not self.stacked or not self._programs:
+            return 0
+        if self._stack_group_count is None:
+            groups = self._signature_groups()[1]
+            self._stack_group_count = sum(
+                1 for group in groups if len(group) >= 2
+            )
+        return self._stack_group_count
 
     # ------------------------------------------------------------------
     def add(self, program: AlphaProgram, name: str | None = None) -> FleetMember:
@@ -198,6 +398,7 @@ class FleetEngine:
         deduplicated = key in self._programs
         if not deduplicated:
             self._programs[key] = program
+            self._stack_group_count = None
         member = FleetMember(
             name=name, key=key,
             deduplicated=deduplicated, redundant=redundant,
@@ -210,6 +411,36 @@ class FleetEngine:
     def key_of(self, name: str) -> str:
         """The backend key serving ``name``."""
         return self._by_name[name]
+
+    # ------------------------------------------------------------------
+    # Stacked grouping
+    # ------------------------------------------------------------------
+    def _signature_groups(self):
+        """Compile every unique program and group keys by tape signature.
+
+        Returns ``(compiled, groups)``: key → CompiledProgram, plus the key
+        groups in registration order (group order follows first
+        appearance).  Only meaningful under the compiled engine.
+        """
+        compiled = {
+            key: compile_program(program)
+            for key, program in self._programs.items()
+        }
+        groups: dict[str, list[str]] = {}
+        for key, artefact in compiled.items():
+            groups.setdefault(stack_signature(artefact), []).append(key)
+        return compiled, list(groups.values())
+
+    def _record_stack_telemetry(self, groups) -> None:
+        stacked_groups = [group for group in groups if len(group) >= 2]
+        self._stack_group_count = len(stacked_groups)
+        if TELEMETRY.enabled and stacked_groups:
+            TELEMETRY.counter("engine.fleet.stack_groups").inc(
+                len(stacked_groups)
+            )
+            TELEMETRY.counter("engine.fleet.stacked_programs").inc(
+                sum(len(group) for group in stacked_groups)
+            )
 
     # ------------------------------------------------------------------
     # Offline: one-shot batch evaluation over a shared data pass
@@ -225,8 +456,12 @@ class FleetEngine:
         One fresh shared context and one training-day subsample serve the
         whole call; each *unique* program gets a fresh backend (repeatable,
         independent of any serving state) and deduplicated names reference
-        the representative's prediction panels.  ``use_update`` and
-        ``time_batched`` default to the paired evaluator's settings.
+        the representative's prediction panels.  With stacking on, every
+        signature group of two or more unique programs executes as one
+        stacked tape and its ``(D, P, K)`` panels are scattered back to the
+        member keys — bitwise identical to the per-program path.
+        ``use_update`` and ``time_batched`` default to the paired
+        evaluator's settings.
         """
         evaluator = self.evaluator
         use_update = evaluator.use_update if use_update is None else use_update
@@ -234,18 +469,54 @@ class FleetEngine:
             time_batched = getattr(evaluator, "time_batched", True)
         ctx = evaluator.make_context()
         day_indices = evaluator.train_day_indices()
-        by_key = {
-            key: run_protocol(
-                make_backend(program, ctx, engine=self.engine_name,
-                             address_space=evaluator.address_space),
+        by_key: dict[str, dict[str, np.ndarray]] = {}
+        singles = list(self._programs)
+        single_backend = lambda key: make_backend(  # noqa: E731
+            self._programs[key], ctx, engine=self.engine_name,
+            address_space=evaluator.address_space,
+        )
+        if self.stacked and len(self._programs) >= 2:
+            compiled, groups = self._signature_groups()
+            self._record_stack_telemetry(groups)
+            singles = [key for group in groups if len(group) == 1
+                       for key in group]
+            # Singleton groups reuse the compile the signature pass already
+            # paid for instead of recompiling through make_backend.
+            single_backend = lambda key: CompiledAlpha(  # noqa: E731
+                compiled[key], ctx
+            )
+            for group in groups:
+                if len(group) < 2:
+                    continue
+                backend = StackedAlpha(
+                    [compiled[key] for key in group], ctx
+                )
+                panels = run_protocol(
+                    backend,
+                    self.taskset,
+                    splits=splits,
+                    day_indices=day_indices,
+                    use_update=use_update,
+                    time_batched=time_batched,
+                )
+                if TELEMETRY.enabled:
+                    TELEMETRY.counter(
+                        "engine.fleet.stacked_kernel_calls"
+                    ).inc(backend.kernel_calls)
+                for lane, key in enumerate(group):
+                    by_key[key] = {
+                        split: np.ascontiguousarray(panel[:, lane])
+                        for split, panel in panels.items()
+                    }
+        for key in singles:
+            by_key[key] = run_protocol(
+                single_backend(key),
                 self.taskset,
                 splits=splits,
                 day_indices=day_indices,
                 use_update=use_update,
                 time_batched=time_batched,
             )
-            for key, program in self._programs.items()
-        }
         return {member.name: by_key[member.key] for member in self.members}
 
     def evaluate(
@@ -280,15 +551,48 @@ class FleetEngine:
             return
         if self._ctx is None:
             self._ctx = self.evaluator.make_context()
-        for key, program in self._programs.items():
-            if key not in self._executors:
-                self._executors[key] = IncrementalExecutor(
-                    program,
-                    backend=make_backend(
-                        program, self._ctx, engine=self.engine_name,
-                        address_space=self.evaluator.address_space,
-                    ),
+        singles = list(self._programs)
+        single_backend = lambda key: make_backend(  # noqa: E731
+            self._programs[key], self._ctx, engine=self.engine_name,
+            address_space=self.evaluator.address_space,
+        )
+        if self.stacked and len(self._programs) >= 2:
+            compiled, groups = self._signature_groups()
+            self._record_stack_telemetry(groups)
+            singles = [key for group in groups if len(group) == 1
+                       for key in group]
+            # Reuse the signature pass's compiles for singleton serving
+            # units instead of recompiling through make_backend.
+            single_backend = lambda key: CompiledAlpha(  # noqa: E731
+                compiled[key], self._ctx
+            )
+            for group in groups:
+                if len(group) < 2:
+                    continue
+                unit = _StackedUnit(
+                    group,
+                    StackedAlpha([compiled[key] for key in group], self._ctx),
                 )
+                self._units.append(unit)
+                self._executors.update(unit.views())
+        for key in singles:
+            unit = _SingleUnit(key, IncrementalExecutor(
+                self._programs[key],
+                backend=single_backend(key),
+            ))
+            self._units.append(unit)
+            self._executors.update(unit.views())
+
+    def _drain_stacked_kernel_calls(self) -> None:
+        if not TELEMETRY.enabled:
+            return
+        for unit in self._units:
+            if isinstance(unit, _StackedUnit):
+                delta = unit.drain_kernel_calls()
+                if delta:
+                    TELEMETRY.counter(
+                        "engine.fleet.stacked_kernel_calls"
+                    ).inc(delta)
 
     def warm_start(self, use_update: bool | None = None) -> None:
         """Set up and train every unique backend over the training split.
@@ -297,7 +601,8 @@ class FleetEngine:
         tensors, same ``max_train_steps`` day subsample, same label-reveal
         ordering (via the shared
         :func:`repro.engine.protocol.training_pass`) — once per unique
-        backend.
+        backend; stacked groups replay it once per *group*, every lane
+        advancing in lock-step through the same day loop.
         """
         if self._warmed:
             raise StreamError("fleet is already warm")
@@ -309,36 +614,48 @@ class FleetEngine:
         features = self.taskset.split_features("train")
         labels = self.taskset.split_labels("train")
         day_indices = evaluator.train_day_indices()
-        for executor in self._executors.values():
-            executor.warm_start(
+        for unit in self._units:
+            unit.warm_start(
                 features, labels, day_indices=day_indices,
                 use_update=use_update,
             )
+        self._drain_stacked_kernel_calls()
         self._warmed = True
 
     def step_bar(self, features: np.ndarray) -> dict[str, np.ndarray]:
-        """Advance every unique backend one day; key → ``(K,)`` prediction."""
+        """Advance every unique backend one day; key → ``(K,)`` prediction.
+
+        Stacked groups advance as one ``(P, K, ...)`` kernel call per
+        instruction; the returned mapping is key-per-key identical to the
+        unstacked fleet's.
+        """
         if not self._warmed:
             raise StreamError("fleet must be warm-started (or resumed) "
                               "before serving bars")
-        return {
-            key: executor.step(features)
-            for key, executor in self._executors.items()
-        }
+        predictions: dict[str, np.ndarray] = {}
+        for unit in self._units:
+            predictions.update(unit.step_bar(features))
+        self._drain_stacked_kernel_calls()
+        return predictions
 
     def reveal(self, labels: np.ndarray) -> None:
         """Reveal the last bar's realised labels to every unique backend."""
-        for executor in self._executors.values():
-            executor.reveal(labels)
+        for unit in self._units:
+            unit.reveal(labels)
 
     def suspend_tapes(self) -> dict[str, object]:
-        """key → suspended tape state of every unique backend."""
+        """key → suspended tape state of every unique backend.
+
+        Stacked lanes emit the same :class:`~repro.compile.executor.TapeState`
+        a per-program executor would, so the snapshot resumes into stacked
+        and unstacked fleets alike.
+        """
         if not self._warmed:
             raise StreamError("cannot suspend a fleet that was never warmed")
-        return {
-            key: executor.suspend()
-            for key, executor in self._executors.items()
-        }
+        tapes: dict[str, object] = {}
+        for unit in self._units:
+            tapes.update(unit.suspend())
+        return tapes
 
     def resume_tapes(self, tapes: dict[str, object],
                      days_served: int = 0) -> None:
@@ -346,6 +663,6 @@ class FleetEngine:
         if self._warmed:
             raise StreamError("cannot resume into a fleet that already ran")
         self._ensure_executors()
-        for key, executor in self._executors.items():
-            executor.resume(tapes[key], days_served=days_served)
+        for unit in self._units:
+            unit.resume(tapes, days_served=days_served)
         self._warmed = True

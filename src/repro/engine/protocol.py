@@ -182,7 +182,9 @@ def inference_pass(
     if TELEMETRY.enabled:
         TELEMETRY.counter("engine.kernel.loop_calls").inc()
         TELEMETRY.counter("engine.kernel.loop_days").inc(int(features.shape[0]))
-    out = np.zeros(features.shape[:2])
+    # The panel follows the backend's prediction shape: (D, K) for a single
+    # program, (D, P, K) for a stacked program group.
+    out = np.zeros((features.shape[0],) + np.shape(backend.prediction))
 
     def step(day: int, bar: np.ndarray) -> None:
         backend.set_input(bar)
@@ -206,7 +208,8 @@ def run_protocol(
     The one-stop entry point behind
     :meth:`~repro.core.interpreter.AlphaEvaluator.run` and
     :meth:`~repro.engine.fleet.FleetEngine.run`: returns split name →
-    ``(num_days_in_split, K)`` predictions for every requested split
+    ``(num_days_in_split, K)`` predictions — ``(D, P, K)`` when the backend
+    is a stacked program group — for every requested split
     (``"train"`` rows of unvisited subsampled days are zero, as they
     always were).
     """
@@ -215,7 +218,7 @@ def run_protocol(
     train_labels = taskset.split_labels("train")
     want_train = "train" in splits
     train_predictions = (
-        np.zeros((train_features.shape[0], taskset.num_tasks))
+        np.zeros((train_features.shape[0],) + np.shape(backend.prediction))
         if want_train else None
     )
     training_pass(

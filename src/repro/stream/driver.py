@@ -401,6 +401,7 @@ def run_serve(config, programs: list[AlphaProgram] | None = None,
             "fleet": list(report.predictions),
             "parity": report.parity,
             "days_served": report.stats.get("days_served", 0),
+            "stack_groups": report.stats.get("stack_groups", 0),
         },
     )
     return report

@@ -356,6 +356,7 @@ class AlphaServer:
         return {
             "registered_alphas": self.num_registered,
             "unique_executors": self.num_unique,
+            "stack_groups": self.fleet.stack_groups,
             "deduplicated_alphas": self.num_registered - self.num_unique,
             "redundant_alphas": sum(
                 1 for registration in self.registrations if registration.redundant
