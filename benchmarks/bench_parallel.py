@@ -1,22 +1,31 @@
 #!/usr/bin/env python3
-"""Benchmark: parallel candidate-evaluation throughput.
+"""Benchmark: parallel candidate-evaluation throughput over shared panels.
 
 Evaluates one fixed list of candidate alphas (equal candidate budget) with
-an :class:`repro.parallel.pool.EvaluationPool` of 1, 2 and 4 workers and
+an :class:`repro.parallel.pool.EvaluationPool` at several worker counts and
 records candidates/second for each, next to a pure in-process serial
-baseline.  The run also verifies the subsystem's correctness contract: the
-pool's fitness reports must be **bitwise identical** to serial
-``AlphaEvaluator.evaluate`` results for every program.
+baseline.  The pool publishes the task-set panel into shared memory once
+(``shm_bytes``) and ships signature-grouped stacked batches to the workers.
+
+The run also enforces the subsystem's correctness contracts:
+
+* **parity gate** — the pool's fitness reports must be bitwise identical to
+  serial ``AlphaEvaluator.evaluate`` results for every program and every
+  worker count;
+* **leak gate** — no ``repro-panel-*`` segment may remain in ``/dev/shm``
+  after the pools close.
 
 Results are written to ``benchmarks/results/BENCH_parallel.json`` (the
 source of truth, with a copy at the repository root — see
-``benchmarks/README.md``).  The achievable speedup is bounded
-by the machine — ``cpu_count`` is recorded in the payload so a 1-core CI
-container reporting ~1x is interpretable.
+``benchmarks/README.md``).  The headline ``speedup`` (best worker count vs
+one worker) is recorded only when the machine has more than one CPU; a
+1-core container records ``skipped_speedup_note`` instead, because every
+worker count just time-slices the same core.
 
 Run with::
 
     python benchmarks/bench_parallel.py [--programs N] [--workers 1 2 4]
+    python benchmarks/bench_parallel.py --smoke   # CI gate: fast, no JSON
 """
 
 from __future__ import annotations
@@ -35,8 +44,9 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from common import build_programs, reports_identical, write_bench_json
 from repro.core import AlphaEvaluator, Dimensions
+from repro.engine import stack_partition
 from repro.experiments.configs import SMOKE, make_taskset
-from repro.parallel import EvaluationPool
+from repro.parallel import EvaluationPool, shared_segment_names
 
 #: Evaluator settings shared by the serial baseline and every pool, so all
 #: timings cover identical work and the parity check is meaningful.
@@ -44,11 +54,14 @@ EVALUATOR_KWARGS = {"max_train_steps": SMOKE.max_train_steps, "evaluate_test": F
 EVALUATOR_SEED = 0
 
 
-def run_benchmark(num_programs: int = 48, worker_counts: tuple[int, ...] = (1, 2, 4)) -> dict:
+def run_benchmark(num_programs: int = 48,
+                  worker_counts: tuple[int, ...] = (1, 2, 4)) -> dict:
     """Time the fixed program list at every worker count; return the payload."""
+    leaked_before = shared_segment_names()
     taskset = make_taskset(SMOKE, use_cache=False)
     dims = Dimensions(taskset.num_features, taskset.window)
     programs = build_programs(dims, num_programs)
+    stack_groups = stack_partition(programs)
 
     serial_evaluator = AlphaEvaluator(taskset, seed=EVALUATOR_SEED, **EVALUATOR_KWARGS)
     start = time.perf_counter()
@@ -57,6 +70,7 @@ def run_benchmark(num_programs: int = 48, worker_counts: tuple[int, ...] = (1, 2
 
     workers_payload: dict[str, dict] = {}
     bitwise_identical = True
+    shm_bytes = 0
     for num_workers in worker_counts:
         with EvaluationPool(
             taskset,
@@ -64,6 +78,7 @@ def run_benchmark(num_programs: int = 48, worker_counts: tuple[int, ...] = (1, 2
             evaluator_seed=EVALUATOR_SEED,
             **EVALUATOR_KWARGS,
         ) as pool:
+            shm_bytes = pool.shm_bytes
             # Prime the pool so worker start-up cost is not billed to the
             # steady-state throughput measurement.
             pool.evaluate(programs[:num_workers])
@@ -83,10 +98,9 @@ def run_benchmark(num_programs: int = 48, worker_counts: tuple[int, ...] = (1, 2
         )
 
     first = str(worker_counts[0])
-    last = str(worker_counts[-1])
-    speedup = (
-        workers_payload[last]["candidates_per_second"]
-        / workers_payload[first]["candidates_per_second"]
+    best = max(
+        workers_payload,
+        key=lambda count: workers_payload[count]["candidates_per_second"],
     )
     payload = {
         "benchmark": "parallel candidate-evaluation throughput",
@@ -95,12 +109,15 @@ def run_benchmark(num_programs: int = 48, worker_counts: tuple[int, ...] = (1, 2
         "equal_candidate_budget": True,
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
+        "shared_panel_bytes": shm_bytes,
+        "stack_signature_groups": len(stack_groups),
         "serial_baseline": {
             "seconds": round(serial_seconds, 4),
             "candidates_per_second": round(len(programs) / serial_seconds, 3),
         },
         "workers": workers_payload,
         "bitwise_identical_to_serial": bitwise_identical,
+        "no_leaked_segments": shared_segment_names() == leaked_before,
     }
     if os.cpu_count() == 1:
         # A speedup headline measured on one core is noise dressed up as a
@@ -111,8 +128,25 @@ def run_benchmark(num_programs: int = 48, worker_counts: tuple[int, ...] = (1, 2
             "time-slice one core (parity gate still enforced)"
         )
     else:
-        payload[f"speedup_{last}_vs_{first}_workers"] = round(speedup, 3)
+        payload["speedup"] = round(
+            workers_payload[best]["candidates_per_second"]
+            / workers_payload[first]["candidates_per_second"],
+            3,
+        )
+        payload["speedup_workers"] = int(best)
     return payload
+
+
+def check_gates(payload: dict) -> int:
+    """Exit status of the correctness gates shared by both modes."""
+    status = 0
+    if not payload["bitwise_identical_to_serial"]:
+        print("ERROR: pool reports differ from serial evaluation", file=sys.stderr)
+        status = 1
+    if not payload["no_leaked_segments"]:
+        print("ERROR: leaked repro-panel-* segments in /dev/shm", file=sys.stderr)
+        status = 1
+    return status
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -121,17 +155,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="number of candidate alphas in the fixed budget")
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
                         help="worker counts to benchmark")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI parity/leak gate: a small fixed budget on "
+                             "forced 1- and 2-worker pools; exits non-zero "
+                             "on any gate failure and writes no JSON")
     args = parser.parse_args(argv)
+
+    if args.smoke:
+        payload = run_benchmark(num_programs=12, worker_counts=(1, 2))
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        status = check_gates(payload)
+        print("smoke gates:", "FAILED" if status else "passed")
+        return status
 
     payload = run_benchmark(args.programs, tuple(args.workers))
     text = json.dumps(payload, indent=2, sort_keys=True)
     print(text)
     path = write_bench_json("parallel", payload)
     print(f"\nsaved {path}")
-    if not payload["bitwise_identical_to_serial"]:
-        print("ERROR: pool reports differ from serial evaluation", file=sys.stderr)
-        return 1
-    return 0
+    return check_gates(payload)
 
 
 if __name__ == "__main__":

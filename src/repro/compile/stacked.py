@@ -396,6 +396,23 @@ class StackedAlpha:
         )
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_programs(cls, programs, ctx) -> "StackedAlpha":
+        """Compile ``programs`` in-process and stack them onto ``ctx``.
+
+        The pickle-free rebind used by the shared-memory pool workers:
+        only the (tiny) :class:`~repro.core.program.AlphaProgram` payloads
+        cross the IPC channel; compilation, the stacked ``(P, ...)`` state
+        buffers and the binding to a context whose panels are shared-memory
+        views all happen inside the worker.  Raises
+        :class:`~repro.errors.ExecutionError` when the programs do not
+        share one :func:`stack_signature`.
+        """
+        from .compiler import compile_program
+
+        return cls([compile_program(program) for program in programs], ctx)
+
+    # ------------------------------------------------------------------
     def _bind_entry(self, instr, inputs, output, member_params):
         params0 = member_params[0]
         same_params = all(p == params0 for p in member_params[1:])

@@ -3,11 +3,13 @@
 from .cache import CacheStats, FingerprintCache, fingerprint
 from .correlation import CorrelationFilter
 from .evolution import (
+    SCHEDULERS,
     Candidate,
     CandidateScorer,
     EvolutionConfig,
     EvolutionController,
     EvolutionResult,
+    ScoreBatchHandle,
     TrajectoryPoint,
 )
 from .fitness import FitnessReport, INVALID_FITNESS, daily_ic, mean_ic
@@ -53,6 +55,8 @@ __all__ = [
     "EvolutionController",
     "EvolutionResult",
     "ExecutionContext",
+    "SCHEDULERS",
+    "ScoreBatchHandle",
     "FingerprintCache",
     "FitnessReport",
     "INITIALIZATION_NAMES",

@@ -49,7 +49,11 @@ from .mutation import Mutator
 from .program import AlphaProgram
 
 __all__ = ["EvolutionConfig", "Candidate", "TrajectoryPoint", "EvolutionResult",
-           "CandidateScorer", "EvolutionController"]
+           "CandidateScorer", "ScoreBatchHandle", "EvolutionController"]
+
+#: Island-controller scheduling strategies (see
+#: :meth:`repro.parallel.islands.IslandEvolutionController`).
+SCHEDULERS = ("barrier", "overlap")
 
 
 @dataclass(frozen=True)
@@ -86,6 +90,11 @@ class EvolutionConfig:
     log_every: int = 0
     num_workers: int = 1
     num_islands: int = 1
+    #: Island-controller scheduling strategy: ``"barrier"`` (score, then
+    #: migrate, strictly in turn) or ``"overlap"`` (ring migration runs
+    #: while the evaluation pool is busy scoring; migrants land one step
+    #: later).  The CLI exposes it as ``--scheduler``.
+    scheduler: str = "barrier"
 
     @property
     def execution_engine(self) -> str:
@@ -120,6 +129,11 @@ class EvolutionConfig:
             raise EvolutionError("num_workers must be at least 1")
         if self.num_islands < 1:
             raise EvolutionError("num_islands must be at least 1")
+        if self.scheduler not in SCHEDULERS:
+            raise EvolutionError(
+                f"unknown scheduler {self.scheduler!r}; choose from "
+                + ", ".join(SCHEDULERS)
+            )
 
 
 @dataclass
@@ -171,6 +185,39 @@ class _PendingEvaluation:
     key: str | None
     program: AlphaProgram
     slots: list[int]
+
+
+class ScoreBatchHandle:
+    """An in-flight :meth:`CandidateScorer.score_batch_async` call.
+
+    The scorer has already done all bookkeeping that must happen in
+    proposal order (pruning, fingerprint-cache lookups, the searched-alpha
+    counter) and — when a pool is attached — dispatched the cache misses to
+    the workers.  :meth:`result` collects the evaluations, applies the
+    correlation cutoff, records the cache entries and returns the reports;
+    until then the caller is free to do unrelated work (the islands overlap
+    scheduler performs ring migration here).  Reports are bitwise identical
+    to a plain :meth:`~CandidateScorer.score_batch` call.
+    """
+
+    def __init__(self, scorer: "CandidateScorer", reports: list,
+                 pending: list[_PendingEvaluation], dispatch,
+                 started: float) -> None:
+        self._scorer = scorer
+        self._reports = reports
+        self._pending = pending
+        self._dispatch = dispatch
+        self._started = started
+        self._done = False
+
+    def result(self) -> list[FitnessReport]:
+        """Collect the evaluations and finalise the batch (idempotent)."""
+        if not self._done:
+            self._done = True
+            self._scorer._finish_batch(
+                self._reports, self._pending, self._dispatch, self._started
+            )
+        return self._reports
 
 
 class CandidateScorer:
@@ -259,6 +306,19 @@ class CandidateScorer:
         serial and batched scoring produce identical reports and cache
         statistics.
         """
+        return self.score_batch_async(programs).result()
+
+    def score_batch_async(self, programs: list[AlphaProgram]) -> ScoreBatchHandle:
+        """Start scoring a batch; collect the reports on ``.result()``.
+
+        All order-sensitive bookkeeping — pruning, fingerprint-cache
+        lookups, the searched-alpha counter — happens here, synchronously,
+        so interleaving other work before ``result()`` cannot change any
+        outcome.  With a pool attached the cache misses are already on the
+        workers when this returns; the caller overlaps useful work with
+        their wall clock (the islands overlap scheduler migrates here).
+        Serial scorers defer evaluation to ``result()`` instead.
+        """
         batch_started = time.perf_counter() if TELEMETRY.enabled else 0.0
         reports: list[FitnessReport | None] = [None] * len(programs)
         pending: list[_PendingEvaluation] = []
@@ -284,24 +344,39 @@ class CandidateScorer:
                 pending_by_key[key] = len(pending)
             pending.append(_PendingEvaluation(key=key, program=to_run, slots=[index]))
 
-        for item, (report, valid_returns) in zip(pending, self._evaluate_pending(pending)):
+        dispatch = None
+        if pending and self.pool is not None:
+            dispatch = self.pool.submit_detailed(
+                [item.program for item in pending]
+            )
+        return ScoreBatchHandle(self, reports, pending, dispatch, batch_started)
+
+    def _finish_batch(self, reports: list, pending: list[_PendingEvaluation],
+                      dispatch, started: float) -> None:
+        """Collect evaluations, apply the cutoff, record cache entries."""
+        if dispatch is not None:
+            outcomes = dispatch.result()
+            pairs = [(outcome.report, outcome.valid_returns)
+                     for outcome in outcomes]
+        else:
+            pairs = self._evaluate_serial(pending)
+        for item, (report, valid_returns) in zip(pending, pairs):
             report = self._apply_cutoff(report, valid_returns)
             self.cache.record(item.key, report)
             for slot in item.slots:
                 reports[slot] = report
         if TELEMETRY.enabled:
-            TELEMETRY.counter("search.candidates").inc(len(programs))
+            TELEMETRY.counter("search.candidates").inc(len(reports))
             TELEMETRY.counter("search.evaluations").inc(len(pending))
             TELEMETRY.histogram("search.score_batch_seconds").observe(
-                time.perf_counter() - batch_started
+                time.perf_counter() - started
             )
-        return reports
 
     # ------------------------------------------------------------------
-    def _evaluate_pending(
+    def _evaluate_serial(
         self, pending: list[_PendingEvaluation]
     ) -> list[tuple[FitnessReport, np.ndarray | None]]:
-        """Evaluate cache misses, in the pool when available.
+        """Evaluate cache misses in-process, as one fleet batch.
 
         Returns ``(report, valid_returns)`` pairs where ``valid_returns`` is
         the validation portfolio-return series needed by the correlation
@@ -309,11 +384,8 @@ class CandidateScorer:
         """
         if not pending:
             return []
-        if self.pool is not None:
-            outcomes = self.pool.evaluate_detailed([item.program for item in pending])
-            return [(outcome.report, outcome.valid_returns) for outcome in outcomes]
         # Imported lazily: repro.engine builds on repro.core submodules.
-        from ..engine import FleetEngine
+        from ..engine import evaluate_program_batch
 
         cutoff_active = (
             self.correlation_filter is not None
@@ -323,13 +395,13 @@ class CandidateScorer:
         # shared context and data pass.  Deduplication stays off: the cache
         # layer above already decided which candidates share an evaluation,
         # and the pruning-disabled ablation must not dedup behind its back.
-        fleet = FleetEngine(self.evaluator, dedup=False)
-        for index, item in enumerate(pending):
-            fleet.add(item.program, name=f"candidate-{index}")
-        evaluated = fleet.evaluate()
+        # This is the same entry point the pool workers run, which is what
+        # keeps pooled and serial scoring bitwise identical.
+        evaluated = evaluate_program_batch(
+            self.evaluator, [item.program for item in pending]
+        )
         results = []
-        for index in range(len(pending)):
-            result = evaluated[f"candidate-{index}"]
+        for result in evaluated:
             valid_returns = None
             if cutoff_active and result.is_valid:
                 valid_returns = self.backtest_engine.portfolio_returns(

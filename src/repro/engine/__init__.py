@@ -35,7 +35,12 @@ from .backends import (
     make_backend,
     resolve_engine,
 )
-from .fleet import FleetEngine, FleetMember
+from .fleet import (
+    FleetEngine,
+    FleetMember,
+    evaluate_program_batch,
+    stack_partition,
+)
 from .incremental import IncrementalExecutor
 from .protocol import (
     can_batch_training,
@@ -54,10 +59,12 @@ __all__ = [
     "IncrementalExecutor",
     "InterpreterBackend",
     "can_batch_training",
+    "evaluate_program_batch",
     "inference_pass",
     "make_backend",
     "resolve_engine",
     "run_protocol",
+    "stack_partition",
     "stream_days",
     "training_pass",
 ]

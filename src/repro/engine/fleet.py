@@ -57,7 +57,55 @@ from .backends import make_backend, resolve_engine
 from .incremental import IncrementalExecutor
 from .protocol import run_protocol, training_pass
 
-__all__ = ["FleetMember", "FleetEngine"]
+__all__ = [
+    "FleetMember",
+    "FleetEngine",
+    "evaluate_program_batch",
+    "stack_partition",
+]
+
+
+# ----------------------------------------------------------------------
+# Signature-grouped batch entry points (the worker-pool dispatch surface)
+# ----------------------------------------------------------------------
+def stack_partition(programs, engine: str | None = "compiled") -> list[list[int]]:
+    """Partition ``programs`` into stack-signature groups of indices.
+
+    The dispatch planner of the shared-memory worker pool: programs whose
+    compiled tapes share a :func:`~repro.compile.stacked.stack_signature`
+    land in one group (first-appearance order), so a batch cut from a
+    single group executes worker-side as **one**
+    :class:`~repro.compile.stacked.StackedAlpha` tape instead of a
+    per-candidate loop.  Under the interpreter engine there is no tape to
+    stack and every program lands in one group.
+    """
+    programs = list(programs)
+    if resolve_engine(engine) != "compiled" or len(programs) < 2:
+        return [list(range(len(programs)))] if programs else []
+    groups: dict[str, list[int]] = {}
+    for index, program in enumerate(programs):
+        signature = stack_signature(compile_program(program))
+        groups.setdefault(signature, []).append(index)
+    return list(groups.values())
+
+
+def evaluate_program_batch(evaluator, programs, stacked: bool | None = None):
+    """Evaluate ``programs`` as one fleet over a shared context/data pass.
+
+    Returns one :class:`~repro.core.interpreter.EvaluationResult` per
+    program, in input order.  Deduplication stays off — callers (the
+    scorer's cache, the pool's dispatch planner) already decided which
+    programs to run — while stacking (on by default under the compiled
+    engine) executes each signature group as a single stacked tape.  This
+    is the one evaluation entry point shared by the serial scorer and the
+    pool workers, which is what keeps pooled results bitwise identical to
+    serial ones.
+    """
+    fleet = FleetEngine(evaluator, dedup=False, stacked=stacked)
+    for index, program in enumerate(programs):
+        fleet.add(program, name=f"batch-{index}")
+    results = fleet.evaluate()
+    return [results[f"batch-{index}"] for index in range(len(programs))]
 
 
 @dataclass(frozen=True)

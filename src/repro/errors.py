@@ -48,6 +48,12 @@ class ParallelError(ReproError):
     """Raised when the parallel evaluation subsystem is misused."""
 
 
+class SharedPanelMismatchError(ParallelError):
+    """A worker tried to attach to a shared panel store whose content
+    signature disagrees with the handle it was given — computing on that
+    store would silently use wrong data, so the attach fails loudly."""
+
+
 class CheckpointError(ReproError):
     """Raised when a search checkpoint cannot be saved, loaded or resumed."""
 

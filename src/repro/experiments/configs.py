@@ -88,6 +88,10 @@ class ExperimentConfig:
     #: select the serial controller, which every table was calibrated on.
     num_workers: int = 1
     num_islands: int = 1
+    #: Island-controller scheduling strategy (``"barrier"`` / ``"overlap"``;
+    #: see :class:`repro.core.evolution.EvolutionConfig`).  The CLI exposes
+    #: it as ``--scheduler``.
+    scheduler: str = "barrier"
     checkpoint_dir: str | None = None
     #: Execute candidates through the compilation pipeline
     #: (:mod:`repro.compile`); bitwise identical to the interpreter, so the
@@ -132,6 +136,14 @@ class ExperimentConfig:
             raise ConfigurationError("num_workers must be at least 1")
         if self.num_islands < 1:
             raise ConfigurationError("num_islands must be at least 1")
+        # Imported lazily: repro.experiments builds on repro.core.
+        from ..core.evolution import SCHEDULERS
+
+        if self.scheduler not in SCHEDULERS:
+            raise ConfigurationError(
+                f"unknown scheduler {self.scheduler!r}; choose from "
+                + ", ".join(SCHEDULERS)
+            )
         if self.serve_top_k < 1:
             raise ConfigurationError("serve_top_k must be at least 1")
         if self.engine is not None:
@@ -204,6 +216,7 @@ class ExperimentConfig:
             engine=self.engine,
             num_workers=self.num_workers,
             num_islands=self.num_islands,
+            scheduler=self.scheduler,
         )
 
     def scaled(self, **overrides) -> "ExperimentConfig":

@@ -564,6 +564,7 @@ def run_table6(config: ExperimentConfig = LAPTOP,
                     use_pruning=use_pruning,
                     num_workers=config.num_workers,
                     num_islands=config.num_islands,
+                    scheduler=config.scheduler,
                 ),
                 correlation_cutoff=config.correlation_cutoff,
                 long_k=config.long_positions,

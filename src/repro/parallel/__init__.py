@@ -3,16 +3,21 @@
 The paper evaluates candidate alphas on a fleet of workers for 60-hour
 search rounds; this package reproduces that architecture on one machine:
 
-* :mod:`repro.parallel.pool`       — a process pool that evaluates candidate
-  batches concurrently, shipping the task-set arrays to workers once;
+* :mod:`repro.parallel.shm`        — zero-copy shared feature/label panels
+  (``multiprocessing.shared_memory``) with content-signature attach guards
+  and unlink-on-every-exit-path cleanup;
+* :mod:`repro.parallel.pool`       — a process pool that evaluates
+  signature-grouped candidate batches concurrently over the shared panel,
+  restarting workers and requeueing lost batches after crashes;
 * :mod:`repro.parallel.islands`    — an island-model controller running
-  several regularised-evolution populations with ring migration;
+  several regularised-evolution populations with ring migration, with an
+  optional overlap scheduler that hides migration behind worker dispatch;
 * :mod:`repro.parallel.checkpoint` — atomic checkpoint/resume of the full
   search state, so long runs survive restarts.
 
 The subsystem plugs into :class:`repro.core.mining.MiningSession` through
-``EvolutionConfig(num_workers=..., num_islands=...)`` and the CLI flags
-``--workers`` / ``--islands`` / ``--checkpoint``.
+``EvolutionConfig(num_workers=..., num_islands=..., scheduler=...)`` and the
+CLI flags ``--workers`` / ``--islands`` / ``--scheduler`` / ``--checkpoint``.
 """
 
 from .checkpoint import (
@@ -28,7 +33,14 @@ from .islands import (
     IslandEvolutionController,
     IslandEvolutionResult,
 )
-from .pool import EvaluationPool, PoolEvaluation, PoolSpec
+from .pool import EvaluationPool, PendingEvaluations, PoolEvaluation, PoolSpec
+from .shm import (
+    SEGMENT_PREFIX,
+    SharedPanelHandle,
+    SharedPanelStore,
+    panel_signature,
+    shared_segment_names,
+)
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -38,9 +50,15 @@ __all__ = [
     "IslandConfig",
     "IslandEvolutionController",
     "IslandEvolutionResult",
+    "PendingEvaluations",
     "PoolEvaluation",
     "PoolSpec",
+    "SEGMENT_PREFIX",
     "SearchCheckpoint",
+    "SharedPanelHandle",
+    "SharedPanelStore",
     "load_checkpoint",
+    "panel_signature",
     "save_checkpoint",
+    "shared_segment_names",
 ]

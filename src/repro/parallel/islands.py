@@ -108,6 +108,9 @@ class IslandEvolutionController:
     config:
         The usual evolutionary hyper-parameters; ``population_size`` and the
         tournament apply per island, the budget is global across islands.
+        ``config.scheduler`` picks the main-loop strategy: ``"barrier"``
+        (score → migrate strictly in turn) or ``"overlap"`` (migration runs
+        while the pool evaluates; see :meth:`_main_phase_overlap`).
     island_config:
         Topology; defaults to ``IslandConfig(num_islands=config.num_islands)``.
     seed / mutation_seed:
@@ -143,6 +146,7 @@ class IslandEvolutionController:
         self.evaluator = evaluator
         self.dims = dims
         self.config = config or EvolutionConfig()
+        self.scheduler = self.config.scheduler
         self.island_config = island_config or IslandConfig(
             num_islands=self.config.num_islands
         )
@@ -260,6 +264,10 @@ class IslandEvolutionController:
             "num_islands": self.island_config.num_islands,
             "migration_interval": self.island_config.migration_interval,
             "migration_size": self.island_config.migration_size,
+            # The overlap scheduler applies migrations one step later, so
+            # two schedulers walk different search paths from the first
+            # migration on; resuming across them would silently diverge.
+            "scheduler": self.scheduler,
             "seed": self._seed_echo,
             "mutation_seed": self._mutation_seed_echo,
             "evaluator_base_seed": self.evaluator.base_seed,
@@ -384,41 +392,100 @@ class IslandEvolutionController:
                 self._register(child)
             self._maybe_checkpoint()
 
+    def _propose(self, active: list[Island]) -> list[AlphaProgram]:
+        """Draw one tournament → mutate proposal per active island."""
+        config = self.config
+        proposals = []
+        for island in active:
+            population = island.population
+            indices = island.rng.choice(
+                len(population),
+                size=min(config.tournament_size, len(population)),
+                replace=False,
+            )
+            parent = max(
+                (population[int(i)] for i in indices),
+                key=lambda candidate: candidate.fitness,
+            )
+            proposals.append(island.mutator.mutate(parent.program))
+        return proposals
+
+    def _insert(self, active: list[Island], proposals: list[AlphaProgram],
+                reports: list) -> None:
+        """Age each active island by its scored child."""
+        for island, program, report in zip(active, proposals, reports):
+            child = Candidate(
+                program=program,
+                report=report,
+                born_at=self.scorer.candidates_generated,
+            )
+            island.population.append(child)
+            island.population.popleft()
+            self._register(child)
+
+    def _active_islands(self) -> list[Island]:
+        active = self.islands
+        remaining = self._remaining_candidates()
+        if remaining is not None:
+            active = active[:remaining]
+        return active
+
     def _main_phase(self) -> None:
         """Tournament → mutate → batch-score → age, one child per island."""
-        config = self.config
+        if self.scheduler == "overlap":
+            self._main_phase_overlap()
+        else:
+            self._main_phase_barrier()
+
+    def _main_phase_barrier(self) -> None:
         while not self._budget_exhausted():
-            active = self.islands
-            remaining = self._remaining_candidates()
-            if remaining is not None:
-                active = active[:remaining]
-            proposals = []
-            for island in active:
-                population = island.population
-                indices = island.rng.choice(
-                    len(population),
-                    size=min(config.tournament_size, len(population)),
-                    replace=False,
-                )
-                parent = max(
-                    (population[int(i)] for i in indices),
-                    key=lambda candidate: candidate.fitness,
-                )
-                proposals.append(island.mutator.mutate(parent.program))
+            active = self._active_islands()
+            proposals = self._propose(active)
             reports = self.scorer.score_batch(proposals)
-            for island, program, report in zip(active, proposals, reports):
-                child = Candidate(
-                    program=program,
-                    report=report,
-                    born_at=self.scorer.candidates_generated,
-                )
-                island.population.append(child)
-                island.population.popleft()
-                self._register(child)
+            self._insert(active, proposals, reports)
             self._step += 1
             if len(self.islands) > 1 and \
                     self._step % self.island_config.migration_interval == 0:
                 self._migrate()
+            self._maybe_checkpoint()
+
+    def _main_phase_overlap(self) -> None:
+        """Like the barrier loop, but migration hides behind evaluation.
+
+        Each step dispatches the proposal batch asynchronously
+        (:meth:`~repro.core.evolution.CandidateScorer.score_batch_async`)
+        and performs any due ring migration *between* the dispatch and the
+        collect, so with an evaluation pool attached the migration cost
+        disappears behind the workers' wall clock.  The proposals of step
+        ``t+1`` are therefore drawn before the migration due at step ``t``
+        is applied: migrants enter tournaments one step later than under
+        the barrier scheduler, a deliberate (and deterministic) semantic
+        difference — which is why the scheduler is part of the search's
+        checkpoint configuration echo.  Checkpoints still happen only at
+        the step boundary, after the collect, so kill-and-resume stays
+        bit-for-bit.
+
+        ``pending`` is recomputed from checkpointed state on entry (a
+        migration is pending exactly when fewer migrations ran than steps
+        completed per interval), so resumed runs continue exactly where the
+        schedule left off.  A migration still pending when the budget runs
+        out is dropped, as harmless as the one due on the very last barrier
+        step.
+        """
+        interval = self.island_config.migration_interval
+        pending = self._migrations < self._step // interval
+        while not self._budget_exhausted():
+            active = self._active_islands()
+            proposals = self._propose(active)
+            handle = self.scorer.score_batch_async(proposals)
+            if pending and len(self.islands) > 1:
+                self._migrate()
+            pending = False
+            reports = handle.result()
+            self._insert(active, proposals, reports)
+            self._step += 1
+            if len(self.islands) > 1 and self._step % interval == 0:
+                pending = True
             self._maybe_checkpoint()
 
     def _migrate(self) -> None:

@@ -1,57 +1,90 @@
-"""Worker-pool evaluation of candidate alphas.
+"""Worker-pool evaluation of candidate alphas over zero-copy shared panels.
 
 The paper's search is distributed: candidate alphas are scored on a fleet of
 evaluation workers for 60-hour rounds.  :class:`EvaluationPool` reproduces
-that shape on one machine with a :class:`concurrent.futures.ProcessPoolExecutor`.
+that shape on one machine with a :class:`concurrent.futures.ProcessPoolExecutor`
+— around two structural moves that make the fan-out actually cheap:
 
-The expensive state — the :class:`~repro.data.dataset.TaskSet` feature and
-label arrays — is shipped to each worker exactly **once**, at pool startup,
-through the executor's ``initializer``: the worker stores an
-:class:`~repro.core.interpreter.AlphaEvaluator` built from the
-:class:`PoolSpec` in a module global and reuses it for every batch.  On
-platforms with the ``fork`` start method (Linux) even that one-time transfer
-is free, because the spec is inherited through the forked address space
-instead of being pickled.  Per-candidate traffic is then just the (tiny)
-:class:`~repro.core.program.AlphaProgram` payload out and a
-:class:`PoolEvaluation` back.
+* **Zero-copy shared panels.**  The task-set feature/label arrays are
+  published once into a :class:`~repro.parallel.shm.SharedPanelStore`
+  (``multiprocessing.shared_memory``); each worker's initializer attaches
+  read-only NumPy views and rebuilds its :class:`~repro.data.dataset.TaskSet`
+  around them.  Physical memory holds one copy of the panel however many
+  workers (or executor restarts) the pool sees, and the per-worker
+  :class:`PoolSpec` shrinks to a handle plus scalars.  A content-signature
+  echo in the store header guards against attaching to a stale store
+  (:class:`~repro.errors.SharedPanelMismatchError`).
+* **Stacked batch dispatch.**  ``evaluate_detailed`` partitions each batch
+  by :func:`~repro.compile.stacked.stack_signature`
+  (:func:`repro.engine.stack_partition`) before chunking, so a worker
+  dispatch carries programs of **one** signature group and executes them as
+  a single :class:`~repro.compile.stacked.StackedAlpha` tape
+  (:func:`repro.engine.evaluate_program_batch`) — one batched kernel call
+  per instruction per day instead of a per-candidate loop.  Per-candidate
+  IPC is just the (tiny) :class:`~repro.core.program.AlphaProgram` payload
+  out and a :class:`PoolEvaluation` back.
+
+**Robustness.**  A worker that dies mid-batch (OOM-killed, segfault) breaks
+the executor; the pool detects it, rebuilds the executor — workers re-attach
+to the *same* shared store, so the restart ships no data — and requeues the
+lost batches, each at most ``max_batch_retries`` times before a
+:class:`~repro.errors.ParallelError` surfaces.  Evaluation is deterministic,
+so a retried batch returns bitwise-identical results.  :meth:`close` (and
+the context-manager exit) shuts the executor down and unlinks the shared
+segment even when a batch raised; the store's own atexit/signal/crash
+guards cover the paths that never reach ``close``.
 
 Determinism: every worker builds its evaluator from the same
-``evaluator_seed``, and :meth:`AlphaEvaluator.evaluate` derives its RNG from
-that seed per call, so a program's fitness report is bitwise identical no
-matter which worker evaluates it — and identical to a serial
+``evaluator_seed``, and evaluation derives its RNG from that seed per call,
+so a program's fitness report is bitwise identical no matter which worker
+(or how many retries) produced it — and identical to a serial
 ``AlphaEvaluator`` built from the same seed.
+
+Telemetry (behind :data:`repro.obs.TELEMETRY`): ``pool.shm_bytes`` (gauge,
+bytes of shared panel currently published), ``pool.batches_retried`` and
+``pool.worker_restarts`` (counters), next to the existing ``pool.batches`` /
+``pool.programs`` / ``pool.dispatch_seconds``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import signal as _signal
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..backtest.engine import BacktestEngine
 from ..config import LONG_POSITIONS, SHORT_POSITIONS
 from ..core.fitness import FitnessReport
-from ..core.interpreter import AlphaEvaluator
 from ..core.program import AlphaProgram
 from ..data.dataset import TaskSet
 from ..errors import ConfigurationError, ParallelError
 from ..obs import TELEMETRY
+from .shm import SharedPanelHandle, SharedPanelStore
 
-__all__ = ["PoolSpec", "PoolEvaluation", "EvaluationPool"]
+__all__ = ["PoolSpec", "PoolEvaluation", "EvaluationPool", "PendingEvaluations"]
 
 
 @dataclass(frozen=True)
 class PoolSpec:
     """Everything a worker needs to rebuild the evaluation stack.
 
-    Shipped to each worker once at pool startup; see the module docstring.
+    Shipped to each worker once at executor (re)start.  The panel itself
+    never rides in the spec: ``panel`` is a
+    :class:`~repro.parallel.shm.SharedPanelHandle` the worker attaches to,
+    and only the small sidecar metadata (dates, taxonomy, split, tickers)
+    is pickled.
     """
 
-    taskset: TaskSet
+    panel: SharedPanelHandle
+    dates: np.ndarray
+    taxonomy: object
+    split: object
+    tickers: tuple[str, ...]
     evaluator_seed: int = 0
     max_train_steps: int | None = None
     use_update: bool = True
@@ -63,6 +96,14 @@ class PoolSpec:
     #: (see :data:`repro.engine.ENGINES`; bitwise identical across
     #: engines).
     engine: str = "compiled"
+    #: Whether signature groups execute as stacked tapes inside workers
+    #: (``None`` → on for the compiled engine).  Never changes a result
+    #: bit; exists so the parity suite can A/B the stacked dispatch.
+    stacked: bool | None = None
+    #: Whether workers withdraw their attach-side resource-tracker
+    #: registration (needed under non-``fork`` start methods, whose
+    #: private trackers would unlink the parent's segment on worker exit).
+    untrack_on_attach: bool = False
 
 
 @dataclass
@@ -80,16 +121,45 @@ class PoolEvaluation:
 
 
 @dataclass
+class _WorkBatch:
+    """One worker dispatch: programs of a single stack-signature group.
+
+    ``fault`` is a test-only hook (``"sigkill"`` / ``"raise"``) injected by
+    the fault tests; it is never set on a retry resubmission, so an
+    injected crash exercises exactly one requeue.
+    """
+
+    programs: list[AlphaProgram]
+    fault: str | None = None
+
+
+@dataclass
 class _WorkerState:
     """Per-process evaluation stack, built once by the pool initializer."""
 
-    evaluator: AlphaEvaluator
+    evaluator: object
     engine: BacktestEngine | None
+    stacked: bool | None
+    store: SharedPanelStore
 
     @classmethod
     def from_spec(cls, spec: PoolSpec) -> "_WorkerState":
+        # Imported lazily: repro.parallel sits below the engine layer, and
+        # the interpreter facade imports the engine package itself.
+        from ..core.interpreter import AlphaEvaluator
+
+        store = SharedPanelStore.attach(spec.panel,
+                                        untrack=spec.untrack_on_attach)
+        taskset = TaskSet(
+            features=store.features,
+            labels=store.labels,
+            dates=spec.dates,
+            taxonomy=spec.taxonomy,
+            split=spec.split,
+            tickers=spec.tickers,
+        )
         evaluator = AlphaEvaluator(
-            spec.taskset,
+            taskset,
             seed=spec.evaluator_seed,
             max_train_steps=spec.max_train_steps,
             use_update=spec.use_update,
@@ -98,38 +168,55 @@ class _WorkerState:
         )
         engine = None
         if spec.compute_valid_returns:
-            engine = BacktestEngine(spec.taskset, long_k=spec.long_k, short_k=spec.short_k)
-        return cls(evaluator=evaluator, engine=engine)
+            engine = BacktestEngine(taskset, long_k=spec.long_k, short_k=spec.short_k)
+        return cls(evaluator=evaluator, engine=engine, stacked=spec.stacked,
+                   store=store)
 
 
 _WORKER: _WorkerState | None = None
 
 
 def _init_worker(spec: PoolSpec) -> None:
-    """Executor initializer: build the per-process evaluation stack."""
+    """Executor initializer: attach the shared panel, build the stack."""
     global _WORKER
     _WORKER = _WorkerState.from_spec(spec)
 
 
-def _evaluate_batch(programs: list[AlphaProgram]) -> list[PoolEvaluation]:
-    """Evaluate a batch of programs inside a worker process."""
+def _evaluate_batch(batch: _WorkBatch) -> list[PoolEvaluation]:
+    """Evaluate one signature-grouped batch inside a worker process.
+
+    The whole batch runs as one fleet over the worker's shared-view task
+    set — a single :class:`~repro.compile.stacked.StackedAlpha` tape when
+    the programs stack — via :func:`repro.engine.evaluate_program_batch`,
+    the same entry point the serial scorer evaluates through.
+    """
     state = _WORKER
     if state is None:  # pragma: no cover - initializer always runs first
         raise ParallelError("evaluation worker was not initialised")
+    if batch.fault == "sigkill":  # pragma: no cover - kills this process
+        os.kill(os.getpid(), _signal.SIGKILL)
+    if batch.fault == "raise":
+        raise ParallelError("injected worker fault (test hook)")
+    # Imported lazily: repro.engine builds on repro.core submodules.
+    from ..engine import evaluate_program_batch
+
+    results = evaluate_program_batch(
+        state.evaluator, batch.programs, stacked=state.stacked
+    )
     evaluations: list[PoolEvaluation] = []
-    for program in programs:
-        result = state.evaluator.evaluate(program)
+    for result in results:
         valid_returns = None
         if state.engine is not None and result.is_valid:
             valid_returns = state.engine.portfolio_returns(
                 result.predictions["valid"], split="valid"
             )
-        evaluations.append(PoolEvaluation(report=result.report, valid_returns=valid_returns))
+        evaluations.append(PoolEvaluation(report=result.report,
+                                          valid_returns=valid_returns))
     return evaluations
 
 
 def _pool_context(start_method: str | None) -> multiprocessing.context.BaseContext:
-    """Pick the multiprocessing context; prefer ``fork`` for zero-copy startup."""
+    """Pick the multiprocessing context; prefer ``fork`` for instant startup."""
     if start_method is not None:
         return multiprocessing.get_context(start_method)
     try:
@@ -138,13 +225,52 @@ def _pool_context(start_method: str | None) -> multiprocessing.context.BaseConte
         return multiprocessing.get_context()
 
 
+@dataclass
+class _Chunk:
+    """One in-flight dispatch unit and where its results land."""
+
+    indices: list[int]
+    programs: list[AlphaProgram]
+    fault: str | None = None
+    retries: int = 0
+    future: object = None
+    evaluations: list[PoolEvaluation] | None = None
+
+
+class PendingEvaluations:
+    """A dispatched batch whose results are collected on :meth:`result`.
+
+    Returned by :meth:`EvaluationPool.submit_detailed`; the overlap
+    scheduler of :mod:`repro.parallel.islands` performs ring migration and
+    checkpoint bookkeeping between the dispatch and the collect, hiding
+    that work behind the workers' wall clock.
+    """
+
+    def __init__(self, pool: "EvaluationPool", chunks: list[_Chunk],
+                 num_programs: int, started: float) -> None:
+        self._pool = pool
+        self._chunks = chunks
+        self._num_programs = num_programs
+        self._started = started
+        self._evaluations: list[PoolEvaluation] | None = None
+
+    def result(self) -> list[PoolEvaluation]:
+        """Block until every chunk finished (retrying lost batches)."""
+        if self._evaluations is None:
+            self._evaluations = self._pool._collect(
+                self._chunks, self._num_programs, self._started
+            )
+        return self._evaluations
+
+
 class EvaluationPool:
     """Fans candidate-alpha evaluation out to ``num_workers`` processes.
 
     Parameters
     ----------
     taskset:
-        The task set candidates are evaluated on (shipped to workers once).
+        The task set candidates are evaluated on; its feature/label panel
+        is published to shared memory once, here.
     num_workers:
         Number of worker processes; defaults to the machine's CPU count.
     evaluator_seed / max_train_steps / use_update / evaluate_test:
@@ -159,14 +285,23 @@ class EvaluationPool:
         :data:`repro.engine.ENGINES`); bitwise identical across engines.
         The legacy ``compiled`` flag keeps working and maps onto the
         engine names.
+    stacked:
+        Whether workers execute signature groups as stacked tapes
+        (default: on under the compiled engine).  Never changes a result
+        bit.
     batch_size:
-        Programs per worker task.  Batching amortises the per-task dispatch
-        overhead; results always come back in input order.
+        Programs per worker dispatch.  Batching amortises the per-task
+        overhead and widens the stacked tapes; results always come back in
+        input order.
+    max_batch_retries:
+        How many times a batch lost to a worker crash is requeued before
+        the pool gives up with a :class:`~repro.errors.ParallelError`.
     start_method:
         Optional multiprocessing start method override (default: ``fork``
         where available, the platform default elsewhere).
 
-    The pool is a context manager; :meth:`close` shuts the workers down.
+    The pool is a context manager; :meth:`close` shuts the workers down and
+    unlinks the shared panel — even when a batch raised inside the block.
     """
 
     def __init__(
@@ -183,7 +318,9 @@ class EvaluationPool:
         compute_valid_returns: bool = False,
         compiled: bool | None = None,
         engine: str | None = None,
+        stacked: bool | None = None,
         batch_size: int = 8,
+        max_batch_retries: int = 2,
         start_method: str | None = None,
     ) -> None:
         # Imported lazily: repro.parallel sits below the engine layer.
@@ -195,8 +332,16 @@ class EvaluationPool:
             raise ConfigurationError("num_workers must be at least 1")
         if batch_size < 1:
             raise ConfigurationError("batch_size must be at least 1")
+        if max_batch_retries < 0:
+            raise ConfigurationError("max_batch_retries cannot be negative")
+        self._mp_context = _pool_context(start_method)
+        self._store = SharedPanelStore.publish(taskset.features, taskset.labels)
         self.spec = PoolSpec(
-            taskset=taskset,
+            panel=self._store.handle,
+            dates=taskset.dates,
+            taxonomy=taskset.taxonomy,
+            split=taskset.split,
+            tickers=taskset.tickers,
             evaluator_seed=evaluator_seed,
             max_train_steps=max_train_steps,
             use_update=use_update,
@@ -205,16 +350,32 @@ class EvaluationPool:
             short_k=short_k,
             compute_valid_returns=compute_valid_returns,
             engine=resolve_engine(engine, compiled),
+            stacked=stacked,
+            untrack_on_attach=self._mp_context.get_start_method() != "fork",
         )
         self.num_workers = num_workers
         self.batch_size = batch_size
-        self._executor = ProcessPoolExecutor(
-            max_workers=num_workers,
-            mp_context=_pool_context(start_method),
+        self.max_batch_retries = max_batch_retries
+        #: Lost batches requeued after worker crashes (lifetime total).
+        self.batches_retried = 0
+        #: Executor rebuilds forced by worker crashes (lifetime total).
+        self.worker_restarts = 0
+        #: Test-only fault hook: set to ``"sigkill"`` or ``"raise"`` to
+        #: inject the fault into the first chunk of the next dispatch.
+        self._inject_fault_once: str | None = None
+        self._executor = self._make_executor()
+        self._closed = False
+        if TELEMETRY.enabled:
+            TELEMETRY.gauge("pool.shm_bytes").set(self._store.nbytes)
+
+    # ------------------------------------------------------------------
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.num_workers,
+            mp_context=self._mp_context,
             initializer=_init_worker,
             initargs=(self.spec,),
         )
-        self._closed = False
 
     # ------------------------------------------------------------------
     @property
@@ -222,44 +383,160 @@ class EvaluationPool:
         """Whether workers return validation portfolio-return series."""
         return self.spec.compute_valid_returns
 
+    @property
+    def shm_bytes(self) -> int:
+        """Bytes of shared panel this pool published."""
+        return self._store.nbytes
+
+    @property
+    def panel_signature(self) -> str:
+        """Content signature of the published panel (the attach guard)."""
+        return self._store.handle.signature
+
     # ------------------------------------------------------------------
-    def evaluate_detailed(self, programs: list[AlphaProgram]) -> list[PoolEvaluation]:
-        """Evaluate ``programs`` across the workers, preserving input order."""
-        if self._closed:
-            raise ParallelError("the evaluation pool has been closed")
-        programs = list(programs)
-        if not programs:
-            return []
-        # Cap the chunk size so a small batch (e.g. one proposal per island
-        # from the island controller) still spreads across all workers;
-        # batch_size only bounds the per-task payload for large lists.
+    # Dispatch / collect
+    # ------------------------------------------------------------------
+    def _plan_chunks(self, programs: list[AlphaProgram]) -> list[_Chunk]:
+        """Cut ``programs`` into signature-grouped, size-bounded chunks.
+
+        Grouping first (by stacked-tape signature) makes every chunk a
+        single stacked execution worker-side; the chunk size is additionally
+        capped so a small batch (e.g. one proposal per island) still
+        spreads across all workers.
+        """
+        # Imported lazily: repro.engine builds on repro.core submodules.
+        from ..engine import stack_partition
+
+        stacking = self.spec.stacked
+        if stacking is None:
+            stacking = self.spec.engine == "compiled"
+        if stacking:
+            groups = stack_partition(programs, engine=self.spec.engine)
+        else:
+            groups = [list(range(len(programs)))]
         chunk_size = min(
             self.batch_size,
             max(1, (len(programs) + self.num_workers - 1) // self.num_workers),
         )
-        chunks = [
-            programs[start:start + chunk_size]
-            for start in range(0, len(programs), chunk_size)
-        ]
-        # Timed per *dispatch* (one batch of chunks), never per program:
-        # the disabled cost is one boolean test.
-        dispatch_started = time.perf_counter() if TELEMETRY.enabled else 0.0
+        chunks: list[_Chunk] = []
+        for group in groups:
+            for start in range(0, len(group), chunk_size):
+                indices = group[start:start + chunk_size]
+                chunks.append(_Chunk(
+                    indices=indices,
+                    programs=[programs[i] for i in indices],
+                ))
+        return chunks
+
+    def submit_detailed(self, programs: list[AlphaProgram]) -> PendingEvaluations:
+        """Dispatch ``programs`` to the workers without blocking.
+
+        Returns a :class:`PendingEvaluations` whose ``result()`` yields the
+        evaluations in input order; the caller may do useful work between
+        the two (the islands overlap scheduler does ring migration).
+        """
+        if self._closed:
+            raise ParallelError("the evaluation pool has been closed")
+        programs = list(programs)
+        started = time.perf_counter() if TELEMETRY.enabled else 0.0
+        chunks = self._plan_chunks(programs)
+        if chunks and self._inject_fault_once is not None:
+            chunks[0].fault = self._inject_fault_once
+            self._inject_fault_once = None
+        for chunk in chunks:
+            self._submit(chunk)
+        return PendingEvaluations(self, chunks, len(programs), started)
+
+    def _submit(self, chunk: _Chunk) -> None:
+        """Submit one chunk; a broken executor leaves it for the retry path.
+
+        A crashing worker can break the executor *while* a batch is still
+        being submitted, so even first submission must tolerate
+        ``BrokenExecutor`` — the chunk is left future-less and
+        :meth:`_collect` requeues it like any other lost chunk.
+        """
+        try:
+            chunk.future = self._executor.submit(
+                _evaluate_batch, _WorkBatch(chunk.programs, fault=chunk.fault)
+            )
+        except BrokenExecutor:
+            chunk.future = None
+
+    def _collect(self, chunks: list[_Chunk], num_programs: int,
+                 started: float) -> list[PoolEvaluation]:
+        """Gather chunk results, rebuilding the executor after crashes."""
         with TELEMETRY.span(
-            "pool.dispatch", programs=len(programs), chunks=len(chunks)
+            "pool.dispatch", programs=num_programs, chunks=len(chunks)
         ):
-            futures = [
-                self._executor.submit(_evaluate_batch, chunk) for chunk in chunks
-            ]
-            evaluations: list[PoolEvaluation] = []
-            for future in futures:
-                evaluations.extend(future.result())
+            while True:
+                lost = [chunk for chunk in chunks if chunk.evaluations is None]
+                if not lost:
+                    break
+                broken = False
+                for chunk in lost:
+                    if chunk.future is None:
+                        broken = True
+                        break
+                    try:
+                        chunk.evaluations = chunk.future.result()
+                    except BrokenExecutor:
+                        broken = True
+                        break
+                if broken:
+                    self._requeue_lost(chunks)
+        evaluations: list[PoolEvaluation] = [None] * num_programs
+        for chunk in chunks:
+            for index, evaluation in zip(chunk.indices, chunk.evaluations):
+                evaluations[index] = evaluation
         if TELEMETRY.enabled:
             TELEMETRY.counter("pool.batches").inc(len(chunks))
-            TELEMETRY.counter("pool.programs").inc(len(programs))
+            TELEMETRY.counter("pool.programs").inc(num_programs)
             TELEMETRY.histogram("pool.dispatch_seconds").observe(
-                time.perf_counter() - dispatch_started
+                time.perf_counter() - started
             )
         return evaluations
+
+    def _requeue_lost(self, chunks: list[_Chunk]) -> None:
+        """A worker died mid-batch: rebuild the executor, requeue the rest.
+
+        The replacement workers attach to the same shared panel store, so
+        the restart ships zero panel bytes.  Each lost chunk may be
+        requeued at most ``max_batch_retries`` times; evaluation is
+        deterministic, so retried chunks return bitwise-identical results.
+        """
+        if self._closed:  # pragma: no cover - close() raced a crash
+            raise ParallelError("the evaluation pool has been closed")
+        lost = [chunk for chunk in chunks if chunk.evaluations is None]
+        for chunk in lost:
+            chunk.retries += 1
+            if chunk.retries > self.max_batch_retries:
+                raise ParallelError(
+                    f"a worker batch of {len(chunk.programs)} program(s) "
+                    f"crashed the pool {chunk.retries} times "
+                    f"(max_batch_retries={self.max_batch_retries}); "
+                    "giving up"
+                )
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = self._make_executor()
+        self.worker_restarts += 1
+        self.batches_retried += len(lost)
+        if TELEMETRY.enabled:
+            TELEMETRY.counter("pool.worker_restarts").inc()
+            TELEMETRY.counter("pool.batches_retried").inc(len(lost))
+        for chunk in lost:
+            # Injected faults are not re-armed: the retry must succeed.
+            chunk.fault = None
+            self._submit(chunk)
+
+    # ------------------------------------------------------------------
+    def evaluate_detailed(self, programs: list[AlphaProgram]) -> list[PoolEvaluation]:
+        """Evaluate ``programs`` across the workers, preserving input order."""
+        programs = list(programs)
+        if not programs:
+            if self._closed:
+                raise ParallelError("the evaluation pool has been closed")
+            return []
+        return self.submit_detailed(programs).result()
 
     def evaluate(self, programs: list[AlphaProgram]) -> list[FitnessReport]:
         """Evaluate ``programs`` and return just their fitness reports."""
@@ -267,10 +544,20 @@ class EvaluationPool:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the worker processes (idempotent)."""
-        if not self._closed:
+        """Shut the workers down and unlink the shared panel (idempotent).
+
+        The unlink runs even when the executor shutdown fails — losing a
+        worker must never leak a ``/dev/shm`` segment.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
             self._executor.shutdown(wait=True)
-            self._closed = True
+        finally:
+            self._store.close()
+            if TELEMETRY.enabled:
+                TELEMETRY.gauge("pool.shm_bytes").set(0)
 
     def __enter__(self) -> "EvaluationPool":
         return self
