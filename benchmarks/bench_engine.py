@@ -17,10 +17,12 @@ gate** across all five paths:
   loop of building and running a fresh evaluator per program;
 * **cross-program mega-batching** — a fleet-size scaling curve over mining
   generation snapshots (:func:`common.build_generation`): at each fleet
-  size P the per-program loop, the non-stacked fleet and the stacked fleet
-  (signature groups executing as one ``(P, ...)`` tape) are timed; the
-  largest point is the ``programs_per_second_stacked`` headline and must
-  clear a >= 3x stacked speedup at >= 100 unique programs post-dedup;
+  size P the per-program loop, the non-stacked fleet, the stacked fleet
+  (signature groups executing as one ``(P, ...)`` tape) and the stacked
+  fleet with **program-axis chunking** (matrix-heavy kernels split into
+  cache-resident P-chunks) are timed; the largest point is the
+  ``programs_per_second_stacked`` headline and must clear a >= 3x stacked
+  speedup at >= 100 unique programs post-dedup;
 * **static-predict time batching** — for programs whose whole ``Predict()``
   tape is day-loop invariant, the full train+inference evaluation with the
   engine's time-batched fast path on versus off (the fast path collapses
@@ -147,14 +149,17 @@ def bench_fleet(taskset, programs, repeats: int = 3) -> dict:
 
 
 def bench_stacked_scaling(taskset, sizes=(8, 32, 128, 200),
-                          repeats: int = 2) -> dict:
+                          repeats: int = 2, program_chunk: int = 32) -> dict:
     """Fleet-size scaling of the stacked executor over generation snapshots.
 
-    At each size P a fresh mining-generation fleet is built and three paths
+    At each size P a fresh mining-generation fleet is built and four paths
     are timed end to end: the per-program loop (fresh evaluator per member),
-    the non-stacked ``FleetEngine`` (dedup + shared data pass only) and the
+    the non-stacked ``FleetEngine`` (dedup + shared data pass only), the
     stacked ``FleetEngine`` (signature groups executing as ``(P, ...)``
-    tapes).  The largest point is the headline.
+    tapes) and the stacked fleet with an explicit ``program_chunk`` — the
+    program axis of matrix-heavy kernels split into cache-resident chunks
+    (before/after for the chunking knob; bitwise-identical output).  The
+    largest point is the headline.
     """
     dims = Dimensions(taskset.num_features, taskset.window)
     curve = []
@@ -170,33 +175,44 @@ def bench_stacked_scaling(taskset, sizes=(8, 32, 128, 200),
 
         timings = {}
         unique = stack_groups = 0
-        for stacked in (False, True):
+        # (stacked, program_chunk): chunk 0 disables program-axis chunking,
+        # so the third run is the explicit before/after of the knob.
+        for stacked, chunk in ((False, 0), (True, 0), (True, program_chunk)):
             best = float("inf")
             for _ in range(repeats):
-                fleet = FleetEngine(make_evaluator(taskset), stacked=stacked)
+                fleet = FleetEngine(
+                    make_evaluator(taskset), stacked=stacked,
+                    program_chunk=chunk,
+                )
                 for program in programs:
                     fleet.add(program)
                 start = time.perf_counter()
                 fleet.evaluate()
                 best = min(best, time.perf_counter() - start)
-            timings[stacked] = best
-            if stacked:
+            timings[(stacked, chunk)] = best
+            if stacked and not chunk:
                 unique = fleet.num_unique
                 stack_groups = fleet.stack_groups
+        unchunked = timings[(True, 0)]
+        chunked = timings[(True, program_chunk)]
         curve.append({
             "num_programs": size,
             "unique_programs": unique,
             "stack_groups": stack_groups,
+            "program_chunk": program_chunk,
             "per_program_loop_seconds": round(loop_best, 4),
-            "fleet_seconds": round(timings[False], 4),
-            "stacked_fleet_seconds": round(timings[True], 4),
+            "fleet_seconds": round(timings[(False, 0)], 4),
+            "stacked_fleet_seconds": round(unchunked, 4),
+            "stacked_chunked_seconds": round(chunked, 4),
             "programs_per_second_loop": round(size / loop_best, 2),
-            "programs_per_second_fleet": round(size / timings[False], 2),
-            "programs_per_second_stacked": round(size / timings[True], 2),
-            "stacked_speedup_vs_loop": round(loop_best / timings[True], 2),
+            "programs_per_second_fleet": round(size / timings[(False, 0)], 2),
+            "programs_per_second_stacked": round(size / unchunked, 2),
+            "programs_per_second_stacked_chunked": round(size / chunked, 2),
+            "stacked_speedup_vs_loop": round(loop_best / unchunked, 2),
             "stacked_speedup_vs_fleet": round(
-                timings[False] / timings[True], 2
+                timings[(False, 0)] / unchunked, 2
             ),
+            "chunked_speedup_vs_stacked": round(unchunked / chunked, 2),
         })
     headline = curve[-1]
     return {

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Benchmark: bounded delta-replay of point corrections vs full replay.
+
+Serves a deterministic alpha fleet through the streaming subsystem
+(:mod:`repro.stream`) over a 250-day warm history, then injects a **late
+point correction** — a restated bar a few days back — and measures what the
+bounded delta-replay engine buys: ``AlphaServer.correct_bar`` rewinds each
+alpha to its newest clean snapshot (or spins up over its compile-time
+lookback bound) and replays only the invalidated suffix, while the
+alternative without carried state rebuilds the server — full warm-start
+training plus re-streaming every served day of the corrected history.
+Recorded, per served-history length T:
+
+* wall-clock of the delta correction and of the full warm-start replay, and
+  the resulting speedup — ~linear in T / max_lookback, since the delta path
+  replays a bounded suffix while the full path replays everything;
+* the hard **bitwise parity gate**: the delta-replayed suffix predictions,
+  and the predictions of the days served *after* the correction, must equal
+  the fully replayed server bit for bit (non-zero exit on any violation).
+
+Results are written to ``benchmarks/results/BENCH_update.json`` (the source
+of truth, with a copy at the repository root — see ``benchmarks/README.md``).
+
+Run with::
+
+    python benchmarks/bench_update.py [--programs N] [--stocks K] [--smoke]
+
+``--smoke`` shrinks the universe, fleet and history but keeps the full
+bitwise parity gate — CI uses it as the delta-replay parity gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np
+
+from common import build_programs, write_bench_json
+from repro.core import Dimensions
+from repro.data import MarketConfig, Split, SyntheticMarket, build_taskset
+from repro.stream import AlphaServer
+
+#: Days of training history the servers warm over.
+WARM_DAYS = 250
+EVALUATOR_SEED = 0
+#: Suffix length of the benchmarked correction: the restated bar sits this
+#: many days before the end of the served history, so the delta path
+#: replays a short, history-independent suffix while the full path grows
+#: with T.  Small enough to stay inside the default unbounded-lookback
+#: snapshot ring (depth 8).
+SUFFIX_DAYS = 6
+#: Days served *after* the correction on both servers, so the parity gate
+#: covers the corrected rolling state, not just the replayed suffix.
+TAIL_DAYS = 4
+
+
+def build_taskset_for(num_stocks: int, serve_days: int, warm_days: int):
+    """A task set with ``warm_days`` of history and ``serve_days`` to stream."""
+    valid = serve_days // 2
+    test = serve_days - valid
+    # build_taskset needs warm-up (30) + window (13) - 1 leading days, one
+    # trailing day for the last label, and the split itself.
+    num_days = 30 + 13 - 1 + warm_days + valid + test + 1
+    market = SyntheticMarket(
+        MarketConfig(num_stocks=num_stocks, num_days=num_days), seed=2021
+    )
+    return build_taskset(
+        market.generate(), split=Split(train=warm_days, valid=valid, test=test)
+    )
+
+
+def build_server(taskset, programs) -> AlphaServer:
+    server = AlphaServer(taskset, seed=EVALUATOR_SEED, max_train_steps=None)
+    for program in programs:
+        server.register(program)
+    server.warm_start()
+    return server
+
+
+def stream_bars(server, features, labels, start: int, stop: int) -> list:
+    """Serve days ``start .. stop`` and return the per-day prediction dicts."""
+    served = []
+    for day in range(start, stop):
+        served.append(server.on_bar(features[day]))
+        server.reveal(labels[day])
+    return served
+
+
+def bench_history(taskset, programs, history: int) -> dict:
+    """Delta vs full-replay correction at one served-history length."""
+    features = np.concatenate([
+        taskset.split_features("valid"), taskset.split_features("test"),
+    ])
+    labels = np.concatenate([
+        taskset.split_labels("valid"), taskset.split_labels("test"),
+    ])
+    day = history - SUFFIX_DAYS
+    corrected_features = np.array(features, copy=True)
+    corrected_features[day] = corrected_features[day] * 1.01
+
+    # ----- delta path: serve the history, then correct_bar ------------------
+    server = build_server(taskset, programs)
+    stream_bars(server, features, labels, 0, history)
+    delta_start = time.perf_counter()
+    delta_suffix = server.correct_bar(day, features=corrected_features[day])
+    delta_seconds = time.perf_counter() - delta_start
+    replayed = server.corrections[-1].replayed_days
+
+    # ----- full path: rebuild and re-stream the corrected history ----------
+    full_start = time.perf_counter()
+    full = build_server(taskset, programs)
+    full_served = stream_bars(full, corrected_features, labels, 0, history)
+    full_seconds = time.perf_counter() - full_start
+
+    # ----- hard bitwise parity gate ----------------------------------------
+    parity = True
+    names = server.names
+    for offset in range(SUFFIX_DAYS):
+        for name in names:
+            if (delta_suffix[name][offset].tobytes()
+                    != full_served[day + offset][name].tobytes()):
+                parity = False
+    # The corrected rolling state must also serve the future identically.
+    delta_tail = stream_bars(server, corrected_features, labels,
+                             history, history + TAIL_DAYS)
+    full_tail = stream_bars(full, corrected_features, labels,
+                            history, history + TAIL_DAYS)
+    for delta_day, full_day in zip(delta_tail, full_tail):
+        for name in names:
+            if delta_day[name].tobytes() != full_day[name].tobytes():
+                parity = False
+
+    return {
+        "history_days": history,
+        "correction_day": day,
+        "replayed_days": replayed,
+        "delta_replay_seconds": round(delta_seconds, 5),
+        "full_replay_seconds": round(full_seconds, 4),
+        "speedup_vs_full_replay": round(full_seconds / delta_seconds, 1),
+        "parity_delta_vs_full_replay": bool(parity),
+    }
+
+
+def run_benchmark(num_programs: int = 4, num_stocks: int = 40,
+                  histories=(60, 120, 250), warm_days: int = WARM_DAYS) -> dict:
+    taskset = build_taskset_for(
+        num_stocks, max(histories) + TAIL_DAYS, warm_days
+    )
+    dims = Dimensions(taskset.num_features, taskset.window)
+    programs = build_programs(dims, num_programs, max_mutations=4, rename=True)
+
+    curve = [bench_history(taskset, programs, history)
+             for history in histories]
+    headline = curve[-1]
+    return {
+        "benchmark": "bounded delta-replay of point corrections vs full "
+                     "warm-start replay",
+        "warm_history_days": warm_days,
+        "num_stocks": taskset.num_tasks,
+        "num_programs": len(programs),
+        "correction_suffix_days": SUFFIX_DAYS,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "speedup_curve": curve,
+        "history_days": headline["history_days"],
+        "speedup_vs_full_replay": headline["speedup_vs_full_replay"],
+        "parity_delta_vs_full_replay": all(
+            point["parity_delta_vs_full_replay"] for point in curve
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--programs", type=int, default=4,
+                        help="number of alphas in the served fleet")
+    parser.add_argument("--stocks", type=int, default=40,
+                        help="number of simulated stocks")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fleet/universe/history; used as the CI "
+                             "delta-replay parity gate")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        payload = run_benchmark(num_programs=3, num_stocks=20,
+                                histories=(16,), warm_days=40)
+    else:
+        payload = run_benchmark(args.programs, args.stocks)
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+
+    if not args.smoke:
+        path = write_bench_json("update", payload)
+        print(f"\nsaved {path}")
+
+    if not payload["parity_delta_vs_full_replay"]:
+        print("ERROR: delta-replayed corrections diverge bitwise from a "
+              "full warm-start replay", file=sys.stderr)
+        return 1
+    if not args.smoke and payload["speedup_vs_full_replay"] < 10.0:
+        print("ERROR: delta replay is less than 10x faster than a full "
+              f"replay at {payload['history_days']}-day history "
+              f"({payload['speedup_vs_full_replay']}x)", file=sys.stderr)
+        return 1
+    if args.smoke:
+        print("\ndelta-replay parity smoke check passed "
+              f"({payload['num_programs']} programs, "
+              f"{payload['speedup_vs_full_replay']}x vs full replay)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

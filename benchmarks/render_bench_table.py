@@ -94,6 +94,16 @@ def _render_stream(payload: dict) -> list[Row]:
     )]
 
 
+def _render_update(payload: dict) -> list[Row]:
+    return [(
+        "delta-replay of a late correction vs full warm-start replay",
+        f"{payload['speedup_vs_full_replay']}x",
+        f"`bench_update.py`, {payload['history_days']}-day served history, "
+        f"{payload['speedup_curve'][-1]['replayed_days']} days replayed, "
+        "bitwise parity with the full replay",
+    )]
+
+
 def _render_engine(payload: dict) -> list[Row]:
     rows: list[Row] = []
     static = payload.get("static_predict_time_batching", {})
@@ -169,6 +179,7 @@ RENDERERS = {
     "compile": _render_compile,
     "parallel": _render_parallel,
     "stream": _render_stream,
+    "update": _render_update,
     "engine": _render_engine,
     "data": _render_data,
     "obs": _render_obs,

@@ -26,7 +26,11 @@ form, its compiled/canonical IR and the per-pass optimiser statistics
 programs with ``--program``) and streams the validation/test days through
 the :class:`repro.stream.server.AlphaServer`, printing each alpha's online
 backtest metrics, the per-bar serving latency and the result of the bitwise
-parity check against the offline batch path.
+parity check against the offline batch path.  ``--correct DAY`` (or a
+``--corrections`` JSON file) injects late point corrections after the
+stream: each rewrites an already-served bar through the server's bounded
+delta-replay and is verified bitwise against a full replay of the corrected
+history.
 
 ``scenario`` drives the same mine→compile→serve pipeline for one *named
 scenario* of the suite in :mod:`repro.scenarios` (``--list`` shows them):
@@ -45,6 +49,7 @@ and span tree — is written to ``<path>``.  ``stats`` renders such a record
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -320,6 +325,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
              "of mining; repeatable",
     )
     parser.add_argument(
+        "--correct", action="append", type=int, default=None, metavar="DAY",
+        help="after streaming, inject a late correction to served day DAY "
+             "(a 1%% feature restatement) and delta-replay it, verifying "
+             "bitwise parity with a full offline replay; repeatable",
+    )
+    parser.add_argument(
+        "--corrections", default=None, metavar="JSON",
+        help="JSON file with a list of corrections "
+             '[{"day": 3, "feature_scale": 1.01, "label_scale": 0.99}, ...] '
+             "to inject after streaming (combines with --correct)",
+    )
+    parser.add_argument(
         "--output", default=None,
         help="directory to write a serve.json result file into",
     )
@@ -329,6 +346,48 @@ def build_serve_parser() -> argparse.ArgumentParser:
              "record (readable by 'repro stats') to this path",
     )
     return parser
+
+
+def parse_corrections(args: argparse.Namespace):
+    """Build the ``BarCorrection`` list from ``--correct``/``--corrections``.
+
+    Exposed for testing.  Returns ``None`` when neither flag was given.
+    """
+    from .errors import StreamError
+    from .stream import BarCorrection
+
+    corrections = []
+    for day in args.correct or ():
+        corrections.append(BarCorrection(day=day, feature_scale=1.01))
+    if args.corrections:
+        path = Path(args.corrections)
+        if not path.exists():
+            raise StreamError(f"no such corrections file: {path}")
+        try:
+            entries = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StreamError(f"corrections file {path} is not valid JSON: "
+                              f"{exc}") from exc
+        if not isinstance(entries, list):
+            raise StreamError(f"corrections file {path} must hold a JSON "
+                              f"list of objects")
+        for entry in entries:
+            if not isinstance(entry, dict) or "day" not in entry:
+                raise StreamError(
+                    f"corrections file {path}: each entry needs at least "
+                    f'a "day" key; got {entry!r}'
+                )
+            unknown = set(entry) - {"day", "feature_scale", "label_scale"}
+            if unknown:
+                raise StreamError(
+                    f"corrections file {path}: unknown keys {sorted(unknown)}"
+                )
+            scale = {
+                key: float(entry[key])
+                for key in ("feature_scale", "label_scale") if key in entry
+            }
+            corrections.append(BarCorrection(day=int(entry["day"]), **scale))
+    return corrections or None
 
 
 def resolve_serve_config(args: argparse.Namespace):
@@ -383,12 +442,25 @@ def run_serve_command(argv: list[str]) -> int:
     # proceeds with telemetry in whatever state the process already had.
     session = telemetry_session() if args.telemetry else nullcontext()
     try:
+        corrections = parse_corrections(args)
         with session:
-            report = run_serve(config, programs=programs, names=names)
+            report = run_serve(config, programs=programs, names=names,
+                               corrections=corrections)
     except StreamError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.render())
+    corrected = report.metadata.get("corrections")
+    if corrected is not None:
+        replayed = sum(
+            record["replayed_days"] for record in corrected["records"]
+        )
+        print(
+            f"late corrections: {corrected['count']} applied, "
+            f"{replayed} days delta-replayed; parity with a full replay "
+            f"of the corrected history: "
+            + ("bitwise identical" if corrected["parity"] else "VIOLATED")
+        )
     if args.telemetry and report.run_record is not None:
         path = save_run_record(report.run_record, args.telemetry)
         print(f"\nwrote run record {path}")

@@ -27,6 +27,7 @@ from .compiler import (
 )
 from .executor import CompiledAlpha, TAPE_STATE_VERSION, TapeState, tape_key_for
 from .ir import IRComponent, IRInstruction, IRProgram, IRValue, lower_program
+from .lookback import LookbackInfo, analyze_lookback
 from .stacked import StackedAlpha, stack_signature
 from .passes import (
     DataflowInfo,
@@ -46,11 +47,13 @@ __all__ = [
     "IRInstruction",
     "IRProgram",
     "IRValue",
+    "LookbackInfo",
     "PassStats",
     "StackedAlpha",
     "TAPE_STATE_VERSION",
     "TapeState",
     "analyze_dataflow",
+    "analyze_lookback",
     "canonical_ir",
     "canonical_key",
     "canonicalize_commutative",

@@ -25,6 +25,7 @@ from ..core.program import AlphaProgram
 from ..core.pruning import prune_program
 from ..obs import TELEMETRY
 from .ir import IRProgram, lower_program
+from .lookback import LookbackInfo, analyze_lookback
 from .passes import (
     DataflowInfo,
     PassStats,
@@ -63,6 +64,10 @@ class CompiledProgram:
     #: one vectorised ``(T, K, ...)`` kernel call instead of a per-day
     #: Python loop.
     static_predict: bool = False
+    #: Inference-day invalidation horizons (:mod:`.lookback`): how many
+    #: clean days the delta-replay engine must spin up before a corrected
+    #: bar's prediction is bit-exact from an arbitrary live state.
+    lookback: LookbackInfo | None = None
 
     @property
     def num_instructions(self) -> int:
@@ -119,6 +124,7 @@ def compile_program(program: AlphaProgram) -> CompiledProgram:
         dataflow=dataflow,
         fused_inference=fused,
         static_predict=_static_predict_eligible(ir, dataflow, fused),
+        lookback=analyze_lookback(ir, dataflow),
     )
 
 
@@ -179,6 +185,8 @@ def describe_compilation(program: AlphaProgram) -> str:
         + ("yes" if compiled.static_predict else "no (predict depends on "
            "loop-carried state)")
     )
+    if compiled.lookback is not None:
+        lines.append("delta-replay lookback: " + compiled.lookback.describe())
     lines.append(compiled.ir.render())
 
     ir, stats_list = canonical_ir(program)

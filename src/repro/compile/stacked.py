@@ -30,9 +30,14 @@ reductions, the fixed-subscript contractions and the cross-sectional rank
 — the contiguous trailing axis over which NumPy accumulates — is unchanged
 by a leading program axis, so the per-element accumulation order (and hence
 every bit of the result) is identical to the per-program call.
-Transcendentals stay in the per-lane loop: their SIMD kernels may take a
-different code path for different array lengths, which is exactly the kind
-of shape dependence the parity contract forbids relying on.
+Transcendental elementwise operators (``s_sin`` … ``s_log``) are admitted
+by an import-time probe (:func:`_probe_transcendental_stacking`): their
+SIMD kernels *could* take a different code path for different array
+lengths, so each one is batched only after its stacked call reproduces the
+per-slice call bit for bit on adversarial 2-D and 3-D fixtures (negatives,
+zeros, clip boundaries, denormals).  An operator that fails the probe on
+the running platform simply stays in the per-lane loop — the parity
+contract never rests on an unverified shape-independence assumption.
 
 Suspend/resume slices cleanly in and out of the stacked buffers:
 :meth:`StackedAlpha.suspend_member` emits a :class:`TapeState`
@@ -69,6 +74,63 @@ _STACK_SAFE = frozenset({
     "m_norm", "m_mean", "m_std", "m_mean_axis", "m_std_axis",
     "matmul",
 })
+
+#: Transcendental elementwise candidates for stacking.  Unlike the
+#: reductions above, their shape independence is *verified* at import time
+#: rather than argued: see :func:`_probe_transcendental_stacking`.
+_TRANSCENDENTAL_CANDIDATES = (
+    "s_sin", "s_cos", "s_tan", "s_arcsin", "s_arccos", "s_arctan",
+    "s_exp", "s_log",
+)
+
+
+def _probe_transcendental_stacking(candidates=_TRANSCENDENTAL_CANDIDATES):
+    """The subset of ``candidates`` whose stacked call is bit-exact here.
+
+    For each candidate the registry kernel runs once over a stacked fixture
+    and once per leading-axis slice; the operator is admitted only when the
+    bytes agree on both a 2-D ``(P, K)`` and a 3-D ``(P, C, K)`` fixture —
+    the two shapes the stacked day loop and the stacked fused path feed it.
+    Fixture values cover the sanitised input range: both clip boundaries,
+    zeros, denormals, exact ±1 (the arcsin/arccos clip edge) and a spread
+    of magnitudes.
+    """
+    rng = np.random.default_rng(0x5AFE)
+    specials = np.array([
+        0.0, -0.0, 1.0, -1.0, CLIP_VALUE, -CLIP_VALUE, _EPS, -_EPS,
+        5e-324, -5e-324, np.pi, -np.pi, 50.0, -50.0, 1e-9, 123456.789,
+    ])
+
+    def fixture(shape):
+        flat = rng.standard_normal(int(np.prod(shape)))
+        flat *= 10.0 ** rng.integers(-12, 12, flat.shape)
+        flat[:specials.size] = specials
+        return np.clip(flat, -CLIP_VALUE, CLIP_VALUE).reshape(shape)
+
+    fixtures = (fixture((7, 13)), fixture((3, 5, 17)))
+    admitted = []
+    for name in candidates:
+        func = get_op(name).func
+        with np.errstate(all="ignore"):
+            ok = all(
+                func(None, (stacked,), {}).tobytes()
+                == np.stack([
+                    func(None, (lane,), {}) for lane in stacked
+                ]).tobytes()
+                for stacked in fixtures
+            )
+        if ok:
+            admitted.append(name)
+    return frozenset(admitted)
+
+
+_STACK_SAFE = _STACK_SAFE | _probe_transcendental_stacking()
+
+#: Stacked-mode operators worth chunking over the program axis: the
+#: matrix-heavy contractions whose per-lane working set is large enough
+#: that a monolithic ``(P, ...)`` call spills cache.  Batch elements are
+#: contracted independently, so any leading-axis split is bitwise-neutral.
+_PROGRAM_CHUNK_OPS = frozenset({"matmul", "matvec", "v_dot"})
 
 
 def _stacked_rank(values: np.ndarray) -> np.ndarray:
@@ -236,7 +298,7 @@ class _StackedEntry:
     __slots__ = (
         "op", "mode", "func", "out_func", "nan_free", "spec_func", "gather",
         "inputs", "input_ids", "output", "output_id", "params0",
-        "member_params", "calls",
+        "member_params", "calls", "pchunk",
     )
 
     def __init__(self, op, mode, func, spec_func, gather, inputs, input_ids,
@@ -259,6 +321,9 @@ class _StackedEntry:
         self.member_params = member_params
         #: Kernel calls one execution of this entry issues (telemetry).
         self.calls = calls
+        #: Whether the program axis may be chunked for cache residency
+        #: (stacked-mode matrix contractions only; bitwise-neutral).
+        self.pchunk = mode == "stacked" and op in _PROGRAM_CHUNK_OPS
 
 
 def _make_gather(op: str, member_params, ctx):
@@ -298,9 +363,18 @@ class StackedAlpha:
         all sharing one :func:`stack_signature` (validated here).
     ctx:
         The shared evaluation context every member binds to.
+    program_chunk:
+        Program-axis chunk size for the matrix-heavy stacked contractions
+        (:data:`_PROGRAM_CHUNK_OPS`): ``None`` derives a cache-resident
+        size from the context's per-lane working set, ``0`` disables
+        chunking, a positive int forces that many lanes per kernel call.
+        Contractions treat batch elements independently, so chunking never
+        changes a bit of any result — only how many lanes each NumPy call
+        touches at once.
     """
 
-    def __init__(self, compiled_group, ctx) -> None:
+    def __init__(self, compiled_group, ctx,
+                 program_chunk: int | None = None) -> None:
         compiled_group = list(compiled_group)
         if not compiled_group:
             raise ExecutionError("cannot stack an empty program group")
@@ -320,6 +394,14 @@ class StackedAlpha:
         #: Set by :meth:`resume`: tape-restored state may hold raw captures
         #: of the feature/label arrays, so ``nan_free`` skips are disabled.
         self._force_nan_scan = False
+        if program_chunk is None:
+            # Auto: keep one chunk's matrix operands around the same
+            # budget the fused path uses for its day chunks.
+            per_lane = ctx.num_tasks * ctx.num_features * ctx.window
+            program_chunk = max(1, _MAX_CHUNK_ELEMENTS // max(per_lane, 1))
+        #: Lanes per kernel call for :data:`_PROGRAM_CHUNK_OPS` entries
+        #: (``0`` = monolithic).
+        self.program_chunk = int(program_chunk)
 
         shapes = {
             OperandType.SCALAR: (P, ctx.num_tasks),
@@ -492,6 +574,22 @@ class StackedAlpha:
                     np.clip(out, -CLIP_VALUE, CLIP_VALUE, out=out)
                     if force_scan or not entry.nan_free:
                         np.copyto(out, 0.0, where=np.isnan(out))
+                elif (entry.pchunk
+                        and 0 < self.program_chunk < self.num_programs):
+                    chunk = self.program_chunk
+                    for lane0 in range(0, self.num_programs, chunk):
+                        lanes = slice(lane0, lane0 + chunk)
+                        _sanitize_into(
+                            entry.output[lanes],
+                            entry.func(
+                                ctx,
+                                tuple(array[lanes]
+                                      for array in entry.inputs),
+                                entry.params0,
+                            ),
+                        )
+                        calls += 1
+                    calls -= entry.calls  # netted against the shared add
                 else:
                     _sanitize_into(
                         entry.output,
@@ -689,11 +787,25 @@ class StackedAlpha:
                             np.copyto(
                                 output, 0.0, where=np.isnan(output)
                             )
+                        calls += 1
+                    elif entry.pchunk and 0 < self.program_chunk < P:
+                        chunk = self.program_chunk
+                        for lane0 in range(0, P, chunk):
+                            lanes = slice(lane0, lane0 + chunk)
+                            _sanitize_into(
+                                output[lanes],
+                                entry.func(
+                                    ctx,
+                                    tuple(array[lanes] for array in inputs),
+                                    entry.params0,
+                                ),
+                            )
+                            calls += 1
                     else:
                         _sanitize_into(
                             output, entry.func(ctx, inputs, entry.params0)
                         )
-                    calls += 1
+                        calls += 1
                 elif day_func is not None:
                     # Per-member parameters, but the operator batches over
                     # the day axis: one day-batched call per lane (the

@@ -15,6 +15,10 @@ lives — once — and where every execution path in the repository plugs in:
   paths that collapse eligible stages into one ``(T, K, ...)`` kernel call;
 * :mod:`repro.engine.incremental` — :class:`IncrementalExecutor`, one
   backend advanced one day per ``step`` with suspend/resume;
+* :mod:`repro.engine.replay`     — bounded delta-replay of point
+  corrections: :class:`SnapshotRing` per-day state retention plus the
+  compile-time lookback bound, behind ``IncrementalExecutor.correct`` and
+  the fleet's ``correct`` fan-out;
 * :mod:`repro.engine.fleet`      — :class:`FleetEngine`, N programs over
   one shared :class:`~repro.core.ops.ExecutionContext` and data pass with
   canonical deduplication (behind both the search's batch scorer and the
@@ -42,6 +46,13 @@ from .fleet import (
     stack_partition,
 )
 from .incremental import IncrementalExecutor
+from .replay import (
+    DEFAULT_UNBOUNDED_DEPTH,
+    CorrectionResult,
+    SnapshotRing,
+    replay_correction,
+    snapshot_depth_for,
+)
 from .protocol import (
     can_batch_training,
     inference_pass,
@@ -51,19 +62,24 @@ from .protocol import (
 )
 
 __all__ = [
+    "DEFAULT_UNBOUNDED_DEPTH",
     "ENGINES",
     "CompiledBackend",
+    "CorrectionResult",
     "ExecutionEngine",
     "FleetEngine",
     "FleetMember",
     "IncrementalExecutor",
     "InterpreterBackend",
+    "SnapshotRing",
     "can_batch_training",
     "evaluate_program_batch",
     "inference_pass",
     "make_backend",
+    "replay_correction",
     "resolve_engine",
     "run_protocol",
+    "snapshot_depth_for",
     "stack_partition",
     "stream_days",
     "training_pass",

@@ -56,6 +56,9 @@ from ..obs import TELEMETRY
 from .backends import make_backend, resolve_engine
 from .incremental import IncrementalExecutor
 from .protocol import run_protocol, training_pass
+from .replay import (
+    CorrectionResult, SnapshotRing, replay_correction, snapshot_depth_for,
+)
 
 __all__ = [
     "FleetMember",
@@ -149,6 +152,17 @@ class _SingleUnit:
     def resume(self, tapes: dict[str, object], days_served: int = 0) -> None:
         self.executor.resume(tapes[self.key], days_served=days_served)
 
+    def correct(self, day, features, labels) -> dict[str, CorrectionResult]:
+        return {self.key: self.executor.correct(day, features, labels)}
+
+    def replay_states(self) -> dict[str, dict]:
+        return {self.key: self.executor.replay_state()}
+
+    def restore_replay_states(self, payloads: dict[str, dict]) -> None:
+        payload = payloads.get(self.key)
+        if payload is not None:
+            self.executor.restore_replay_state(payload)
+
     def views(self) -> dict[str, object]:
         return {self.key: self.executor}
 
@@ -169,6 +183,30 @@ class _StackedUnit:
         self._warmed = False
         self._awaiting_label = False
         self._reported_kernel_calls = 0
+        # Delta-replay state.  Signature groups share opcode sequence and
+        # SSA wiring, so every lane has the template's lookback structure;
+        # ring entries hold the whole group's per-lane tape states at once.
+        self._lookback = backend.group[0].lookback
+        self._ring: SnapshotRing | None = None
+        self._anchor: tuple[int, dict[str, object]] | None = None
+
+    @property
+    def max_lookback(self) -> int | None:
+        return None if self._lookback is None else self._lookback.max_lookback
+
+    def _suspend_states(self) -> dict[str, object]:
+        return {
+            key: self.backend.suspend_member(lane)
+            for lane, key in enumerate(self.keys)
+        }
+
+    def _restore_states(self, states: dict[str, object]) -> None:
+        self.backend.resume([states[key] for key in self.keys])
+
+    def _ensure_ring(self) -> SnapshotRing:
+        if self._ring is None:
+            self._ring = SnapshotRing(snapshot_depth_for(self.max_lookback))
+        return self._ring
 
     @property
     def is_warm(self) -> bool:
@@ -187,6 +225,7 @@ class _StackedUnit:
             day_indices=day_indices, use_update=use_update,
         )
         self._warmed = True
+        self._anchor = (0, self._suspend_states())
 
     def step_bar(self, features) -> dict[str, np.ndarray]:
         if self._awaiting_label:
@@ -209,6 +248,90 @@ class _StackedUnit:
                               "call step() first")
         self.backend.set_label(labels)
         self._awaiting_label = False
+        self._ensure_ring().push(self.days_served, self._suspend_states())
+
+    def correct(self, day, features, labels) -> dict[str, CorrectionResult]:
+        """Delta-replay a correction once for the whole group.
+
+        One bounded replay of the stacked tape serves every lane; the
+        ``(R, P, K)`` corrected prediction block is scattered back to the
+        member keys, exactly as :meth:`step_bar` scatters live bars.
+        """
+        if not self._warmed:
+            raise StreamError("stacked group must be warm-started (or "
+                              "resumed) before it can correct days")
+        if self._awaiting_label:
+            raise StreamError("previous day's label was never revealed; "
+                              "reveal it before correcting history")
+        result = replay_correction(
+            self.backend, day, features, labels,
+            days_served=self.days_served,
+            max_lookback=self.max_lookback,
+            ring=self._ensure_ring(),
+            anchor=self._anchor,
+            take_snapshot=self._suspend_states,
+            restore_snapshot=self._restore_states,
+            what=f"stacked group of {len(self.keys)}",
+        )
+        return {
+            key: CorrectionResult(
+                day=result.day,
+                start_day=result.start_day,
+                mode=result.mode,
+                replayed_days=result.replayed_days,
+                predictions=np.ascontiguousarray(
+                    result.predictions[:, lane]
+                ),
+            )
+            for lane, key in enumerate(self.keys)
+        }
+
+    def replay_states(self) -> dict[str, dict]:
+        """Per-key delta-replay payloads (solo-compatible tape states)."""
+        entries = self._ring.entries() if self._ring is not None else ()
+        payloads: dict[str, dict] = {}
+        for key in self.keys:
+            anchor = None
+            if self._anchor is not None:
+                anchor = (self._anchor[0], self._anchor[1][key])
+            payloads[key] = {
+                "anchor": anchor,
+                "entries": tuple(
+                    (day, states[key]) for day, states in entries
+                ),
+            }
+        return payloads
+
+    def restore_replay_states(self, payloads: dict[str, dict]) -> None:
+        """Regroup per-key payloads into group-wide ring entries.
+
+        Only anchor/ring days retained for *every* lane are restored — a
+        group snapshot needs all lanes at the same day.
+        """
+        mine = [payloads.get(key) for key in self.keys]
+        if any(payload is None for payload in mine):
+            return
+        anchors = [payload.get("anchor") for payload in mine]
+        if all(anchor is not None for anchor in anchors):
+            days = {int(anchor[0]) for anchor in anchors}
+            if len(days) == 1:
+                self._anchor = (
+                    days.pop(),
+                    {key: anchor[1]
+                     for key, anchor in zip(self.keys, anchors)},
+                )
+        by_day: dict[int, dict[str, object]] = {}
+        for key, payload in zip(self.keys, mine):
+            for day, state in payload.get("entries") or ():
+                by_day.setdefault(int(day), {})[key] = state
+        complete = [
+            (day, states) for day, states in sorted(by_day.items())
+            if len(states) == len(self.keys)
+        ]
+        if complete:
+            self._ring = SnapshotRing(
+                snapshot_depth_for(self.max_lookback), complete
+            )
 
     def suspend(self) -> dict[str, object]:
         if self._awaiting_label:
@@ -226,6 +349,11 @@ class _StackedUnit:
         self.backend.resume([tapes[key] for key in self.keys])
         self.days_served = int(days_served)
         self._warmed = True
+        # The resumed per-lane states form a clean group snapshot entering
+        # this day (restore_replay_states may still supply the day-0 one).
+        self._anchor = (
+            self.days_served, {key: tapes[key] for key in self.keys}
+        )
 
     def drain_kernel_calls(self) -> int:
         """Batched kernel calls issued since the last drain (telemetry)."""
@@ -299,11 +427,19 @@ class FleetEngine:
         bit of any result — it only changes how many NumPy calls produce
         them — and unlike ``dedup`` it is safe under the scorer, since
         every member keeps its own lane, parameters and score.
+    program_chunk:
+        Program-axis chunking for matrix-heavy stacked kernels, passed
+        through to :class:`~repro.compile.stacked.StackedAlpha`: ``None``
+        derives a cache-resident chunk automatically, ``0`` disables
+        chunking, a positive int forces that chunk size.  Bitwise-neutral
+        either way.
     """
 
     def __init__(self, evaluator, engine: str | None = None,
-                 dedup: bool = True, stacked: bool | None = None) -> None:
+                 dedup: bool = True, stacked: bool | None = None,
+                 program_chunk: int | None = None) -> None:
         self.evaluator = evaluator
+        self.program_chunk = program_chunk
         self.engine_name = resolve_engine(
             engine if engine is not None else getattr(evaluator, "engine", None)
         )
@@ -537,7 +673,8 @@ class FleetEngine:
                 if len(group) < 2:
                     continue
                 backend = StackedAlpha(
-                    [compiled[key] for key in group], ctx
+                    [compiled[key] for key in group], ctx,
+                    program_chunk=self.program_chunk,
                 )
                 panels = run_protocol(
                     backend,
@@ -619,7 +756,8 @@ class FleetEngine:
                     continue
                 unit = _StackedUnit(
                     group,
-                    StackedAlpha([compiled[key] for key in group], self._ctx),
+                    StackedAlpha([compiled[key] for key in group], self._ctx,
+                                 program_chunk=self.program_chunk),
                 )
                 self._units.append(unit)
                 self._executors.update(unit.views())
@@ -690,6 +828,47 @@ class FleetEngine:
         """Reveal the last bar's realised labels to every unique backend."""
         for unit in self._units:
             unit.reveal(labels)
+
+    def correct(
+        self,
+        day: int,
+        features: np.ndarray,
+        labels: np.ndarray,
+    ) -> dict[str, CorrectionResult]:
+        """Delta-replay a correction across the fleet; key → result.
+
+        ``features``/``labels`` are the *corrected* full served history
+        (``(days_served, K, f, w)`` / ``(days_served, K)``).  Every unique
+        backend replays only its invalidated suffix — stacked groups once
+        per group — and is left bitwise-identical to a full warm-start
+        replay of the corrected history.
+        """
+        if not self._warmed:
+            raise StreamError("fleet must be warm-started (or resumed) "
+                              "before correcting served days")
+        results: dict[str, CorrectionResult] = {}
+        for unit in self._units:
+            results.update(unit.correct(day, features, labels))
+        self._drain_stacked_kernel_calls()
+        return results
+
+    def suspend_replay_states(self) -> dict[str, dict]:
+        """key → persistable delta-replay payload (anchor + ring entries).
+
+        Lane states are solo-compatible
+        :class:`~repro.compile.executor.TapeState` objects, so payloads
+        restore into stacked and unstacked fleets alike (group rings keep
+        only days retained for every lane).
+        """
+        payloads: dict[str, dict] = {}
+        for unit in self._units:
+            payloads.update(unit.replay_states())
+        return payloads
+
+    def resume_replay_states(self, payloads: dict[str, dict]) -> None:
+        """Restore :meth:`suspend_replay_states` output (after resume)."""
+        for unit in self._units:
+            unit.restore_replay_states(payloads)
 
     def suspend_tapes(self) -> dict[str, object]:
         """key → suspended tape state of every unique backend.

@@ -19,7 +19,13 @@ backend, whose tape protocol provides ``suspend``/``resume``):
   taken, exactly as :func:`~repro.engine.protocol.stream_days` orders it;
 * :meth:`suspend` / :meth:`resume` round-trip the rolling operand state
   through the backend's tape protocol, so serving can be checkpointed
-  mid-stream and continue bitwise identically.
+  mid-stream and continue bitwise identically;
+* :meth:`correct` delta-replays a point correction to an already-served
+  bar: a bounded ring of per-day snapshots (depth from the compile-time
+  lookback analysis) plus the permanent warm-start anchor let a correction
+  at day ``t`` replay only the invalidated suffix instead of the whole
+  history — bitwise-identical to a full warm-start replay
+  (:mod:`repro.engine.replay`).
 
 The public streaming alias is :class:`repro.stream.incremental.IncrementalAlpha`.
 """
@@ -34,6 +40,9 @@ from ..core.program import AlphaProgram
 from ..errors import StreamError
 from .backends import ExecutionEngine, make_backend
 from .protocol import training_pass
+from .replay import (
+    CorrectionResult, SnapshotRing, replay_correction, snapshot_depth_for,
+)
 
 __all__ = ["IncrementalExecutor"]
 
@@ -83,6 +92,68 @@ class IncrementalExecutor:
         self.days_served = 0
         self._warmed = False
         self._awaiting_label = False
+        #: Delta-replay state: a bounded ring of per-day tape snapshots plus
+        #: the permanent warm/resume anchor.  Only backends with a tape
+        #: protocol can snapshot; the interpreter serves corrections through
+        #: the bounded-lookback spin-up path alone.
+        self._can_snapshot = (
+            getattr(self.executor, "suspend", None) is not None
+        )
+        self._ring: SnapshotRing | None = None
+        self._anchor: tuple[int, object] | None = None
+        self._lookback_cache = None
+
+    # ------------------------------------------------------------------
+    @property
+    def lookback(self):
+        """The program's :class:`~repro.compile.lookback.LookbackInfo`."""
+        if self._lookback_cache is None:
+            compiled = getattr(self.executor, "compiled", None)
+            if compiled is not None and compiled.lookback is not None:
+                self._lookback_cache = compiled.lookback
+            else:
+                # Interpreter backend: the dataflow (and therefore the
+                # horizon structure) is engine-independent, so compile for
+                # analysis only.
+                from ..compile import compile_program
+
+                self._lookback_cache = compile_program(self.program).lookback
+        return self._lookback_cache
+
+    @property
+    def max_lookback(self) -> int | None:
+        """Replay spin-up bound (``None`` = unbounded recurrence)."""
+        return self.lookback.max_lookback
+
+    def _ensure_ring(self) -> SnapshotRing | None:
+        if not self._can_snapshot:
+            return None
+        if self._ring is None:
+            self._ring = SnapshotRing(snapshot_depth_for(self.max_lookback))
+        return self._ring
+
+    def _record_snapshot(self, day: int) -> None:
+        ring = self._ensure_ring()
+        if ring is not None:
+            ring.push(day, self.executor.suspend())
+
+    def replay_state(self) -> dict:
+        """The persistable delta-replay state (anchor + ring entries)."""
+        return {
+            "anchor": self._anchor,
+            "entries": self._ring.entries() if self._ring is not None else (),
+        }
+
+    def restore_replay_state(self, payload: dict) -> None:
+        """Restore :meth:`replay_state` output (after :meth:`resume`)."""
+        anchor = payload.get("anchor")
+        if anchor is not None:
+            self._anchor = (int(anchor[0]), anchor[1])
+        entries = payload.get("entries") or ()
+        if entries:
+            self._ring = SnapshotRing(
+                snapshot_depth_for(self.max_lookback), entries
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -118,6 +189,8 @@ class IncrementalExecutor:
             day_indices=day_indices, use_update=use_update,
         )
         self._warmed = True
+        if self._can_snapshot:
+            self._anchor = (0, self.executor.suspend())
 
     # ------------------------------------------------------------------
     def step(self, features: np.ndarray) -> np.ndarray:
@@ -154,6 +227,44 @@ class IncrementalExecutor:
                               "call step() first")
         self.executor.set_label(labels)
         self._awaiting_label = False
+        self._record_snapshot(self.days_served)
+
+    # ------------------------------------------------------------------
+    def correct(
+        self,
+        day: int,
+        features: np.ndarray,
+        labels: np.ndarray,
+    ) -> CorrectionResult:
+        """Delta-replay a correction to already-served day ``day``.
+
+        ``features``/``labels`` are the *corrected* full served history
+        (``(days_served, K, f, w)`` / ``(days_served, K)``).  Restores the
+        newest clean snapshot at or before ``day`` — or, when the
+        compile-time lookback bound is finite and cheaper, spins up from
+        the current live state — and replays only the invalidated suffix.
+        Predictions and the final operand state are bitwise-identical to a
+        full warm-start replay of the corrected history; ``days_served``
+        is unchanged.
+        """
+        if not self._warmed:
+            raise StreamError("alpha must be warm-started (or resumed) "
+                              "before it can correct days")
+        if self._awaiting_label:
+            raise StreamError("previous day's label was never revealed; "
+                              "reveal it before correcting history")
+        return replay_correction(
+            self.executor, day, features, labels,
+            days_served=self.days_served,
+            max_lookback=self.max_lookback,
+            ring=self._ensure_ring(),
+            anchor=self._anchor,
+            take_snapshot=(self.executor.suspend if self._can_snapshot
+                           else None),
+            restore_snapshot=(self.executor.resume if self._can_snapshot
+                              else None),
+            what=self.program.name,
+        )
 
     # ------------------------------------------------------------------
     def _tape_protocol(self, method: str):
@@ -181,3 +292,7 @@ class IncrementalExecutor:
         self._tape_protocol("resume")(state)
         self.days_served = int(days_served)
         self._warmed = True
+        # The resumed state is a clean snapshot entering this day; retain it
+        # so corrections at or after the resume point need no warm anchor.
+        # (restore_replay_state can still supply the original day-0 anchor.)
+        self._anchor = (self.days_served, state)

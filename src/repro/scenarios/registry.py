@@ -1,8 +1,8 @@
 """The named scenario suite and its registry.
 
-Five scenarios ship with the repository, spanning the three axes the data
-layer opens — source, frequency and regime (full reference:
-``docs/DATA.md``):
+Six scenarios ship with the repository, spanning the three axes the data
+layer opens — source, frequency and regime — plus the serving-time
+correction path (full reference: ``docs/DATA.md``):
 
 =================  ========================================================
 name               workload
@@ -19,6 +19,9 @@ high-vol           high-volatility regime on a larger universe (doubled
 sparse-relations   a near-flat relation graph (two sectors, one industry
                    each, no industry-momentum spillover) — the regime in
                    which relational operators have nothing to exploit
+corrected-tick     default market with late bar restatements injected
+                   mid-serve, delta-replayed and verified bitwise against
+                   a clean full replay of the corrected history
 =================  ========================================================
 
 Downstream projects add their own with :func:`register_scenario`; the CLI
@@ -30,6 +33,7 @@ from __future__ import annotations
 
 from ..data import DataSpec
 from ..errors import ConfigurationError
+from ..stream import BarCorrection
 from .spec import ScenarioSpec
 
 __all__ = ["get_scenario", "list_scenarios", "register_scenario", "scenario_names"]
@@ -108,6 +112,20 @@ register_scenario(ScenarioSpec(
         ("sector_vol", 0.012),
         ("industry_vol", 0.008),
         ("idio_vol_range", (0.02, 0.07)),
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="corrected-tick",
+    description="Default market with late data corrections injected "
+                "mid-serve: restated bars are delta-replayed and verified "
+                "bitwise against a clean full replay",
+    # One feature restatement early in the stream (long replay suffix), one
+    # label restatement later, one combined — exercising every rewind mode.
+    corrections=(
+        BarCorrection(day=2, feature_scale=1.01),
+        BarCorrection(day=15, label_scale=0.99),
+        BarCorrection(day=8, feature_scale=0.995, label_scale=1.005),
     ),
 ))
 

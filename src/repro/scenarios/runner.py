@@ -50,7 +50,10 @@ def run_scenario(
     started = time.perf_counter()
     backend = config.data_backend()
     with TELEMETRY.span("scenario.run", scenario=spec.name, scale=scale):
-        report = run_serve(config)
+        report = run_serve(
+            config,
+            corrections=list(spec.corrections) if spec.corrections else None,
+        )
     seconds = time.perf_counter() - started
     # run_serve built (and memoised) the task set; re-resolve it for the
     # shape summary without paying a second build.

@@ -77,6 +77,11 @@ class ScenarioSpec:
         When true, materialisation exports the synthetic panel to CSV and
         rewrites ``data`` to a file backend over the export — the scenario
         then exercises the on-disk path end to end.
+    corrections:
+        Late point corrections (:class:`~repro.stream.driver.BarCorrection`)
+        the runner injects after the stream: each rewrites an already-served
+        bar through the server's bounded delta-replay, verified bitwise
+        against a full replay of the corrected history.
     """
 
     name: str
@@ -86,6 +91,7 @@ class ScenarioSpec:
     smoke_overrides: tuple[tuple[str, object], ...] = ()
     market_overrides: tuple[tuple[str, object], ...] = ()
     export_synthetic: bool = False
+    corrections: tuple = ()
 
     def __post_init__(self) -> None:
         if not self.name:

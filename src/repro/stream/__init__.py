@@ -17,7 +17,18 @@ history, the incremental-evaluation-under-updates shape of serving systems.
   simulated market ticks through the server into the backtest engine,
   asserting bitwise parity with the offline batch path;
 * :mod:`repro.stream.state`       — atomic save/load of suspended state,
-  so a serving process survives restarts without replaying history.
+  so a serving process survives restarts without replaying history; since
+  server-state v2 a snapshot also carries the served-bar history, the
+  correction log and the delta-replay payloads, so late corrections keep
+  working after a restart.
+
+Late data corrections are first-class: :meth:`AlphaServer.correct_bar`
+rewrites one already-served bar and **delta-replays** only the invalidated
+suffix — bounded by the compile-time lookback analysis
+(:mod:`repro.compile.lookback`) and the engine layer's snapshot rings
+(:mod:`repro.engine.replay`) — bitwise-identically to a full warm-start
+recompute.  The driver's :class:`BarCorrection` + ``repro serve --correct``
+inject and verify corrections end to end.
 
 The online path is the *same code* as the offline backtest path — executor
 contexts, training subsamples and label-reveal ordering all come from
@@ -25,13 +36,21 @@ contexts, training subsamples and label-reveal ordering all come from
 served results can never diverge.  The CLI front door is ``repro serve``.
 """
 
-from .driver import OnlineBacktestDriver, ServeReport, ServedAlphaRow, run_serve
+from .driver import (
+    BarCorrection,
+    OnlineBacktestDriver,
+    ServeReport,
+    ServedAlphaRow,
+    run_serve,
+)
 from .incremental import IncrementalAlpha
-from .server import AlphaServer, Registration, ServerState
+from .server import AlphaServer, CorrectionRecord, Registration, ServerState
 from .state import load_state, save_state
 
 __all__ = [
     "AlphaServer",
+    "BarCorrection",
+    "CorrectionRecord",
     "IncrementalAlpha",
     "OnlineBacktestDriver",
     "Registration",

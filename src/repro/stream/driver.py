@@ -24,12 +24,14 @@ it through the driver.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..backtest.engine import BacktestEngine
+from ..core.interpreter import AlphaEvaluator
 from ..core.program import AlphaProgram
 from ..data.dataset import TaskSet
 from ..engine.protocol import stream_days
@@ -37,10 +39,35 @@ from ..errors import StreamError
 from ..obs import TELEMETRY, RunRecord, build_run_record
 from .server import AlphaServer
 
-__all__ = ["ServedAlphaRow", "ServeReport", "OnlineBacktestDriver", "run_serve"]
+__all__ = [
+    "BarCorrection", "ServedAlphaRow", "ServeReport", "OnlineBacktestDriver",
+    "run_serve",
+]
 
 #: Splits the driver streams, in chronological order.
 _STREAM_SPLITS = ("valid", "test")
+
+
+@dataclass(frozen=True)
+class BarCorrection:
+    """A late point correction to one already-served bar.
+
+    ``day`` is the served-day index (0 = the first streamed bar, counting
+    across the valid and test splits); the scales multiply that day's
+    feature tensor / label vector — the shape a vendor restatement takes
+    when it rescales a bad print.  ``None`` leaves that side untouched.
+    """
+
+    day: int
+    feature_scale: float | None = None
+    label_scale: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.feature_scale is None and self.label_scale is None:
+            raise StreamError(
+                f"correction at day {self.day} changes neither features "
+                f"nor labels"
+            )
 
 
 @dataclass
@@ -82,8 +109,15 @@ class ServeReport:
 
     @property
     def parity(self) -> bool:
-        """Whether every served alpha matched the offline path bitwise."""
-        return all(row.parity for row in self.rows)
+        """Whether every served alpha matched the offline path bitwise.
+
+        Covers both the clean stream (per-row verdicts) and, when late
+        corrections were injected, the delta-replayed suffix against a full
+        offline replay of the corrected history.
+        """
+        corrected = self.metadata.get("corrections")
+        correction_parity = corrected is None or bool(corrected["parity"])
+        return all(row.parity for row in self.rows) and correction_parity
 
     def render(self) -> str:
         """A printable summary table plus the serving statistics."""
@@ -203,6 +237,108 @@ class OnlineBacktestDriver:
         return served
 
     # ------------------------------------------------------------------
+    def apply_corrections(
+        self,
+        server: AlphaServer,
+        served: dict[str, dict[str, np.ndarray]],
+        corrections: list[BarCorrection],
+    ) -> dict:
+        """Inject late corrections into ``server`` and verify delta-replay.
+
+        Each correction rewrites one already-served bar through
+        :meth:`AlphaServer.correct_bar`; the delta-replayed suffix
+        predictions are patched back into the ``served`` panels in place.
+        Afterwards every unique alpha is re-run offline over a task set with
+        the same corrections applied, and the panels are compared bit for
+        bit — the executable form of the claim that bounded delta-replay
+        equals a full warm-start recompute.  Returns the metadata block
+        recorded under ``ServeReport.metadata["corrections"]``.
+        """
+        taskset = self.taskset
+        valid_days = taskset.split.valid
+        # Patched copies of the full sample panels back the offline
+        # reference; served day d is global sample index train + d.
+        features = np.array(taskset.features, copy=True)
+        labels = np.array(taskset.labels, copy=True)
+        records: list[dict] = []
+        for correction in corrections:
+            day = int(correction.day)
+            if not 0 <= day < server.days_served:
+                raise StreamError(
+                    f"correction day {day} outside the "
+                    f"{server.days_served} served days"
+                )
+            sample = taskset.split.train + day
+            new_features = None
+            new_labels = None
+            if correction.feature_scale is not None:
+                features[sample] = features[sample] * float(
+                    correction.feature_scale
+                )
+                new_features = features[sample]
+            if correction.label_scale is not None:
+                labels[sample] = labels[sample] * float(correction.label_scale)
+                new_labels = labels[sample]
+            suffix = server.correct_bar(
+                day, features=new_features, labels=new_labels
+            )
+            for name in self.names:
+                panel = suffix[name]
+                for offset in range(panel.shape[0]):
+                    served_day = day + offset
+                    if served_day < valid_days:
+                        served[name]["valid"][served_day] = panel[offset]
+                    else:
+                        served[name]["test"][served_day - valid_days] = (
+                            panel[offset]
+                        )
+            record = server.corrections[-1]
+            records.append({
+                "day": record.day,
+                "features_corrected": record.features_corrected,
+                "labels_corrected": record.labels_corrected,
+                "replayed_days": record.replayed_days,
+                "days_served": record.days_served,
+            })
+        # Offline reference over the *corrected* history: a fresh evaluator
+        # on the patched task set, forced onto the server's base seed so the
+        # comparison is meaningful even for Generator/None driver seeds.
+        patched = dataclasses.replace(
+            taskset, features=features, labels=labels
+        )
+        reference = AlphaEvaluator(
+            patched,
+            seed=self.seed,
+            max_train_steps=self.max_train_steps,
+            use_update=self.use_update,
+            compiled=True,
+        )
+        reference._base_seed = server.base_seed
+        batch_by_key: dict[str, dict[str, np.ndarray]] = {}
+        key_by_name = {
+            registration.name: registration.key
+            for registration in server.registrations
+        }
+        violations: list[str] = []
+        for program, name in zip(self.programs, self.names):
+            key = key_by_name[name]
+            batch = batch_by_key.get(key)
+            if batch is None:
+                batch = reference.run(program, splits=_STREAM_SPLITS)
+                batch_by_key[key] = batch
+            if not all(
+                served[name][split].tobytes() == batch[split].tobytes()
+                for split in _STREAM_SPLITS
+            ):
+                violations.append(name)
+        return {
+            "count": len(records),
+            "records": records,
+            "parity": not violations,
+            "violations": violations,
+        }
+
+    # ------------------------------------------------------------------
     def run(self, strict_parity: bool = True) -> ServeReport:
         """Serve the fleet online and verify it against the offline path.
 
@@ -308,8 +444,15 @@ class OnlineBacktestDriver:
 # ---------------------------------------------------------------------------
 
 def run_serve(config, programs: list[AlphaProgram] | None = None,
-              names: list[str] | None = None) -> ServeReport:
+              names: list[str] | None = None,
+              corrections: list[BarCorrection] | None = None) -> ServeReport:
     """Mine (or receive) a top-K fleet for ``config`` and serve it online.
+
+    ``corrections`` injects late point corrections after the stream: each
+    one rewrites an already-served bar through the server's bounded
+    delta-replay (:meth:`AlphaServer.correct_bar`) and the corrected panels
+    are verified bitwise against a full offline replay of the corrected
+    history (``metadata["corrections"]``, folded into ``report.parity``).
 
     Without ``programs`` a :class:`~repro.core.mining.MiningSession` mines
     ``config.serve_top_k`` weakly correlated alphas — one search per
@@ -386,6 +529,15 @@ def run_serve(config, programs: list[AlphaProgram] | None = None,
     report = driver.verify(server, served, strict_parity=False,
                            start_time=start)
     phase_seconds["serve"] = time.perf_counter() - phase_started
+    if corrections:
+        # Verified *after* the clean-stream parity rows above, so a
+        # correction failure is attributable to the delta-replay path.
+        phase_started = time.perf_counter()
+        with TELEMETRY.span("serve.correct", corrections=len(corrections)):
+            report.metadata["corrections"] = driver.apply_corrections(
+                server, served, list(corrections)
+            )
+        phase_seconds["correct"] = time.perf_counter() - phase_started
     report.metadata["scale"] = config.name
     report.metadata["serve_top_k"] = getattr(config, "serve_top_k", len(programs))
     report.metadata["phase_seconds"] = {

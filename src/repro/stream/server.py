@@ -32,6 +32,15 @@ results can never diverge between research and serving.
 relaunched mid-stream without replaying history and without changing a
 single output bit.
 
+Real market data is never clean: :meth:`correct_bar` rewrites one
+already-served bar and **delta-replays** only the suffix the correction
+invalidates — the engine layer's bounded snapshot rings plus the
+compile-time lookback bound (:mod:`repro.engine.replay`) make that bitwise
+identical to a full warm-start replay at a fraction of the cost.  The
+server retains the full served-bar history as the replay source of truth;
+corrections patch it in place, are logged
+(:class:`CorrectionRecord`), and survive suspend/resume.
+
 The class keeps its historical public signature; registration, warm-start
 and fan-out now delegate to the engine layer.
 """
@@ -52,10 +61,12 @@ from ..engine.fleet import FleetEngine, FleetMember
 from ..errors import StreamError
 from ..obs import TELEMETRY, Histogram
 
-__all__ = ["Registration", "ServerState", "AlphaServer"]
+__all__ = ["CorrectionRecord", "Registration", "ServerState", "AlphaServer"]
 
 #: Bumped whenever the server-state layout changes incompatibly.
-SERVER_STATE_VERSION = 1
+#: v2: served-bar history, the correction log and the delta-replay
+#: snapshot payloads ride along with the tapes.
+SERVER_STATE_VERSION = 2
 
 #: Reservoir size of the per-bar latency histogram: large enough that every
 #: bar of a laptop-scale serve (and the bench suite) is kept exactly, yet a
@@ -82,6 +93,21 @@ def taskset_fingerprint(taskset: TaskSet) -> str:
     return digest.hexdigest()
 
 
+def _append_row(buffer: np.ndarray | None, length: int,
+                row: np.ndarray) -> np.ndarray:
+    """Append ``row`` at ``buffer[length]``, doubling capacity as needed."""
+    row = np.asarray(row, dtype=float)
+    if buffer is None:
+        buffer = np.empty((8,) + row.shape, dtype=float)
+    elif length == buffer.shape[0]:
+        grown = np.empty((2 * buffer.shape[0],) + buffer.shape[1:],
+                         dtype=float)
+        grown[:length] = buffer[:length]
+        buffer = grown
+    buffer[length] = row
+    return buffer
+
+
 @dataclass(frozen=True)
 class Registration(FleetMember):
     """One registered alpha name and where its predictions come from.
@@ -93,12 +119,30 @@ class Registration(FleetMember):
 
 
 @dataclass(frozen=True)
+class CorrectionRecord:
+    """One applied point correction, as logged (and persisted) by the server."""
+
+    #: Served-day index the correction rewrote.
+    day: int
+    #: Which parts of the bar changed.
+    features_corrected: bool
+    labels_corrected: bool
+    #: ``days_served`` at the time the correction was applied.
+    days_served: int
+    #: Suffix length actually re-executed (max across the fleet's units).
+    replayed_days: int
+
+
+@dataclass(frozen=True)
 class ServerState:
     """Suspended state of a whole :class:`AlphaServer` fleet.
 
     Contains one :class:`~repro.compile.executor.TapeState` per *unique*
     executor plus an echo of the registration table, so a resume under a
     different program set fails loudly instead of serving the wrong alpha.
+    Since v2 it also carries the served-bar history, the correction log and
+    the per-key delta-replay payloads, so :meth:`AlphaServer.correct_bar`
+    keeps working across a suspend/resume round trip.
     """
 
     version: int
@@ -112,6 +156,14 @@ class ServerState:
     registrations: dict[str, str]
     #: canonical fingerprint → suspended tape state.
     tapes: dict[str, TapeState]
+    #: Served-bar history ``(features (D, K, f, w), labels (D, K))`` with
+    #: all applied corrections patched in; ``None`` on pre-v2 states.
+    history: tuple[np.ndarray, np.ndarray] | None = None
+    #: Corrections applied before suspension, oldest first.
+    corrections: tuple[CorrectionRecord, ...] = ()
+    #: canonical fingerprint → delta-replay payload (warm anchor + snapshot
+    #: ring entries; see ``FleetEngine.suspend_replay_states``).
+    replay: dict[str, dict] | None = None
 
 
 class AlphaServer:
@@ -154,6 +206,17 @@ class AlphaServer:
         self.fleet = FleetEngine(self.evaluator)
         self.registrations: list[Registration] = []
         self.days_served = 0
+        #: Served-bar history — the delta-replay source of truth.  Stored in
+        #: contiguous buffers grown geometrically (``(capacity, K, f, w)`` /
+        #: ``(capacity, K)``), so a correction hands the engine O(1) views
+        #: of the history instead of restacking O(T) days per call; patched
+        #: in place by :meth:`correct_bar`.
+        self._history_features: np.ndarray | None = None
+        self._history_labels: np.ndarray | None = None
+        self._num_bars = 0
+        self._num_labels = 0
+        #: Applied corrections, oldest first (persisted by :meth:`suspend`).
+        self.corrections: list[CorrectionRecord] = []
         #: Bounded per-bar latency histogram: exact count/total/min/max plus
         #: a reservoir for percentiles — a long-lived serving process no
         #: longer grows a per-day Python list without limit.
@@ -271,6 +334,10 @@ class AlphaServer:
             TELEMETRY.counter("serve.bars").inc()
             TELEMETRY.histogram("serve.bar_latency_ms").observe(elapsed * 1e3)
         self.days_served += 1
+        self._history_features = _append_row(
+            self._history_features, self._num_bars, features
+        )
+        self._num_bars += 1
         return {
             registration.name: by_key[registration.key]
             for registration in self.registrations
@@ -279,12 +346,103 @@ class AlphaServer:
     def reveal(self, labels: np.ndarray) -> None:
         """Reveal the last bar's realised ``(K,)`` labels to every alpha."""
         self.fleet.reveal(labels)
+        self._history_labels = _append_row(
+            self._history_labels, self._num_labels, labels
+        )
+        self._num_labels += 1
+
+    # ------------------------------------------------------------------
+    def correct_bar(
+        self,
+        day: int,
+        features: np.ndarray | None = None,
+        labels: np.ndarray | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Rewrite an already-served bar and delta-replay the fleet.
+
+        ``day`` is the served-day index (0 = the first bar after warm-start);
+        at least one of ``features`` (``(K, f, w)``) / ``labels`` (``(K,)``)
+        must be given and replaces that day's retained bar.  Every unit of
+        the fleet rewinds to its newest clean snapshot at or before ``day``
+        — or spins up over its compile-time lookback bound — and replays
+        only the invalidated suffix, bitwise-identically to a full
+        warm-start replay over the corrected history.  ``days_served`` is
+        unchanged.  Returns name → ``(days_served - day, K)`` corrected
+        predictions for the replayed suffix.
+        """
+        if not self._warmed:
+            raise StreamError("server must be warm-started (or resumed) "
+                              "before correcting bars")
+        if features is None and labels is None:
+            raise StreamError("a correction must change the bar's features "
+                              "or labels (or both)")
+        if not 0 <= day < self.days_served:
+            raise StreamError(
+                f"cannot correct day {day}: {self.days_served} days served"
+            )
+        if self._num_labels != self.days_served:
+            raise StreamError(
+                "served-bar history is incomplete (a label is pending, or "
+                "the server was resumed from a state without history); "
+                "corrections need the full served history"
+            )
+        record_kwargs = {
+            "features_corrected": features is not None,
+            "labels_corrected": labels is not None,
+        }
+        if features is not None:
+            patch = np.asarray(features, dtype=float)
+            if patch.shape != self._history_features.shape[1:]:
+                raise StreamError(
+                    f"corrected features have shape {patch.shape}, day "
+                    f"{day} was served with {self._history_features.shape[1:]}"
+                )
+            self._history_features[day] = patch
+        if labels is not None:
+            patch = np.asarray(labels, dtype=float)
+            if patch.shape != self._history_labels.shape[1:]:
+                raise StreamError(
+                    f"corrected labels have shape {patch.shape}, day "
+                    f"{day} was revealed with {self._history_labels.shape[1:]}"
+                )
+            self._history_labels[day] = patch
+        history_features = self._history_features[:self.days_served]
+        history_labels = self._history_labels[:self.days_served]
+        with TELEMETRY.span("serve.correct", day=day,
+                            days_served=self.days_served):
+            by_key = self.fleet.correct(day, history_features, history_labels)
+        replayed = max(result.replayed_days for result in by_key.values())
+        if TELEMETRY.enabled:
+            # A full warm-start replay would re-run the training pass plus
+            # every served day; the delta path replays only the suffix.
+            full_replay = (
+                len(self.evaluator.train_day_indices()) + self.days_served
+            )
+            TELEMETRY.counter("stream.corrections").inc()
+            TELEMETRY.counter("stream.replay_days").inc(replayed)
+            TELEMETRY.counter("stream.replay_days_saved").inc(
+                max(full_replay - replayed, 0)
+            )
+        self.corrections.append(CorrectionRecord(
+            day=day, days_served=self.days_served, replayed_days=replayed,
+            **record_kwargs,
+        ))
+        return {
+            registration.name: by_key[registration.key].predictions
+            for registration in self.registrations
+        }
 
     # ------------------------------------------------------------------
     def suspend(self) -> ServerState:
         """Snapshot the whole fleet's rolling state for later resumption."""
         if not self._warmed:
             raise StreamError("cannot suspend a server that was never warmed")
+        history = None
+        if self._num_labels and self._num_labels == self._num_bars:
+            history = (
+                np.array(self._history_features[:self._num_bars], copy=True),
+                np.array(self._history_labels[:self._num_labels], copy=True),
+            )
         return ServerState(
             version=SERVER_STATE_VERSION,
             base_seed=self.base_seed,
@@ -295,6 +453,9 @@ class AlphaServer:
                 for registration in self.registrations
             },
             tapes=self.fleet.suspend_tapes(),
+            history=history,
+            corrections=tuple(self.corrections),
+            replay=self.fleet.suspend_replay_states(),
         )
 
     def resume(self, state: ServerState) -> None:
@@ -333,6 +494,15 @@ class AlphaServer:
             )
         self.fleet.resume_tapes(state.tapes, days_served=state.days_served)
         self.days_served = int(state.days_served)
+        if state.history is not None:
+            features, labels = state.history
+            self._history_features = np.array(features, dtype=float, copy=True)
+            self._history_labels = np.array(labels, dtype=float, copy=True)
+            self._num_bars = int(features.shape[0])
+            self._num_labels = int(labels.shape[0])
+        self.corrections = list(state.corrections)
+        if state.replay is not None:
+            self.fleet.resume_replay_states(state.replay)
 
     # ------------------------------------------------------------------
     @property

@@ -9,6 +9,13 @@ so a crash mid-write never corrupts a previous snapshot.  Both
 through here; structural validation — versions, seeds, registration tables
 — happens at ``resume`` time, not at load time, because only the resuming
 object knows what it expects.
+
+Since server-state v2 a :class:`~repro.stream.server.ServerState` also
+persists the served-bar history, the applied
+:class:`~repro.stream.server.CorrectionRecord` log and the per-alpha
+delta-replay payloads (warm anchors + snapshot rings), so a resumed server
+can keep accepting ``correct_bar`` calls — including for days served before
+the restart — without any recompute.
 """
 
 from __future__ import annotations

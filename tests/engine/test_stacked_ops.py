@@ -1,0 +1,229 @@
+"""Stacked-kernel extensions: transcendental ops and program-axis chunking.
+
+Two satellite contracts of the stacked executor
+(:mod:`repro.compile.stacked`):
+
+* the transcendental elementwise operators admitted by the import-time
+  probe run **stacked** — one ``(P, …)`` kernel call — and stay bitwise
+  identical to per-program execution in *every* run order of the group;
+* program-axis chunking of the matrix-heavy contractions (``matmul`` /
+  ``matvec`` / ``v_dot``) is a pure scheduling change: forced, disabled
+  and auto-derived chunk sizes all produce byte-identical results on both
+  the day-loop and the fused inference paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compile import StackedAlpha, compile_program, stack_signature
+from repro.compile.stacked import (
+    _PROGRAM_CHUNK_OPS,
+    _STACK_SAFE,
+    _TRANSCENDENTAL_CANDIDATES,
+    _probe_transcendental_stacking,
+)
+from repro.config import make_rng
+from repro.core import (
+    AlphaProgram,
+    INPUT_MATRIX,
+    Operand,
+    Operation,
+    PREDICTION,
+    get_initialization,
+)
+from repro.core.ops import get_op, sample_params
+from repro.engine import FleetEngine
+
+SPLITS = ("valid", "test")
+
+S3, S4, S5, S6, S7, S8, S9 = (Operand.scalar(i) for i in range(3, 10))
+M1, M2 = Operand.matrix(1), Operand.matrix(2)
+
+
+def transcendental_alpha(dims, rng, name):
+    """A static alpha routing one input through every probe candidate."""
+    return AlphaProgram(
+        setup=[],
+        predict=[
+            Operation.make("get_scalar", (INPUT_MATRIX,), S3,
+                           sample_params(get_op("get_scalar"), dims, rng)),
+            Operation.make("s_sin", (S3,), S4),
+            Operation.make("s_cos", (S3,), S5),
+            Operation.make("s_tan", (S4,), S6),
+            Operation.make("s_arcsin", (S5,), S7),
+            Operation.make("s_arccos", (S5,), S8),
+            Operation.make("s_arctan", (S6,), S9),
+            Operation.make("s_add", (S7, S8), S7),
+            Operation.make("s_exp", (S5,), S5),
+            Operation.make("s_log", (S3,), S3),
+            Operation.make("s_add", (S4, S5), S4),
+            Operation.make("s_add", (S7, S9), S7),
+            Operation.make("s_add", (S4, S7), S4),
+            Operation.make("s_add", (S4, S3), PREDICTION),
+        ],
+        update=[],
+        name=name,
+    )
+
+
+def matmul_alpha(dims, rng, name):
+    """A static alpha whose prediction flows through a ``matmul`` lane."""
+    return AlphaProgram(
+        setup=[],
+        predict=[
+            Operation.make("transpose", (INPUT_MATRIX,), M1),
+            Operation.make("matmul", (INPUT_MATRIX, M1), M2),
+            Operation.make("m_mean", (M2,), S3),
+            Operation.make("s_const", (), S4,
+                           sample_params(get_op("s_const"), dims, rng)),
+            Operation.make("s_mul", (S3, S4), PREDICTION),
+        ],
+        update=[],
+        name=name,
+    )
+
+
+def family(maker, dims, count=3, seed=5):
+    rng = make_rng(seed)
+    programs = [maker(dims, rng, f"{maker.__name__}_{i}")
+                for i in range(count)]
+    signatures = {stack_signature(compile_program(p)) for p in programs}
+    assert len(signatures) == 1  # one stack group, params free
+    return programs
+
+
+def build_fleet(evaluator, programs, **kwargs):
+    fleet = FleetEngine(evaluator, **kwargs)
+    for program in programs:
+        fleet.add(program)
+    return fleet
+
+
+def solo_runs(evaluator, programs):
+    return {p.name: evaluator.run(p, splits=SPLITS) for p in programs}
+
+
+def assert_matches_solo(fleet_runs, solo, programs):
+    for program in programs:
+        for split in SPLITS:
+            assert (fleet_runs[program.name][split].tobytes()
+                    == solo[program.name][split].tobytes()), (
+                f"{program.name} diverged on the {split} split"
+            )
+
+
+class TestTranscendentalStacking:
+    def test_probe_admits_every_candidate_here(self):
+        # The probe is deterministic per platform; on the supported NumPy
+        # builds every transcendental candidate stacks bit-exactly.
+        assert set(_TRANSCENDENTAL_CANDIDATES) <= _STACK_SAFE
+
+    def test_probe_admits_only_from_its_candidates(self):
+        # The probe is a filter, never an extender: its verdict is always a
+        # subset of what it was asked about, and it is deterministic.
+        subset = ("s_sin", "s_exp")
+        admitted = _probe_transcendental_stacking(subset)
+        assert admitted <= set(subset)
+        assert admitted == _probe_transcendental_stacking(subset)
+
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_stacked_matches_solo_bitwise_per_run_order(
+        self, evaluator, dims, reverse
+    ):
+        programs = family(transcendental_alpha, dims)
+        solo = solo_runs(evaluator, programs)
+        order = programs[::-1] if reverse else programs
+        fleet = build_fleet(evaluator, order, stacked=True)
+        assert fleet.stack_groups >= 1
+        assert_matches_solo(fleet.run(splits=SPLITS), solo, programs)
+
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_stacked_serving_matches_solo_per_run_order(
+        self, small_taskset, evaluator, dims, reverse
+    ):
+        programs = family(transcendental_alpha, dims)
+        order = programs[::-1] if reverse else programs
+        fleet = build_fleet(evaluator, order, stacked=True)
+        fleet.warm_start()
+        features = small_taskset.split_features("valid")[:10]
+        labels = small_taskset.split_labels("valid")[:10]
+        streamed = {key: [] for key in fleet.executors}
+        for day in range(features.shape[0]):
+            for key, prediction in fleet.step_bar(features[day]).items():
+                streamed[key].append(prediction)
+            fleet.reveal(labels[day])
+        for program in programs:
+            batch = evaluator.run(program, splits=("valid",))["valid"][:10]
+            key = fleet.key_of(program.name)
+            assert np.asarray(streamed[key]).tobytes() == batch.tobytes()
+
+
+class TestProgramChunking:
+    def chunk_family(self, dims, mutator=None):
+        """matmul lanes on the fused path + matvec/v_dot on the day loop."""
+        nn = get_initialization("NN", dims, seed=3)
+        rng = make_rng(11)
+        jitter = []
+        for index in range(2):
+            child = nn.copy(name=f"nn_{index}")
+            for operations in (child.setup, child.predict, child.update):
+                for i, operation in enumerate(operations):
+                    if operation.spec.param_names:
+                        operations[i] = Operation.make(
+                            operation.spec.name, operation.inputs,
+                            operation.output,
+                            sample_params(operation.spec, dims, rng),
+                        )
+            jitter.append(child)
+        return family(matmul_alpha, dims) + [nn.copy(name="nn_base")] + jitter
+
+    def test_chunk_ops_cover_the_matrix_contractions(self):
+        assert _PROGRAM_CHUNK_OPS == {"matmul", "matvec", "v_dot"}
+
+    def test_auto_chunk_derivation(self, evaluator, dims):
+        group = [compile_program(p) for p in family(matmul_alpha, dims)]
+        auto = StackedAlpha(group, evaluator.make_context())
+        assert auto.program_chunk >= 1
+        disabled = StackedAlpha(group, evaluator.make_context(),
+                                program_chunk=0)
+        assert disabled.program_chunk == 0
+        forced = StackedAlpha(group, evaluator.make_context(),
+                              program_chunk=2)
+        assert forced.program_chunk == 2
+
+    def test_forced_chunk_matches_unchunked_bitwise(self, evaluator, dims):
+        programs = self.chunk_family(dims)
+        solo = solo_runs(evaluator, programs)
+        chunked = build_fleet(evaluator, programs, stacked=True,
+                              program_chunk=2)
+        monolithic = build_fleet(evaluator, programs, stacked=True,
+                                 program_chunk=0)
+        assert chunked.stack_groups >= 2
+        left = chunked.run(splits=SPLITS)
+        right = monolithic.run(splits=SPLITS)
+        assert_matches_solo(left, solo, programs)
+        assert_matches_solo(right, solo, programs)
+
+    def test_chunked_serving_matches_unchunked_bitwise(
+        self, small_taskset, evaluator, dims
+    ):
+        programs = self.chunk_family(dims)
+        features = small_taskset.split_features("valid")[:8]
+        labels = small_taskset.split_labels("valid")[:8]
+        streams = []
+        for chunk in (2, 0):
+            fleet = build_fleet(evaluator, programs, stacked=True,
+                                program_chunk=chunk)
+            fleet.warm_start()
+            streamed = {}
+            for day in range(features.shape[0]):
+                for key, prediction in fleet.step_bar(features[day]).items():
+                    streamed.setdefault(key, []).append(prediction)
+                fleet.reveal(labels[day])
+            streams.append({
+                key: np.asarray(days) for key, days in streamed.items()
+            })
+        chunked, monolithic = streams
+        assert chunked.keys() == monolithic.keys()
+        for key in chunked:
+            assert chunked[key].tobytes() == monolithic[key].tobytes()

@@ -1,0 +1,332 @@
+"""Late point corrections through the serving stack: ``correct_bar`` et al.
+
+The serving-layer face of bounded delta-replay: a correction to an
+already-served bar replays only the invalidated suffix, bitwise-identical
+to a full offline recompute over the corrected history — across fleets,
+stacked groups, suspend/resume round trips through serialized state, and
+the driver/CLI/scenario surfaces that inject corrections.
+"""
+
+import argparse
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import parse_corrections
+from repro.core import AlphaEvaluator, get_initialization
+from repro.errors import StreamError
+from repro.obs import TELEMETRY, telemetry_session
+from repro.scenarios import get_scenario, scenario_names
+from repro.stream import (
+    AlphaServer,
+    BarCorrection,
+    CorrectionRecord,
+    OnlineBacktestDriver,
+    load_state,
+    save_state,
+)
+from repro.stream.server import SERVER_STATE_VERSION
+
+SERVE_DAYS = 14
+
+
+@pytest.fixture()
+def fleet(dims):
+    return [
+        get_initialization("D", dims, seed=3),
+        get_initialization("NN", dims, seed=3),
+    ]
+
+
+def make_server(taskset, programs, warm=True, seed=0):
+    server = AlphaServer(taskset, seed=seed, max_train_steps=40)
+    for index, program in enumerate(programs):
+        server.register(program, name=f"alpha_{index}")
+    if warm:
+        server.warm_start()
+    return server
+
+
+def serve_days(server, features, labels, start, stop):
+    served = []
+    for day in range(start, stop):
+        served.append(server.on_bar(features[day]))
+        server.reveal(labels[day])
+    return served
+
+
+def valid_history(taskset):
+    return (taskset.split_features("valid"), taskset.split_labels("valid"))
+
+
+class TestCorrectBarGuards:
+    def test_cold_server_raises(self, small_taskset, fleet):
+        server = make_server(small_taskset, fleet, warm=False)
+        with pytest.raises(StreamError, match="warm"):
+            server.correct_bar(0, labels=np.zeros(small_taskset.num_tasks))
+
+    def test_empty_correction_raises(self, small_taskset, fleet):
+        server = make_server(small_taskset, fleet)
+        features, labels = valid_history(small_taskset)
+        serve_days(server, features, labels, 0, 2)
+        with pytest.raises(StreamError, match="features or labels"):
+            server.correct_bar(0)
+
+    def test_unserved_day_raises(self, small_taskset, fleet):
+        server = make_server(small_taskset, fleet)
+        features, labels = valid_history(small_taskset)
+        serve_days(server, features, labels, 0, 2)
+        with pytest.raises(StreamError, match="2 days served"):
+            server.correct_bar(2, labels=labels[0])
+
+    def test_pending_label_raises(self, small_taskset, fleet):
+        server = make_server(small_taskset, fleet)
+        features, labels = valid_history(small_taskset)
+        serve_days(server, features, labels, 0, 2)
+        server.on_bar(features[2])
+        with pytest.raises(StreamError, match="incomplete"):
+            server.correct_bar(0, labels=labels[0])
+
+    def test_bad_shapes_raise(self, small_taskset, fleet):
+        server = make_server(small_taskset, fleet)
+        features, labels = valid_history(small_taskset)
+        serve_days(server, features, labels, 0, 2)
+        with pytest.raises(StreamError, match="corrected features"):
+            server.correct_bar(0, features=features[0][:, :, :-1])
+        with pytest.raises(StreamError, match="corrected labels"):
+            server.correct_bar(0, labels=labels[0][:-1])
+
+
+class TestCorrectBarParity:
+    def corrected_reference(self, small_taskset, server, features, labels):
+        """Offline evaluator over the served (already-corrected) history."""
+        import dataclasses
+
+        full_features = np.array(small_taskset.features, copy=True)
+        full_labels = np.array(small_taskset.labels, copy=True)
+        start = small_taskset.split.train
+        full_features[start:start + SERVE_DAYS] = features[:SERVE_DAYS]
+        full_labels[start:start + SERVE_DAYS] = labels[:SERVE_DAYS]
+        patched = dataclasses.replace(
+            small_taskset, features=full_features, labels=full_labels
+        )
+        reference = AlphaEvaluator(patched, seed=0, max_train_steps=40)
+        reference._base_seed = server.base_seed
+        return reference
+
+    def test_correct_bar_matches_offline_recompute(
+        self, small_taskset, fleet
+    ):
+        server = make_server(small_taskset, fleet)
+        features = np.array(valid_history(small_taskset)[0], copy=True)
+        labels = np.array(valid_history(small_taskset)[1], copy=True)
+        serve_days(server, features, labels, 0, SERVE_DAYS)
+
+        day = SERVE_DAYS - 5
+        features[day] = features[day] * 1.01
+        labels[day] = labels[day] * 0.99
+        suffix = server.correct_bar(
+            day, features=features[day], labels=labels[day]
+        )
+
+        reference = self.corrected_reference(
+            small_taskset, server, features, labels
+        )
+        for index, program in enumerate(fleet):
+            batch = reference.run(program, splits=("valid",))["valid"]
+            assert (suffix[f"alpha_{index}"].tobytes()
+                    == batch[day:SERVE_DAYS].tobytes())
+        # The corrected rolling state serves the future like the batch path.
+        tail = serve_days(server, features, labels, SERVE_DAYS,
+                          SERVE_DAYS + 3)
+        for index, program in enumerate(fleet):
+            batch = reference.run(program, splits=("valid",))["valid"]
+            streamed = np.array(
+                [bar[f"alpha_{index}"] for bar in tail]
+            )
+            assert streamed.tobytes() == \
+                batch[SERVE_DAYS:SERVE_DAYS + 3].tobytes()
+
+    def test_correction_records_and_day_count(self, small_taskset, fleet):
+        server = make_server(small_taskset, fleet)
+        features, labels = valid_history(small_taskset)
+        serve_days(server, features, labels, 0, SERVE_DAYS)
+        server.correct_bar(4, labels=labels[4] * 2.0)
+        assert server.days_served == SERVE_DAYS  # corrections do not re-serve
+        record = server.corrections[-1]
+        assert isinstance(record, CorrectionRecord)
+        assert record.day == 4
+        assert record.days_served == SERVE_DAYS
+        assert not record.features_corrected
+        assert record.labels_corrected
+        assert 0 < record.replayed_days <= SERVE_DAYS
+
+    def test_telemetry_counters(self, small_taskset, fleet):
+        with telemetry_session():
+            server = make_server(small_taskset, fleet)
+            features, labels = valid_history(small_taskset)
+            serve_days(server, features, labels, 0, SERVE_DAYS)
+            server.correct_bar(SERVE_DAYS - 2, labels=labels[2])
+            snapshot = TELEMETRY.snapshot()
+        assert snapshot["stream.corrections"]["value"] == 1
+        replayed = snapshot["stream.replay_days"]["value"]
+        assert replayed == server.corrections[-1].replayed_days
+        warm_days = len(server.evaluator.train_day_indices())
+        assert snapshot["stream.replay_days_saved"]["value"] == (
+            warm_days + SERVE_DAYS - replayed
+        )
+
+
+class TestDriverCorrections:
+    def test_apply_corrections_verifies_bitwise(self, small_taskset, fleet):
+        driver = OnlineBacktestDriver(
+            small_taskset, fleet, seed=0, max_train_steps=40
+        )
+        server = driver.build_server()
+        served = driver.stream(server)
+        metadata = driver.apply_corrections(server, served, [
+            BarCorrection(day=3, feature_scale=1.01),
+            BarCorrection(day=40, label_scale=0.98),
+            BarCorrection(day=10, feature_scale=0.99, label_scale=1.02),
+        ])
+        assert metadata["count"] == 3
+        assert metadata["parity"] is True
+        assert metadata["violations"] == []
+        assert [record["day"] for record in metadata["records"]] == [3, 40, 10]
+        assert all(record["replayed_days"] > 0
+                   for record in metadata["records"])
+
+    def test_out_of_range_correction_raises(self, small_taskset, fleet):
+        driver = OnlineBacktestDriver(
+            small_taskset, fleet, seed=0, max_train_steps=40
+        )
+        server = driver.build_server()
+        served = driver.stream(server)
+        with pytest.raises(StreamError, match="outside"):
+            driver.apply_corrections(server, served, [
+                BarCorrection(day=999, feature_scale=1.01),
+            ])
+
+    def test_bar_correction_must_change_something(self):
+        with pytest.raises(StreamError, match="neither"):
+            BarCorrection(day=3)
+
+
+class TestSuspendResumeCorrections:
+    def test_correct_after_resume_matches_live_server(
+        self, small_taskset, fleet, tmp_path
+    ):
+        features, labels = valid_history(small_taskset)
+        live = make_server(small_taskset, fleet)
+        serve_days(live, features, labels, 0, SERVE_DAYS)
+        live.correct_bar(6, labels=labels[6] * 1.05)
+
+        state = live.suspend()
+        assert state.version == SERVER_STATE_VERSION
+        assert len(state.corrections) == 1
+        assert state.history is not None
+        assert state.history[0].shape[0] == SERVE_DAYS
+        assert state.replay is not None
+
+        path = tmp_path / "server.state"
+        save_state(path, state)
+        resumed = make_server(small_taskset, fleet, warm=False)
+        resumed.resume(load_state(path))
+        assert [record.day for record in resumed.corrections] == [6]
+
+        # A correction reaching *before* the suspend point must behave
+        # identically on the resumed and the never-suspended server.
+        day = SERVE_DAYS - 4
+        corrected = np.array(features, copy=True)
+        corrected[day] = corrected[day] * 1.01
+        from_live = live.correct_bar(day, features=corrected[day])
+        from_resumed = resumed.correct_bar(day, features=corrected[day])
+        assert from_live.keys() == from_resumed.keys()
+        for name in from_live:
+            assert from_live[name].tobytes() == from_resumed[name].tobytes()
+        tail_live = serve_days(live, corrected, labels,
+                               SERVE_DAYS, SERVE_DAYS + 3)
+        tail_resumed = serve_days(resumed, corrected, labels,
+                                  SERVE_DAYS, SERVE_DAYS + 3)
+        for bar_live, bar_resumed in zip(tail_live, tail_resumed):
+            for name in bar_live:
+                assert bar_live[name].tobytes() == bar_resumed[name].tobytes()
+
+    def test_resume_of_pre_history_state_rejects_corrections(
+        self, small_taskset, fleet
+    ):
+        # A v2 state can legitimately carry no history (nothing served yet);
+        # a server resumed from it must refuse corrections, not serve junk.
+        import dataclasses
+
+        features, labels = valid_history(small_taskset)
+        live = make_server(small_taskset, fleet)
+        serve_days(live, features, labels, 0, 4)
+        state = dataclasses.replace(
+            live.suspend(), history=None, replay=None
+        )
+        resumed = make_server(small_taskset, fleet, warm=False)
+        resumed.resume(state)
+        with pytest.raises(StreamError, match="incomplete"):
+            resumed.correct_bar(1, labels=labels[1])
+
+
+class TestCliCorrections:
+    def namespace(self, correct=None, corrections=None):
+        return argparse.Namespace(correct=correct, corrections=corrections)
+
+    def test_absent_flags_mean_none(self):
+        assert parse_corrections(self.namespace()) is None
+
+    def test_correct_flags_become_feature_restatements(self):
+        parsed = parse_corrections(self.namespace(correct=[3, 7]))
+        assert [c.day for c in parsed] == [3, 7]
+        assert all(c.feature_scale == 1.01 and c.label_scale is None
+                   for c in parsed)
+
+    def test_corrections_file_round_trip(self, tmp_path):
+        path = tmp_path / "corrections.json"
+        path.write_text(json.dumps([
+            {"day": 2, "label_scale": 0.9},
+            {"day": 5, "feature_scale": 1.02, "label_scale": 1.01},
+        ]))
+        parsed = parse_corrections(self.namespace(corrections=str(path)))
+        assert [(c.day, c.feature_scale, c.label_scale) for c in parsed] == [
+            (2, None, 0.9), (5, 1.02, 1.01),
+        ]
+
+    def test_corrections_file_validation(self, tmp_path):
+        missing = tmp_path / "nope.json"
+        with pytest.raises(StreamError, match="no such corrections file"):
+            parse_corrections(self.namespace(corrections=str(missing)))
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(StreamError, match="not valid JSON"):
+            parse_corrections(self.namespace(corrections=str(bad)))
+
+        bad.write_text(json.dumps({"day": 1}))
+        with pytest.raises(StreamError, match="JSON\\s+list"):
+            parse_corrections(self.namespace(corrections=str(bad)))
+
+        bad.write_text(json.dumps([{"feature_scale": 1.0}]))
+        with pytest.raises(StreamError, match='"day" key'):
+            parse_corrections(self.namespace(corrections=str(bad)))
+
+        bad.write_text(json.dumps([{"day": 1, "scale": 2.0}]))
+        with pytest.raises(StreamError, match="unknown keys"):
+            parse_corrections(self.namespace(corrections=str(bad)))
+
+
+class TestCorrectedTickScenario:
+    def test_scenario_is_registered_with_corrections(self):
+        assert "corrected-tick" in scenario_names()
+        spec = get_scenario("corrected-tick")
+        assert len(spec.corrections) == 3
+        assert all(isinstance(c, BarCorrection) for c in spec.corrections)
+        days = [c.day for c in spec.corrections]
+        assert days != sorted(days)  # exercises out-of-order replay
+
+    def test_other_scenarios_carry_no_corrections(self):
+        assert get_scenario("baseline").corrections == ()
