@@ -10,13 +10,19 @@ two bitwise contracts:
 * **round-trip parity** — a synthetic panel exported to per-stock CSVs and
   loaded back through the validating :class:`~repro.data.FileBackend` is
   bitwise identical (full-precision export), so file-backed scenarios
-  reproduce synthetic results exactly.
+  reproduce synthetic results exactly;
+* **clean-panel identity** — loading clean data under every registered
+  repair policy produces the bitwise-identical panel (repair is a no-op on
+  clean inputs);
+* **repair determinism** — loading a corrupted directory twice under the
+  ``robust`` policy produces bitwise-identical repaired panels.
 
 Recorded: synthetic generation and task-set build time, CSV export and
 cold/warm file-load time (the warm path hits the content-signature cache),
-weekly resample time, and the cache speedup as the headline number.
-Results land in ``benchmarks/results/BENCH_data.json`` (source of truth,
-with a root-level copy — see ``benchmarks/README.md``).
+the repaired (dirty → ``robust``) load time, weekly resample time, and the
+cache speedup as the headline number.  Results land in
+``benchmarks/results/BENCH_data.json`` (source of truth, with a root-level
+copy — see ``benchmarks/README.md``).
 
 Run with::
 
@@ -39,12 +45,16 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from common import write_bench_json
 from repro.data import (
+    CorruptionSpec,
     FileBackend,
     MarketConfig,
     SyntheticBackend,
     SyntheticMarket,
     export_panel_csv,
+    inject_corruption,
+    load_csv_directory,
     panels_bitwise_equal,
+    repair_policy_names,
     resample_panel,
 )
 
@@ -87,6 +97,32 @@ def main(argv: list[str] | None = None) -> int:
         _, warm_seconds = timed(file_backend.load_panel)
         roundtrip_parity = panels_bitwise_equal(loaded, panel)
 
+        # Clean-panel identity: every registered repair policy is a no-op
+        # on clean data.
+        clean_identity = all(
+            panels_bitwise_equal(
+                load_csv_directory(directory, exclude=("sectors.txt",),
+                                   repair=policy),
+                loaded,
+            )
+            for policy in repair_policy_names()
+        )
+
+    # Repair determinism: a corrupted directory loads bitwise-identically
+    # across repeated loads under the robust policy.
+    with tempfile.TemporaryDirectory() as directory:
+        export_panel_csv(panel, directory)
+        inject_corruption(Path(directory), CorruptionSpec(events=2, seed=7),
+                          exclude=("sectors.txt",))
+        repaired, repaired_seconds = timed(
+            lambda: load_csv_directory(directory, exclude=("sectors.txt",),
+                                       repair="robust"))
+        repair_determinism = panels_bitwise_equal(
+            repaired,
+            load_csv_directory(directory, exclude=("sectors.txt",),
+                               repair="robust"),
+        )
+
     cache_speedup = cold_seconds / max(warm_seconds, 1e-9)
     payload = {
         "benchmark": "data-backend layer: file-panel cache (warm vs cold load)",
@@ -100,6 +136,7 @@ def main(argv: list[str] | None = None) -> int:
             "export_seconds": round(export_seconds, 4),
             "cold_load_seconds": round(cold_seconds, 4),
             "warm_load_seconds": round(warm_seconds, 6),
+            "repaired_load_seconds": round(repaired_seconds, 4),
         },
         "resample": {
             "weekly_seconds": round(weekly_seconds, 4),
@@ -108,15 +145,20 @@ def main(argv: list[str] | None = None) -> int:
         "parity": {
             "synthetic_bitwise": synthetic_parity,
             "roundtrip_bitwise": roundtrip_parity,
+            "clean_repair_identity": clean_identity,
+            "repair_determinism": repair_determinism,
         },
         "speedup": round(cache_speedup, 1),
     }
 
-    ok = synthetic_parity and roundtrip_parity
+    ok = (synthetic_parity and roundtrip_parity and clean_identity
+          and repair_determinism)
     if args.smoke:
         print("data-parity smoke check "
               f"{'passed' if ok else 'FAILED'}: synthetic={synthetic_parity}, "
-              f"roundtrip={roundtrip_parity}")
+              f"roundtrip={roundtrip_parity}, "
+              f"clean_repair_identity={clean_identity}, "
+              f"repair_determinism={repair_determinism}")
     else:
         path = write_bench_json("data", payload)
         print(f"synthetic generate {generate_seconds:.3f}s, "
@@ -125,8 +167,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"CSV export {export_seconds:.3f}s, cold load {cold_seconds:.3f}s, "
               f"warm load {warm_seconds * 1e3:.2f}ms "
               f"(cache speedup {cache_speedup:.0f}x)")
+        print(f"repaired load (dirty -> robust) {repaired_seconds:.3f}s")
         print(f"weekly resample {weekly_seconds:.3f}s -> {weekly.num_days} bars")
-        print(f"parity: synthetic={synthetic_parity}, roundtrip={roundtrip_parity}")
+        print(f"parity: synthetic={synthetic_parity}, "
+              f"roundtrip={roundtrip_parity}, "
+              f"clean_repair_identity={clean_identity}, "
+              f"repair_determinism={repair_determinism}")
         print(f"wrote {path}")
     return 0 if ok else 1
 

@@ -331,6 +331,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
              "bitwise parity with a full offline replay; repeatable",
     )
     parser.add_argument(
+        "--repair", default=None, metavar="POLICY",
+        help="repair policy applied when loading file-backed data "
+             "(see repro.data.repair; default: the config's DataSpec)",
+    )
+    parser.add_argument(
         "--corrections", default=None, metavar="JSON",
         help="JSON file with a list of corrections "
              '[{"day": 3, "feature_scale": 1.01, "label_scale": 0.99}, ...] '
@@ -404,6 +409,8 @@ def resolve_serve_config(args: argparse.Namespace):
         overrides["search_seed"] = args.seed
     if overrides:
         config = config.scaled(**overrides)
+    if getattr(args, "repair", None) is not None:
+        config = config.scaled(data=config.data.repaired(args.repair))
     return config
 
 
@@ -517,6 +524,11 @@ def build_scenario_parser() -> argparse.ArgumentParser:
              "(default: .scenario_data, or $REPRO_SCENARIO_DATA)",
     )
     parser.add_argument(
+        "--repair", default=None, metavar="POLICY",
+        help="override the scenario's primary repair policy for file-backed "
+             "data (see repro.data.repair)",
+    )
+    parser.add_argument(
         "--output", default=None,
         help="directory to write a scenario-<name>.json result file into",
     )
@@ -558,6 +570,7 @@ def run_scenario_command(argv: list[str]) -> int:
                 scale=args.scale,
                 data_dir=args.data_dir,
                 overrides=overrides or None,
+                repair=args.repair,
             )
     except (ConfigurationError, DataError, StreamError) as exc:
         print(f"error: {exc}", file=sys.stderr)

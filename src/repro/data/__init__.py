@@ -49,18 +49,36 @@ from .market_sim import (
     panels_bitwise_equal,
 )
 from .relations import SectorTaxonomy, random_taxonomy
+from .repair import (
+    CORRUPTION_KINDS,
+    AuditReport,
+    CorruptionSpec,
+    RepairPolicy,
+    Violation,
+    audit_directory,
+    inject_corruption,
+    load_audit_report,
+    register_repair_policy,
+    repair_policy,
+    repair_policy_names,
+    save_audit_report,
+)
 from .resample import RESAMPLE_FREQUENCIES, resample_panel
 from .universe import FilterReport, UniverseFilter
 
 __all__ = [
+    "CORRUPTION_KINDS",
     "FEATURE_NAMES",
     "RESAMPLE_FREQUENCIES",
+    "AuditReport",
+    "CorruptionSpec",
     "DataBackend",
     "DataSpec",
     "FeaturePanel",
     "FileBackend",
     "FilterReport",
     "MarketConfig",
+    "RepairPolicy",
     "ResampledBackend",
     "SectorTaxonomy",
     "Split",
@@ -69,16 +87,24 @@ __all__ = [
     "SyntheticMarket",
     "TaskSet",
     "UniverseFilter",
+    "Violation",
+    "audit_directory",
     "backend_from_spec",
     "backend_kinds",
     "build_taskset",
     "compute_feature_panel",
     "export_panel_csv",
+    "inject_corruption",
+    "load_audit_report",
     "load_csv_directory",
     "load_sector_map",
     "panels_bitwise_equal",
     "parse_ohlcv_csv",
     "random_taxonomy",
     "register_backend",
+    "register_repair_policy",
+    "repair_policy",
+    "repair_policy_names",
     "resample_panel",
+    "save_audit_report",
 ]

@@ -50,6 +50,7 @@ from ..obs import TELEMETRY
 from .dataset import Split, TaskSet, build_taskset
 from .loader import load_csv_directory, load_sector_map
 from .market_sim import MarketConfig, StockPanel, SyntheticMarket
+from .repair import RepairPolicy, repair_policy
 from .resample import RESAMPLE_FREQUENCIES, resample_panel
 from .universe import UniverseFilter
 
@@ -93,6 +94,11 @@ class DataSpec:
         Bar frequency: ``daily`` (native) or one of
         :data:`~repro.data.resample.RESAMPLE_FREQUENCIES`; non-daily specs
         are wrapped in a :class:`ResampledBackend`.
+    repair:
+        Named :class:`~repro.data.repair.RepairPolicy` applied by
+        file-based kinds when the data is dirty (``strict`` by default —
+        duplicate dates reject, gaps forward-fill, splits and spikes are
+        left alone).  See ``docs/DATA.md`` for the registry.
     """
 
     kind: str = "synthetic"
@@ -100,6 +106,7 @@ class DataSpec:
     pattern: str = "*.csv"
     sector_map: str | None = None
     frequency: str = "daily"
+    repair: str = "strict"
 
     def __post_init__(self) -> None:
         if not self.kind:
@@ -108,10 +115,15 @@ class DataSpec:
             raise DataError(
                 f"unknown frequency {self.frequency!r}; use one of {_FREQUENCIES}"
             )
+        repair_policy(self.repair)  # fail fast on unknown policy names
 
     def resampled(self, frequency: str) -> "DataSpec":
         """A copy of this spec at a different bar frequency."""
         return replace(self, frequency=frequency)
+
+    def repaired(self, repair: str) -> "DataSpec":
+        """A copy of this spec under a different repair policy."""
+        return replace(self, repair=repair)
 
 
 class DataBackend(abc.ABC):
@@ -216,10 +228,14 @@ class FileBackend(DataBackend):
         directory: str | Path,
         sector_map: str | Path | None = None,
         pattern: str = "*.csv",
+        repair: str | RepairPolicy | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.sector_map = Path(sector_map) if sector_map is not None else None
         self.pattern = pattern
+        #: The repair policy applied at load time.  Part of the cache key:
+        #: two policies over one dirty directory are two different panels.
+        self.repair = repair_policy(repair)
 
     # ------------------------------------------------------------------
     def _signature(self) -> Hashable:
@@ -243,12 +259,13 @@ class FileBackend(DataBackend):
         return tuple(entries)
 
     def cache_key(self) -> Hashable:
-        return ("file", self._signature())
+        return ("file", self.repair.name, self._signature())
 
     # ------------------------------------------------------------------
     def _source_key(self) -> Hashable:
         return (str(self.directory.resolve()), self.pattern,
-                str(self.sector_map.resolve()) if self.sector_map else None)
+                str(self.sector_map.resolve()) if self.sector_map else None,
+                self.repair.name)
 
     def load_panel(self) -> StockPanel:
         signature = self._signature()
@@ -285,7 +302,7 @@ class FileBackend(DataBackend):
         exclude = (self.sector_map.name,) if self.sector_map is not None else ()
         return load_csv_directory(
             self.directory, sector_map=mapping, pattern=self.pattern,
-            exclude=exclude,
+            exclude=exclude, repair=self.repair,
         )
 
     # ------------------------------------------------------------------
@@ -328,6 +345,7 @@ class FileBackend(DataBackend):
             "directory": str(self.directory),
             "pattern": self.pattern,
             "sector_map": str(self.sector_map) if self.sector_map else None,
+            "repair": self.repair.name,
         }
 
 
@@ -438,4 +456,5 @@ def _make_file(spec: DataSpec, market_config: MarketConfig | None,
                seed: int | None) -> DataBackend:
     if spec.path is None:
         raise DataError("DataSpec(kind='file') requires a path to the data directory")
-    return FileBackend(spec.path, sector_map=spec.sector_map, pattern=spec.pattern)
+    return FileBackend(spec.path, sector_map=spec.sector_map,
+                       pattern=spec.pattern, repair=spec.repair)

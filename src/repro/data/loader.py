@@ -13,7 +13,12 @@ Expected per-stock CSV columns (case-insensitive, extra columns ignored)::
 
 Rows may arrive unsorted — they are ordered by date during parsing — and
 stocks with missing days or blank (NaN) prices are aligned on the union
-calendar and forward-filled.  Duplicate dates within one file are an error.
+calendar and forward-filled.  Duplicate dates within one file are an error
+under the default ``strict`` repair policy; the named policies in
+:mod:`repro.data.repair` instead resolve them (and calendar gaps, split
+discontinuities and spike outliers) deterministically — pass ``repair=``
+to :func:`load_csv_directory` or select a policy on the
+:class:`~repro.data.backends.DataSpec`.
 
 A sector map file with lines ``TICKER,SECTOR,INDUSTRY`` can be supplied to
 populate the taxonomy; otherwise every stock is placed in a single sector.
@@ -31,9 +36,18 @@ from pathlib import Path
 
 import numpy as np
 
-from ..errors import DataError
+from ..errors import DataError, DataIntegrityError
+from ..obs import TELEMETRY
 from .market_sim import StockPanel
 from .relations import SectorTaxonomy
+from .repair import (
+    RepairPolicy,
+    dedupe_columns,
+    find_duplicate_dates,
+    interpolate_fill,
+    repair_policy,
+    repair_series,
+)
 
 __all__ = [
     "export_panel_csv",
@@ -45,8 +59,17 @@ __all__ = [
 _REQUIRED_COLUMNS = ("date", "open", "high", "low", "close", "volume")
 
 
-def parse_ohlcv_csv(path: str | Path) -> dict[str, np.ndarray]:
-    """Parse a single OHLCV CSV file into column arrays keyed by column name."""
+def parse_ohlcv_csv(path: str | Path,
+                    duplicates: str = "reject") -> dict[str, np.ndarray]:
+    """Parse a single OHLCV CSV file into column arrays keyed by column name.
+
+    ``duplicates`` picks the key-conflict resolution: ``reject`` (the
+    historical behaviour — raise a structured
+    :class:`~repro.errors.DataIntegrityError` carrying the offending
+    ``(ticker, date)`` pairs), ``keep-first`` / ``keep-last`` (file order
+    among equal dates decides), or ``keep-all`` (return the raw sorted rows,
+    duplicates included — the auditor's view).
+    """
     path = Path(path)
     if not path.exists():
         raise DataError(f"CSV file does not exist: {path}")
@@ -72,12 +95,25 @@ def parse_ohlcv_csv(path: str | Path) -> dict[str, np.ndarray]:
     columns = {
         name: np.asarray(values, dtype=np.float64) for name, values in rows.items()
     }
-    # Rows may arrive in any order; sort chronologically and reject
-    # duplicate dates (two bars for one day cannot be aligned).
+    # Rows may arrive in any order; sort chronologically (stable, so file
+    # order survives within a duplicate-date group), then resolve duplicate
+    # dates per the requested policy choice.
     order = np.argsort(columns["date"], kind="stable")
     columns = {name: values[order] for name, values in columns.items()}
+    if duplicates == "keep-all":
+        return columns
     if np.unique(columns["date"]).size != columns["date"].size:
-        raise DataError(f"CSV file {path} contains duplicate dates")
+        ticker = path.stem.upper()
+        if duplicates == "reject":
+            violations = find_duplicate_dates(ticker, columns)
+            pairs = [(ticker, v.dates[0]) for v in violations]
+            raise DataIntegrityError(
+                f"CSV file {path} contains duplicate dates: "
+                f"{[date for _, date in pairs]} (a keep-first/keep-last "
+                "repair policy resolves them deterministically)",
+                pairs=pairs,
+            )
+        columns, _ = dedupe_columns(ticker, columns, duplicates)
     return columns
 
 
@@ -102,6 +138,7 @@ def load_csv_directory(
     sector_map: dict[str, tuple[str, str]] | None = None,
     pattern: str = "*.csv",
     exclude: tuple[str, ...] = (),
+    repair: str | RepairPolicy | None = None,
 ) -> StockPanel:
     """Load every per-stock CSV in ``directory`` into a :class:`StockPanel`.
 
@@ -110,7 +147,16 @@ def load_csv_directory(
     more than half of that common calendar are dropped.  ``exclude`` lists
     file names matched by ``pattern`` that are not OHLCV data (e.g. a
     sector map living in the same directory).
+
+    ``repair`` names a :class:`~repro.data.repair.RepairPolicy` (or passes
+    one directly; ``None`` means ``strict``) fixing how dirty data is
+    resolved: duplicate dates (reject / keep-first / keep-last), calendar
+    gaps (forward-fill / interpolate / drop the dates), split
+    discontinuities (keep / back-adjust) and spike outliers (keep /
+    interpolate).  Every policy is deterministic, and on a clean directory
+    every policy loads the bitwise-identical panel.
     """
+    policy = repair_policy(repair)
     directory = Path(directory)
     if not directory.is_dir():
         raise DataError(f"not a directory: {directory}")
@@ -122,19 +168,61 @@ def load_csv_directory(
         raise DataError(f"no CSV files matching {pattern!r} under {directory}")
 
     per_stock: dict[str, dict[str, np.ndarray]] = {}
+    repaired_total = 0
+    integrity_pairs: list[tuple[str, int]] = []
     for path in files:
         ticker = path.stem.upper()
-        per_stock[ticker] = parse_ohlcv_csv(path)
+        try:
+            cols = parse_ohlcv_csv(path, duplicates=policy.duplicates)
+        except DataIntegrityError as exc:
+            # Keep scanning so the error names every dirty file at once,
+            # not just the first.
+            integrity_pairs.extend(exc.pairs)
+            continue
+        cols, applied = repair_series(ticker, cols, policy)
+        repaired_total += len(applied)
+        per_stock[ticker] = cols
+    if integrity_pairs:
+        raise DataIntegrityError(
+            f"directory {directory} contains duplicate dates under the "
+            f"'{policy.name}' repair policy: "
+            f"{[f'{t}@{d}' for t, d in integrity_pairs]} "
+            "(a keep-first/keep-last repair policy resolves them "
+            "deterministically)",
+            pairs=integrity_pairs,
+        )
+    if repaired_total and TELEMETRY.enabled:
+        TELEMETRY.counter("data.repair.loads").inc()
 
     # Common calendar = sorted union of dates, then require coverage.
     all_dates = np.unique(np.concatenate([cols["date"] for cols in per_stock.values()]))
     min_coverage = len(all_dates) // 2
+    kept = [
+        ticker for ticker, cols in per_stock.items()
+        if len(cols["date"]) >= min_coverage
+    ]
+    if policy.gaps == "drop":
+        # Restrict the calendar to dates every kept stock actually traded;
+        # blank cells inside surviving rows still forward-fill below.
+        calendar = all_dates
+        for ticker in kept:
+            calendar = calendar[np.isin(calendar, per_stock[ticker]["date"])]
+        if TELEMETRY.enabled and len(calendar) < len(all_dates):
+            TELEMETRY.counter("data.repair.gap_dates_dropped").inc(
+                len(all_dates) - len(calendar))
+        all_dates = calendar
+        if len(all_dates) < 3:
+            raise DataError(
+                "gap policy 'drop' left fewer than 3 common dates; "
+                "use 'ffill' or 'interpolate' for this directory"
+            )
+    fill = interpolate_fill if policy.gaps == "interpolate" else _forward_fill
     tickers: list[str] = []
     arrays: dict[str, list[np.ndarray]] = {c: [] for c in _REQUIRED_COLUMNS if c != "date"}
     for ticker, cols in per_stock.items():
-        index = {d: i for i, d in enumerate(cols["date"])}
-        if len(index) < min_coverage:
+        if ticker not in kept:
             continue
+        index = {d: i for i, d in enumerate(cols["date"])}
         tickers.append(ticker)
         for column in arrays:
             series = np.full(len(all_dates), np.nan)
@@ -142,11 +230,12 @@ def load_csv_directory(
                 i = index.get(date)
                 if i is not None:
                     series[j] = cols[column][i]
-            # Forward-fill prices, zero-fill volume, so the panel is dense.
+            # Fill prices per the gap policy, zero-fill volume, so the
+            # panel is dense.
             if column == "volume":
                 series = np.where(np.isfinite(series), series, 0.0)
             else:
-                series = _forward_fill(series)
+                series = fill(series)
             arrays[column].append(series)
     if len(tickers) < 2:
         raise DataError("fewer than two stocks have sufficient date coverage")

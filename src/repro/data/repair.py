@@ -1,0 +1,838 @@
+"""Dirty-market data: corruption taxonomy, panel auditor and repair policies.
+
+Production market data is never clean.  This module treats dirtiness as a
+first-class, *enumerable* phenomenon — the consistent-query-answering frame
+of Lopatenko & Bertossi (cardinality-based repairs) and Koutris & Wijsen
+(certain answers under key violations): a dirty panel is a set of possible
+repairs, and downstream results are *certain* when they hold across every
+admissible repair, *contingent* when they depend on which repair was chosen.
+
+Three layers live here (full guide: ``docs/DATA.md``):
+
+**Taxonomy + auditor.**  Five corruption classes cover what real OHLCV
+feeds produce (:data:`CORRUPTION_KINDS`):
+
+=============  ===========================================================
+kind           what it looks like in a per-stock CSV directory
+=============  ===========================================================
+``duplicates`` two (possibly conflicting) rows for one stock/date key
+``gaps``       dates present in the union calendar but missing from a file
+``stale``      frozen quotes: a run of days with bit-identical prices
+``splits``     an unadjusted corporate action: prices jump by ~1/n and
+               stay at the new level
+``spikes``     a one-day outlier print that reverts the next day
+=============  ===========================================================
+
+:func:`audit_directory` detects all of them (pure detection — nothing is
+modified) and returns a versioned :class:`AuditReport`.
+
+**Repair policies.**  A :class:`RepairPolicy` fixes one deterministic
+resolution per class; the named registry (:data:`REPAIR_POLICIES`, e.g.
+``strict``, ``keep-last``, ``gap-interpolate``, ``split-adjust``) is what a
+:class:`~repro.data.backends.DataSpec` selects and the loader applies.
+Every policy is bitwise-reproducible: the same dirty directory and policy
+always produce the same repaired panel, and repairing clean data is the
+identity — contracts gated by ``tests/data/test_corruption_fuzz.py`` and
+``benchmarks/bench_data.py --smoke``.
+
+**Corruption injection.**  :func:`inject_corruption` is the inverse of the
+auditor: it takes a directory of *clean* per-stock CSVs and deterministically
+injects a seeded set of violations, returning an :class:`AuditReport` of
+exactly what it did — the ground truth the property-based test harness and
+the ``dirty-*`` scenarios are built on.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DataError, DataIntegrityError
+from ..obs import TELEMETRY
+
+__all__ = [
+    "AUDIT_REPORT_VERSION",
+    "CORRUPTION_KINDS",
+    "AuditReport",
+    "CorruptionSpec",
+    "REPAIR_POLICIES",
+    "RepairPolicy",
+    "Violation",
+    "audit_directory",
+    "dedupe_columns",
+    "find_duplicate_dates",
+    "find_series_violations",
+    "inject_corruption",
+    "interpolate_fill",
+    "register_repair_policy",
+    "repair_policy",
+    "repair_policy_names",
+    "repair_series",
+    "save_audit_report",
+    "load_audit_report",
+]
+
+#: The corruption taxonomy, in audit order.
+CORRUPTION_KINDS = ("duplicates", "gaps", "stale", "splits", "spikes")
+
+#: Bumped whenever the :class:`AuditReport` JSON layout changes incompatibly.
+AUDIT_REPORT_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# Detection thresholds.  Synthetic daily returns are a few percent at most,
+# so a 1.6x day-over-day move is many sigmas out — injected splits (2x) and
+# spikes (3x) are always found, clean panels never false-positive.
+# ---------------------------------------------------------------------------
+
+#: A day-over-day close ratio at or beyond this (or its inverse) is a jump.
+JUMP_RATIO = 1.6
+
+#: A jump *reverts* (making it a spike, not a split) when the next close is
+#: within this ratio of the pre-jump close.
+REVERT_RATIO = 1.25
+
+#: Minimum run of bit-identical closes flagged as a frozen quote.
+STALE_MIN_RUN = 4
+
+#: A split ratio within this relative tolerance of an integer (or inverse
+#: integer) is snapped to it, so back-adjustment divides out the corporate
+#: action exactly and preserves the underlying returns.
+SPLIT_SNAP_TOLERANCE = 0.1
+
+_PRICE_COLUMNS = ("open", "high", "low", "close")
+_VALUE_COLUMNS = ("open", "high", "low", "close", "volume")
+
+
+# ---------------------------------------------------------------------------
+# Violations and the audit report
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected (or injected) integrity violation.
+
+    ``dates`` spans the affected day(s): the duplicated key, the missing
+    calendar dates of a gap run, the full frozen run of a stale quote, or
+    the single discontinuity/outlier day.  ``detail`` carries kind-specific
+    facts (conflict flag, split factor, observed ratio, …).
+    """
+
+    kind: str
+    ticker: str
+    dates: tuple[int, ...]
+    detail: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in CORRUPTION_KINDS:
+            raise DataError(
+                f"unknown violation kind {self.kind!r}; "
+                f"taxonomy: {CORRUPTION_KINDS}"
+            )
+        object.__setattr__(self, "dates", tuple(int(d) for d in self.dates))
+
+    def key(self) -> tuple:
+        """Identity used to match detected against injected violations."""
+        return (self.kind, self.ticker, self.dates)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "ticker": self.ticker,
+            "dates": list(self.dates),
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Violation":
+        return cls(
+            kind=payload["kind"],
+            ticker=payload["ticker"],
+            dates=tuple(payload["dates"]),
+            detail=dict(payload.get("detail", {})),
+        )
+
+
+@dataclass
+class AuditReport:
+    """Everything one audit (or injection) found, with a versioned layout."""
+
+    violations: tuple[Violation, ...]
+    source: str = ""
+    version: int = AUDIT_REPORT_VERSION
+
+    def __post_init__(self) -> None:
+        self.violations = tuple(self.violations)
+
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """``kind -> number of violations`` for the kinds that occurred."""
+        out: dict[str, int] = {}
+        for violation in self.violations:
+            out[violation.kind] = out.get(violation.kind, 0) + 1
+        return {kind: out[kind] for kind in CORRUPTION_KINDS if kind in out}
+
+    def for_kind(self, kind: str) -> tuple[Violation, ...]:
+        """The violations of one taxonomy class."""
+        return tuple(v for v in self.violations if v.kind == kind)
+
+    def keys(self) -> list[tuple]:
+        """Sorted violation identities — the fuzz harness's equality basis."""
+        return sorted(violation.key() for violation in self.violations)
+
+    def pairs(self) -> tuple[tuple[str, int], ...]:
+        """Flat ``(ticker, date)`` pairs across all violations."""
+        return tuple(
+            (violation.ticker, date)
+            for violation in self.violations
+            for date in violation.dates
+        )
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """JSON-serialisable representation (the on-disk layout)."""
+        return {
+            "version": self.version,
+            "source": self.source,
+            "counts": self.counts(),
+            "violations": [violation.to_dict() for violation in self.violations],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "AuditReport":
+        """Inverse of :meth:`to_json`; rejects layouts from other versions."""
+        version = payload.get("version", AUDIT_REPORT_VERSION)
+        if version != AUDIT_REPORT_VERSION:
+            raise DataError(
+                f"audit report has version {version}, this build reads "
+                f"version {AUDIT_REPORT_VERSION}"
+            )
+        return cls(
+            violations=tuple(
+                Violation.from_dict(entry)
+                for entry in payload.get("violations", ())
+            ),
+            source=payload.get("source", ""),
+            version=version,
+        )
+
+    def render(self) -> str:
+        """A compact printable summary."""
+        if not self.violations:
+            return "audit: clean (no violations)"
+        lines = [f"audit: {len(self.violations)} violation(s)"]
+        for kind, count in self.counts().items():
+            tickers = sorted({v.ticker for v in self.for_kind(kind)})
+            lines.append(f"  {kind:<11} {count:>3}  [{', '.join(tickers)}]")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Repair policies
+# ---------------------------------------------------------------------------
+
+_DUPLICATE_CHOICES = ("reject", "keep-first", "keep-last")
+_GAP_CHOICES = ("ffill", "interpolate", "drop")
+_SPLIT_CHOICES = ("keep", "back-adjust")
+_SPIKE_CHOICES = ("keep", "interpolate")
+
+
+@dataclass(frozen=True)
+class RepairPolicy:
+    """One deterministic resolution per corruption class.
+
+    Attributes
+    ----------
+    duplicates:
+        ``reject`` (raise :class:`~repro.errors.DataIntegrityError` with
+        the offending pairs), ``keep-first`` or ``keep-last`` (file order
+        among equal dates decides which row survives).
+    gaps:
+        ``ffill`` (forward-fill prices, zero volume — the historical loader
+        behaviour), ``interpolate`` (linear between the surrounding real
+        observations) or ``drop`` (restrict the calendar to dates every
+        kept stock traded).
+    splits:
+        ``keep`` or ``back-adjust`` (divide pre-split prices and multiply
+        pre-split volume by the snapped split factor, so the series is
+        continuous on the post-split scale).
+    spikes:
+        ``keep`` or ``interpolate`` (rescale the outlier day's OHLC onto
+        the midpoint of its neighbours' closes).
+
+    Stale quotes are detect-only: no rewrite of a frozen run is better than
+    the run itself, so the auditor reports them and policies leave them.
+    """
+
+    name: str
+    duplicates: str = "reject"
+    gaps: str = "ffill"
+    splits: str = "keep"
+    spikes: str = "keep"
+
+    def __post_init__(self) -> None:
+        for value, choices, label in (
+            (self.duplicates, _DUPLICATE_CHOICES, "duplicates"),
+            (self.gaps, _GAP_CHOICES, "gaps"),
+            (self.splits, _SPLIT_CHOICES, "splits"),
+            (self.spikes, _SPIKE_CHOICES, "spikes"),
+        ):
+            if value not in choices:
+                raise DataError(
+                    f"repair policy {self.name!r}: unknown {label} choice "
+                    f"{value!r}; use one of {choices}"
+                )
+
+    def describe(self) -> dict:
+        """JSON-friendly summary for logs and scenario results."""
+        return {
+            "name": self.name,
+            "duplicates": self.duplicates,
+            "gaps": self.gaps,
+            "splits": self.splits,
+            "spikes": self.spikes,
+        }
+
+
+#: The named policy registry ``DataSpec.repair`` selects from.
+REPAIR_POLICIES: dict[str, RepairPolicy] = {}
+
+
+def register_repair_policy(policy: RepairPolicy,
+                           overwrite: bool = False) -> RepairPolicy:
+    """Add ``policy`` to the registry (error on duplicates unless asked)."""
+    if not overwrite and policy.name in REPAIR_POLICIES:
+        raise DataError(
+            f"repair policy {policy.name!r} is already registered; "
+            "pass overwrite=True to replace it"
+        )
+    REPAIR_POLICIES[policy.name] = policy
+    return policy
+
+
+def repair_policy(name) -> RepairPolicy:
+    """Resolve a policy name (or pass a policy through; ``None`` = strict)."""
+    if name is None:
+        return REPAIR_POLICIES["strict"]
+    if isinstance(name, RepairPolicy):
+        return name
+    policy = REPAIR_POLICIES.get(name)
+    if policy is None:
+        raise DataError(
+            f"unknown repair policy {name!r}; "
+            f"registered policies: {repair_policy_names()}"
+        )
+    return policy
+
+
+def repair_policy_names() -> list[str]:
+    """Sorted names of every registered repair policy."""
+    return sorted(REPAIR_POLICIES)
+
+
+register_repair_policy(RepairPolicy("strict"))
+register_repair_policy(RepairPolicy("keep-first", duplicates="keep-first"))
+register_repair_policy(RepairPolicy("keep-last", duplicates="keep-last"))
+register_repair_policy(RepairPolicy(
+    "gap-interpolate", duplicates="keep-last", gaps="interpolate"))
+register_repair_policy(RepairPolicy(
+    "gap-drop", duplicates="keep-last", gaps="drop"))
+register_repair_policy(RepairPolicy(
+    "split-adjust", duplicates="keep-last", splits="back-adjust"))
+register_repair_policy(RepairPolicy(
+    "despike", duplicates="keep-last", spikes="interpolate"))
+register_repair_policy(RepairPolicy(
+    "robust", duplicates="keep-last", gaps="interpolate",
+    splits="back-adjust", spikes="interpolate"))
+
+
+# ---------------------------------------------------------------------------
+# Detection
+# ---------------------------------------------------------------------------
+
+
+def find_duplicate_dates(ticker: str, columns: dict) -> list[Violation]:
+    """Duplicate-key violations in one stock's (sorted) parsed columns.
+
+    ``detail["conflict"]`` says whether the duplicate rows actually
+    disagree on any value (NaN counts as equal to NaN): conflicting rows
+    are a genuine key violation, identical rows a harmless double-write.
+    """
+    dates = np.asarray(columns["date"])
+    violations: list[Violation] = []
+    start = 0
+    while start < dates.size:
+        stop = start
+        while stop + 1 < dates.size and dates[stop + 1] == dates[start]:
+            stop += 1
+        if stop > start:
+            rows = []
+            for i in range(start, stop + 1):
+                rows.append(tuple(
+                    np.float64(columns[name][i]).tobytes()
+                    for name in _VALUE_COLUMNS
+                ))
+            violations.append(Violation(
+                kind="duplicates",
+                ticker=ticker,
+                dates=(int(dates[start]),),
+                detail={
+                    "count": stop - start + 1,
+                    "conflict": len(set(rows)) > 1,
+                },
+            ))
+        start = stop + 1
+    return violations
+
+
+def dedupe_columns(ticker: str, columns: dict, how: str) -> tuple[dict, list]:
+    """Resolve duplicate dates per the ``how`` choice.
+
+    Returns the (possibly reduced) columns plus the duplicate violations
+    that were resolved.  ``reject`` raises a
+    :class:`~repro.errors.DataIntegrityError` carrying the offending
+    ``(ticker, date)`` pairs.
+    """
+    if how not in _DUPLICATE_CHOICES:
+        raise DataError(
+            f"unknown duplicates choice {how!r}; use one of "
+            f"{_DUPLICATE_CHOICES}"
+        )
+    violations = find_duplicate_dates(ticker, columns)
+    if not violations:
+        return columns, []
+    if how == "reject":
+        pairs = [(ticker, v.dates[0]) for v in violations]
+        raise DataIntegrityError(
+            f"stock {ticker} contains duplicate dates: "
+            f"{[date for _, date in pairs]} (repair policies: keep-first / "
+            f"keep-last resolve them deterministically)",
+            pairs=pairs,
+        )
+    dates = np.asarray(columns["date"])
+    # Rows arrive stable-sorted by date, so file order survives within a
+    # duplicate group: "first"/"last" mean first/last occurrence in the file.
+    if how == "keep-first":
+        _, keep = np.unique(dates, return_index=True)
+    else:
+        reversed_unique, reversed_index = np.unique(
+            dates[::-1], return_index=True)
+        keep = np.sort(dates.size - 1 - reversed_index)
+    return {name: values[keep] for name, values in columns.items()}, violations
+
+
+def find_series_violations(
+    ticker: str,
+    columns: dict,
+    kinds: tuple[str, ...] = ("stale", "splits", "spikes"),
+) -> list[Violation]:
+    """Stale runs, split discontinuities and spike outliers in one series.
+
+    Operates on a *deduplicated, date-sorted* per-stock series (detection
+    runs before calendar alignment, so forward-filled gap days can never
+    masquerade as frozen quotes).  A jump that reverts the next day is a
+    spike; one that persists is a split (a jump on the final day, with no
+    next day to revert on, counts as a split).
+    """
+    close = np.asarray(columns["close"], dtype=np.float64)
+    dates = np.asarray(columns["date"])
+    violations: list[Violation] = []
+
+    if "stale" in kinds:
+        start = 0
+        while start < close.size:
+            stop = start
+            while (stop + 1 < close.size
+                   and np.float64(close[stop + 1]).tobytes()
+                   == np.float64(close[start]).tobytes()):
+                stop += 1
+            run = stop - start + 1
+            if run >= STALE_MIN_RUN:
+                violations.append(Violation(
+                    kind="stale",
+                    ticker=ticker,
+                    dates=tuple(int(d) for d in dates[start:stop + 1]),
+                    detail={"run": run},
+                ))
+            start = stop + 1
+
+    if "splits" in kinds or "spikes" in kinds:
+        t = 1
+        while t < close.size:
+            previous, current = close[t - 1], close[t]
+            if previous <= 0 or current <= 0:
+                t += 1
+                continue
+            ratio = current / previous
+            if 1.0 / JUMP_RATIO < ratio < JUMP_RATIO:
+                t += 1
+                continue
+            reverts = False
+            if t + 1 < close.size and close[t + 1] > 0:
+                reversion = close[t + 1] / previous
+                reverts = 1.0 / REVERT_RATIO < reversion < REVERT_RATIO
+            if reverts:
+                if "spikes" in kinds:
+                    violations.append(Violation(
+                        kind="spikes",
+                        ticker=ticker,
+                        dates=(int(dates[t]),),
+                        detail={"ratio": float(ratio)},
+                    ))
+                t += 2  # the reversion day is part of the spike, not a jump
+            else:
+                if "splits" in kinds:
+                    violations.append(Violation(
+                        kind="splits",
+                        ticker=ticker,
+                        dates=(int(dates[t]),),
+                        detail={
+                            "ratio": float(1.0 / ratio),
+                            "factor": _snap_split_factor(1.0 / ratio),
+                        },
+                    ))
+                t += 1
+    return violations
+
+
+def _snap_split_factor(ratio: float) -> float:
+    """Snap an observed pre/post close ratio to the nearest n:1 (or 1:n).
+
+    A 2:1 split shows up as ``ratio ~ 2 * (1 + that day's true return)``;
+    snapping to the integer divides the corporate action out exactly and
+    leaves the genuine return in place.  Ratios too far from any integer
+    (within :data:`SPLIT_SNAP_TOLERANCE`) back-adjust by the raw ratio.
+    """
+    if ratio >= 1.0:
+        snapped = max(2.0, round(ratio))
+        if abs(ratio - snapped) <= SPLIT_SNAP_TOLERANCE * snapped:
+            return float(snapped)
+    else:
+        inverse = max(2.0, round(1.0 / ratio))
+        if abs(1.0 / ratio - inverse) <= SPLIT_SNAP_TOLERANCE * inverse:
+            return float(1.0 / inverse)
+    return float(ratio)
+
+
+def _find_gap_runs(ticker: str, stock_dates: np.ndarray,
+                   calendar: np.ndarray) -> list[Violation]:
+    """Gap violations: maximal runs of calendar dates missing from a stock."""
+    present = np.isin(calendar, stock_dates)
+    violations: list[Violation] = []
+    start = None
+    for position, here in enumerate(present):
+        if not here and start is None:
+            start = position
+        elif here and start is not None:
+            violations.append(Violation(
+                kind="gaps",
+                ticker=ticker,
+                dates=tuple(int(d) for d in calendar[start:position]),
+            ))
+            start = None
+    if start is not None:
+        violations.append(Violation(
+            kind="gaps",
+            ticker=ticker,
+            dates=tuple(int(d) for d in calendar[start:]),
+        ))
+    return violations
+
+
+def audit_directory(directory: str | Path, pattern: str = "*.csv",
+                    exclude: tuple[str, ...] = ()) -> AuditReport:
+    """Audit a per-stock CSV directory against the whole taxonomy.
+
+    Pure detection: nothing on disk or in memory is repaired.  Duplicates
+    are found on the raw parsed rows; gap runs against the union calendar
+    of all files; stale/split/spike detection runs on each stock's own
+    deduplicated series (``keep-last``, so conflicting duplicates cannot
+    hide a discontinuity) *before* any alignment fill could fabricate
+    frozen quotes.
+    """
+    # Imported lazily: loader imports this module for its repair pipeline.
+    from .loader import parse_ohlcv_csv
+
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise DataError(f"not a directory: {directory}")
+    files = [
+        path for path in sorted(directory.glob(pattern))
+        if path.name not in exclude
+    ]
+    if not files:
+        raise DataError(f"no files matching {pattern!r} under {directory}")
+
+    violations: list[Violation] = []
+    deduped: dict[str, dict] = {}
+    for path in files:
+        ticker = path.stem.upper()
+        columns = parse_ohlcv_csv(path, duplicates="keep-all")
+        violations.extend(find_duplicate_dates(ticker, columns))
+        deduped[ticker], _ = dedupe_columns(ticker, columns, "keep-last")
+
+    calendar = np.unique(np.concatenate(
+        [cols["date"] for cols in deduped.values()]
+    ))
+    for ticker, cols in deduped.items():
+        violations.extend(_find_gap_runs(ticker, cols["date"], calendar))
+        violations.extend(find_series_violations(ticker, cols))
+
+    if TELEMETRY.enabled:
+        TELEMETRY.counter("data.audit.runs").inc()
+        TELEMETRY.counter("data.audit.violations").inc(len(violations))
+    return AuditReport(violations=tuple(violations), source=str(directory))
+
+
+# ---------------------------------------------------------------------------
+# Repair application
+# ---------------------------------------------------------------------------
+
+
+def repair_series(ticker: str, columns: dict,
+                  policy: RepairPolicy) -> tuple[dict, list[Violation]]:
+    """Apply a policy's split/spike repairs to one deduplicated series.
+
+    Returns the (possibly rewritten) columns plus the violations that were
+    repaired.  With both classes on ``keep`` this is a no-op returning the
+    input columns unchanged — the clean-panel-identity contract.
+    """
+    wants_splits = policy.splits == "back-adjust"
+    wants_spikes = policy.spikes == "interpolate"
+    if not (wants_splits or wants_spikes):
+        return columns, []
+    detected = find_series_violations(ticker, columns,
+                                      kinds=("splits", "spikes"))
+    applicable = [
+        violation for violation in detected
+        if (violation.kind == "splits" and wants_splits)
+        or (violation.kind == "spikes" and wants_spikes)
+    ]
+    if not applicable:
+        return columns, []
+
+    columns = {name: np.array(values, copy=True)
+               for name, values in columns.items()}
+    dates = columns["date"]
+    for violation in applicable:
+        index = int(np.searchsorted(dates, violation.dates[0]))
+        if violation.kind == "splits":
+            # Bring pre-split history onto the post-split scale: prices
+            # shrink by the factor, share counts grow by it.
+            factor = violation.detail["factor"]
+            for name in _PRICE_COLUMNS:
+                columns[name][:index] /= factor
+            columns["volume"][:index] *= factor
+        else:
+            # Rescale the outlier day's bar onto the midpoint of its
+            # neighbours' closes (shape-preserving: OHLC scale together).
+            close = columns["close"]
+            target = 0.5 * (close[index - 1] + close[index + 1])
+            scale = target / close[index]
+            for name in _PRICE_COLUMNS:
+                columns[name][index] *= scale
+    if TELEMETRY.enabled:
+        for violation in applicable:
+            TELEMETRY.counter(f"data.repair.{violation.kind}").inc()
+    return columns, applicable
+
+
+def interpolate_fill(series: np.ndarray) -> np.ndarray:
+    """Fill NaNs by linear interpolation between real observations.
+
+    Leading NaNs take the first observed value, trailing NaNs the last —
+    the same edge semantics as forward-fill, so only interior gaps differ.
+    An all-NaN series fills to zeros (caught later by panel validation).
+    """
+    mask = np.isfinite(series)
+    if not mask.any():
+        return np.zeros_like(series)
+    observed = np.flatnonzero(mask)
+    return np.interp(np.arange(series.size), observed, series[observed])
+
+
+# ---------------------------------------------------------------------------
+# Corruption injection
+# ---------------------------------------------------------------------------
+
+#: Row margin kept clean at both ends of every file, so injected events
+#: never collide with the calendar edges (where split/spike classification
+#: would be ambiguous) or with each other's safety windows.
+_EDGE_MARGIN = 3
+
+#: Consecutive dates removed per injected gap event.
+_GAP_RUN = 2
+
+#: Total days (source + frozen copies) per injected stale event.
+_STALE_RUN = STALE_MIN_RUN + 1
+
+#: Price multiplier of an injected spike (reverts the next day).
+_SPIKE_FACTOR = 3.0
+
+#: Split factor of an injected (unadjusted) 2:1 corporate action.
+_SPLIT_FACTOR = 2.0
+
+#: Value multiplier distinguishing an injected conflicting duplicate row.
+_CONFLICT_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class CorruptionSpec:
+    """A deterministic, seeded corruption workload.
+
+    ``events`` violations of each kind in ``kinds`` are injected, each on
+    its *own* stock (stocks are partitioned across events, so detected and
+    injected violation sets can be compared exactly).  Hashable and
+    ``repr``-stable, so scenario manifests can key on it.
+    """
+
+    kinds: tuple[str, ...] = CORRUPTION_KINDS
+    events: int = 2
+    seed: int = 13
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "kinds", tuple(self.kinds))
+        unknown = sorted(set(self.kinds) - set(CORRUPTION_KINDS))
+        if unknown:
+            raise DataError(
+                f"unknown corruption kind(s) {unknown}; "
+                f"taxonomy: {CORRUPTION_KINDS}"
+            )
+        if not self.kinds:
+            raise DataError("CorruptionSpec needs at least one kind")
+        if self.events < 1:
+            raise DataError("CorruptionSpec.events must be at least 1")
+
+
+def inject_corruption(directory: str | Path, spec: CorruptionSpec,
+                      pattern: str = "*.csv",
+                      exclude: tuple[str, ...] = ()) -> AuditReport:
+    """Corrupt a directory of clean per-stock CSVs, deterministically.
+
+    Each event rewrites one file in place; untouched cells keep their exact
+    text, so everything outside the injected violations survives bit for
+    bit.  Returns an :class:`AuditReport` describing exactly what was
+    injected — by construction the ground truth that
+    :func:`audit_directory` must recover.
+
+    Determinism contract: the same clean directory + spec always produce
+    byte-identical corrupted files (the RNG is seeded from the spec and
+    stocks are assigned from the sorted file list).
+    """
+    directory = Path(directory)
+    files = [
+        path for path in sorted(directory.glob(pattern))
+        if path.name not in exclude
+    ]
+    needed = len(spec.kinds) * spec.events
+    if needed > len(files):
+        raise DataError(
+            f"corruption spec needs {needed} distinct stocks "
+            f"({len(spec.kinds)} kinds x {spec.events} events) but only "
+            f"{len(files)} files match {pattern!r} under {directory}"
+        )
+    rng = np.random.default_rng(spec.seed)
+    order = rng.permutation(len(files))
+    violations: list[Violation] = []
+    slot = 0
+    for kind in spec.kinds:
+        for _ in range(spec.events):
+            path = files[int(order[slot])]
+            slot += 1
+            violations.append(_inject_one(path, kind, rng))
+    return AuditReport(violations=tuple(violations), source=str(directory))
+
+
+def _inject_one(path: Path, kind: str, rng: np.random.Generator) -> Violation:
+    """Inject one violation of ``kind`` into one CSV file, in place."""
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = [row for row in reader if row]
+    lower = [name.lower().strip() for name in header]
+    col = {name: lower.index(name) for name in ("date",) + _VALUE_COLUMNS}
+    run = {"gaps": _GAP_RUN, "stale": _STALE_RUN}.get(kind, 1)
+    last_start = len(rows) - _EDGE_MARGIN - run
+    if last_start <= _EDGE_MARGIN:
+        raise DataError(
+            f"{path} has too few rows ({len(rows)}) to inject a "
+            f"{kind} event"
+        )
+    t = int(rng.integers(_EDGE_MARGIN, last_start + 1))
+    ticker = path.stem.upper()
+
+    def scale_cell(row: list[str], name: str, factor: float) -> None:
+        row[col[name]] = repr(float(row[col[name]]) * factor)
+
+    if kind == "duplicates":
+        twin = list(rows[t])
+        for name in _PRICE_COLUMNS:
+            scale_cell(twin, name, _CONFLICT_FACTOR)
+        rows.insert(t + 1, twin)
+        violation = Violation(
+            kind="duplicates", ticker=ticker,
+            dates=(int(float(rows[t][col["date"]])),),
+            detail={"count": 2, "conflict": True},
+        )
+    elif kind == "gaps":
+        removed = tuple(
+            int(float(rows[i][col["date"]])) for i in range(t, t + run)
+        )
+        del rows[t:t + run]
+        violation = Violation(kind="gaps", ticker=ticker, dates=removed)
+    elif kind == "stale":
+        frozen = tuple(
+            int(float(rows[i][col["date"]])) for i in range(t, t + run)
+        )
+        for i in range(t + 1, t + run):
+            for name in _PRICE_COLUMNS:
+                rows[i][col[name]] = rows[t][col[name]]
+        violation = Violation(
+            kind="stale", ticker=ticker, dates=frozen,
+            detail={"run": run},
+        )
+    elif kind == "splits":
+        for row in rows[t:]:
+            for name in _PRICE_COLUMNS:
+                scale_cell(row, name, 1.0 / _SPLIT_FACTOR)
+            scale_cell(row, "volume", _SPLIT_FACTOR)
+        violation = Violation(
+            kind="splits", ticker=ticker,
+            dates=(int(float(rows[t][col["date"]])),),
+            detail={"factor": _SPLIT_FACTOR},
+        )
+    elif kind == "spikes":
+        for name in _PRICE_COLUMNS:
+            scale_cell(rows[t], name, _SPIKE_FACTOR)
+        violation = Violation(
+            kind="spikes", ticker=ticker,
+            dates=(int(float(rows[t][col["date"]])),),
+            detail={"factor": _SPIKE_FACTOR},
+        )
+    else:  # pragma: no cover - guarded by CorruptionSpec validation
+        raise DataError(f"unknown corruption kind {kind!r}")
+
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return violation
+
+
+def save_audit_report(report: AuditReport, path: str | Path) -> Path:
+    """Write an audit/injection report as JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+    return path
+
+
+def load_audit_report(path: str | Path) -> AuditReport:
+    """Read a report written by :func:`save_audit_report`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no such audit report: {path}")
+    return AuditReport.from_json(json.loads(path.read_text()))

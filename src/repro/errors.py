@@ -20,6 +20,22 @@ class DataError(ReproError):
     """Raised when market data or feature construction is invalid."""
 
 
+class DataIntegrityError(DataError):
+    """Market data violates an integrity constraint (duplicate keys, …).
+
+    Carries the offending ``(ticker, date)`` pairs so repair policies and
+    tests can dispatch on *which* rows are dirty instead of re-parsing a
+    message.  Raised by the loader under the ``reject`` repair policy; the
+    other policies in :mod:`repro.data.repair` resolve the violations
+    deterministically instead of raising.
+    """
+
+    def __init__(self, message: str, pairs: tuple = ()) -> None:
+        super().__init__(message)
+        #: Offending ``(ticker, date)`` pairs, in detection order.
+        self.pairs: tuple = tuple((ticker, int(date)) for ticker, date in pairs)
+
+
 class UniverseError(DataError):
     """Raised when universe filtering produces an unusable stock universe."""
 

@@ -9,25 +9,41 @@ mine→compile→serve pipeline through one call (or ``repro scenario <name>``
 on the command line):
 
 * :mod:`repro.scenarios.spec`     — :class:`ScenarioSpec` and its
-  materialisation (including the CSV export behind file-backed scenarios);
+  materialisation (including the CSV export behind file-backed scenarios
+  and the deterministic corruption injection behind the dirty-market ones);
 * :mod:`repro.scenarios.registry` — the shipped suite (baseline, weekly,
-  file-backed, high-vol, sparse-relations) and :func:`register_scenario`;
+  file-backed, high-vol, sparse-relations, corrected-tick, and the
+  dirty-duplicates / dirty-gaps / dirty-splits family) and
+  :func:`register_scenario`;
 * :mod:`repro.scenarios.runner`   — :func:`run_scenario`, producing one
   :class:`~repro.experiments.recorder.ExperimentResult` per scenario with
-  the online/offline parity verdict in its metadata.
+  the online/offline parity verdict in its metadata;
+* :mod:`repro.scenarios.robustness` — :class:`RobustnessReport`: the mined
+  fleet re-served across admissible repair policies, banded per alpha
+  (IC/Sharpe min/mean/max, certain-vs-contingent ranking).
 
 See ``docs/DATA.md`` for the scenario-spec reference and the guide to
 adding backends and scenarios.
 """
 
 from .registry import get_scenario, list_scenarios, register_scenario, scenario_names
+from .robustness import (
+    ROBUSTNESS_REPORT_VERSION,
+    AlphaBand,
+    RobustnessReport,
+    evaluate_robustness,
+)
 from .runner import render_scenario_list, run_scenario
 from .spec import SCENARIO_DATA_ENV, ScenarioSpec, default_data_dir
 
 __all__ = [
+    "ROBUSTNESS_REPORT_VERSION",
     "SCENARIO_DATA_ENV",
+    "AlphaBand",
+    "RobustnessReport",
     "ScenarioSpec",
     "default_data_dir",
+    "evaluate_robustness",
     "get_scenario",
     "list_scenarios",
     "register_scenario",

@@ -1,8 +1,9 @@
 """The named scenario suite and its registry.
 
-Six scenarios ship with the repository, spanning the three axes the data
+Nine scenarios ship with the repository, spanning the three axes the data
 layer opens — source, frequency and regime — plus the serving-time
-correction path (full reference: ``docs/DATA.md``):
+correction path and the dirty-market family (full reference:
+``docs/DATA.md``):
 
 =================  ========================================================
 name               workload
@@ -22,7 +23,22 @@ sparse-relations   a near-flat relation graph (two sectors, one industry
 corrected-tick     default market with late bar restatements injected
                    mid-serve, delta-replayed and verified bitwise against
                    a clean full replay of the corrected history
+dirty-duplicates   exported CSVs dirtied with conflicting duplicate rows;
+                   mined under ``keep-last``, robustness-banded against
+                   ``keep-first``
+dirty-gaps         exported CSVs with multi-day calendar gaps; mined under
+                   linear interpolation, banded against forward-fill and
+                   calendar-drop
+dirty-splits       exported CSVs with an unadjusted 2:1 split and a spike
+                   outlier; mined under the ``robust`` policy, banded
+                   against ``strict`` and ``split-adjust``
 =================  ========================================================
+
+The dirty scenarios corrupt their export deterministically
+(:class:`~repro.data.CorruptionSpec`), audit the directory, and attach a
+:class:`~repro.scenarios.robustness.RobustnessReport` — per-alpha IC/Sharpe
+bands across the admissible repairs, with the certain-vs-contingent
+verdict on the fleet ranking.
 
 Downstream projects add their own with :func:`register_scenario`; the CLI
 (``repro scenario --list``) and :func:`~repro.scenarios.runner.run_scenario`
@@ -31,7 +47,7 @@ only ever consult this registry.
 
 from __future__ import annotations
 
-from ..data import DataSpec
+from ..data import CorruptionSpec, DataSpec
 from ..errors import ConfigurationError
 from ..stream import BarCorrection
 from .spec import ScenarioSpec
@@ -135,4 +151,38 @@ register_scenario(ScenarioSpec(
                 "no industry-momentum spillover",
     config_overrides=(("num_sectors", 2), ("industries_per_sector", 1)),
     market_overrides=(("relation_spillover_strength", 0.0),),
+))
+
+register_scenario(ScenarioSpec(
+    name="dirty-duplicates",
+    description="Exported CSVs dirtied with conflicting duplicate rows; "
+                "mined under keep-last, robustness-banded vs keep-first",
+    data=DataSpec(kind="file", repair="keep-last"),
+    export_synthetic=True,
+    corruption=CorruptionSpec(kinds=("duplicates",), events=2, seed=101),
+    repairs=("keep-first",),
+))
+
+register_scenario(ScenarioSpec(
+    name="dirty-gaps",
+    description="Exported CSVs with multi-day calendar gaps; mined under "
+                "interpolation, banded vs forward-fill and calendar-drop",
+    data=DataSpec(kind="file", repair="gap-interpolate"),
+    export_synthetic=True,
+    corruption=CorruptionSpec(kinds=("gaps",), events=2, seed=102),
+    # The gap-drop repair shrinks the calendar by the dropped dates, so the
+    # history needs headroom over the fixed split totals at both scales.
+    config_overrides=(("num_days", 440),),
+    smoke_overrides=(("num_days", 280),),
+    repairs=("strict", "gap-drop"),
+))
+
+register_scenario(ScenarioSpec(
+    name="dirty-splits",
+    description="Exported CSVs with an unadjusted 2:1 split and a spike "
+                "outlier; mined under robust, banded vs strict/split-adjust",
+    data=DataSpec(kind="file", repair="robust"),
+    export_synthetic=True,
+    corruption=CorruptionSpec(kinds=("splits", "spikes"), events=1, seed=103),
+    repairs=("strict", "split-adjust"),
 ))

@@ -1,0 +1,283 @@
+"""Robustness bands: one alpha fleet evaluated across admissible repairs.
+
+The consistent-query-answering view of a dirty panel (see
+:mod:`repro.data.repair`) is that it denotes a *set* of possible repaired
+panels, one per admissible :class:`~repro.data.repair.RepairPolicy`.  A
+result that holds on every repair is **certain**; one that depends on which
+repair was chosen is **contingent**.  This module makes that distinction
+executable for the serving pipeline:
+
+1. the scenario runner mines its fleet once, on the scenario's *primary*
+   repair (the one on its :class:`~repro.data.DataSpec`);
+2. :func:`evaluate_robustness` re-serves the *same* programs over every
+   other admissible repair (each serve individually parity-gated against
+   its offline path);
+3. the per-alpha IC / Sharpe spreads become a :class:`RobustnessReport` —
+   min/mean/max bands, a per-repair breakdown, and the certain-vs-contingent
+   verdict on the fleet's IC ranking.
+
+The report's JSON layout is versioned exactly like
+:class:`~repro.obs.provenance.RunRecord`: ``to_json`` embeds
+:data:`ROBUSTNESS_REPORT_VERSION` and ``from_json`` refuses other versions,
+so golden files and downstream consumers fail loudly instead of silently
+misreading a changed schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import isnan
+
+from ..errors import ConfigurationError
+from ..obs import TELEMETRY
+
+__all__ = [
+    "ROBUSTNESS_REPORT_VERSION",
+    "AlphaBand",
+    "RobustnessReport",
+    "evaluate_robustness",
+]
+
+#: Bumped whenever the :class:`RobustnessReport` JSON layout changes
+#: incompatibly.
+ROBUSTNESS_REPORT_VERSION = 1
+
+#: Metrics a band covers, in report order.
+_BAND_METRICS = ("ic", "sharpe")
+
+
+def _band(values: list[float]) -> dict[str, float]:
+    return {
+        "min": float(min(values)),
+        "mean": float(sum(values) / len(values)),
+        "max": float(max(values)),
+    }
+
+
+@dataclass(frozen=True)
+class AlphaBand:
+    """One alpha's metric spread across the admissible repairs.
+
+    ``per_repair`` maps repair name → ``{"ic", "sharpe", "parity"}``;
+    ``bands`` maps metric → ``{"min", "mean", "max"}`` over the repairs.
+    ``contingent`` is true when the alpha's position in the fleet's IC
+    ranking changes depending on the repair — its rank is not a certain
+    answer over the dirty panel.
+    """
+
+    name: str
+    bands: dict = field(default_factory=dict)
+    per_repair: dict = field(default_factory=dict)
+    contingent: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "bands": {metric: dict(band) for metric, band in self.bands.items()},
+            "per_repair": {
+                repair: dict(entry)
+                for repair, entry in self.per_repair.items()
+            },
+            "contingent": self.contingent,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AlphaBand":
+        return cls(
+            name=payload["name"],
+            bands=dict(payload.get("bands", {})),
+            per_repair=dict(payload.get("per_repair", {})),
+            contingent=bool(payload.get("contingent", False)),
+        )
+
+
+@dataclass
+class RobustnessReport:
+    """Per-alpha robustness bands for one fleet across a repair set."""
+
+    scenario: str
+    #: Repair names in evaluation order; the first is the primary repair
+    #: the fleet was mined on.
+    repairs: tuple[str, ...]
+    bands: tuple[AlphaBand, ...]
+    #: True when the fleet's IC ranking is identical under every repair —
+    #: the ranking is a *certain* answer over the dirty panel.
+    certain_ranking: bool
+    #: Conjunction of every per-repair serve's online/offline parity.
+    parity: bool
+    #: ``kind -> count`` from auditing the dirty directory (may be empty).
+    audit_counts: dict = field(default_factory=dict)
+    version: int = ROBUSTNESS_REPORT_VERSION
+
+    def __post_init__(self) -> None:
+        self.repairs = tuple(self.repairs)
+        self.bands = tuple(self.bands)
+
+    # ------------------------------------------------------------------
+    def band_for(self, name: str) -> AlphaBand:
+        """The band of one alpha by name."""
+        for band in self.bands:
+            if band.name == name:
+                return band
+        raise ConfigurationError(
+            f"no robustness band for alpha {name!r}; "
+            f"fleet: {[band.name for band in self.bands]}"
+        )
+
+    def to_json(self) -> dict:
+        """JSON-serialisable representation (the on-disk layout)."""
+        return {
+            "version": self.version,
+            "scenario": self.scenario,
+            "repairs": list(self.repairs),
+            "certain_ranking": self.certain_ranking,
+            "parity": self.parity,
+            "audit_counts": dict(self.audit_counts),
+            "bands": [band.to_dict() for band in self.bands],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "RobustnessReport":
+        """Inverse of :meth:`to_json`; rejects layouts from other versions."""
+        version = payload.get("version", ROBUSTNESS_REPORT_VERSION)
+        if version != ROBUSTNESS_REPORT_VERSION:
+            raise ConfigurationError(
+                f"robustness report has version {version}, this build reads "
+                f"version {ROBUSTNESS_REPORT_VERSION}"
+            )
+        return cls(
+            scenario=payload.get("scenario", ""),
+            repairs=tuple(payload.get("repairs", ())),
+            bands=tuple(
+                AlphaBand.from_dict(entry)
+                for entry in payload.get("bands", ())
+            ),
+            certain_ranking=bool(payload.get("certain_ranking", True)),
+            parity=bool(payload.get("parity", True)),
+            audit_counts=dict(payload.get("audit_counts", {})),
+            version=version,
+        )
+
+    def render(self) -> str:
+        """A printable band table."""
+        verdict = "certain" if self.certain_ranking else "CONTINGENT"
+        lines = [
+            f"robustness across repairs {list(self.repairs)} "
+            f"(IC ranking: {verdict}; parity: "
+            + ("ok" if self.parity else "VIOLATED") + ")"
+        ]
+        if self.audit_counts:
+            lines.append(f"audit: {self.audit_counts}")
+        lines.append("{:<20} {:>26} {:>26} {:>11}".format(
+            "alpha", "IC [min..mean..max]", "Sharpe [min..mean..max]",
+            "rank"))
+        for band in self.bands:
+            ic, sharpe = band.bands["ic"], band.bands["sharpe"]
+            lines.append("{:<20} {:>26} {:>26} {:>11}".format(
+                band.name,
+                "[{min:.4f}..{mean:.4f}..{max:.4f}]".format(**ic),
+                "[{min:.3f}..{mean:.3f}..{max:.3f}]".format(**sharpe),
+                "contingent" if band.contingent else "certain",
+            ))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+
+def _ic_ranking(metrics: dict[str, dict[str, float]]) -> tuple[str, ...]:
+    """Fleet names ordered by descending IC (NaNs last, name-stable ties)."""
+    return tuple(sorted(
+        metrics,
+        key=lambda name: (isnan(metrics[name]["ic"]),
+                          -metrics[name]["ic"]
+                          if not isnan(metrics[name]["ic"]) else 0.0,
+                          name),
+    ))
+
+
+def evaluate_robustness(
+    config,
+    report,
+    repairs: tuple[str, ...],
+    scenario: str = "",
+    audit_counts: dict | None = None,
+) -> RobustnessReport:
+    """Re-serve ``report``'s fleet across ``repairs`` and band the metrics.
+
+    ``config`` is the materialised (file-backed) experiment configuration
+    the primary serve ran on; its own ``data.repair`` is the primary repair
+    and is *not* re-served — the primary rows are reused.  Every extra
+    repair rebuilds the config with :meth:`~repro.data.DataSpec.repaired`
+    (a different panel, a different task-set memo entry) and replays the
+    identical mined programs through :func:`~repro.stream.run_serve`, so
+    the spread per alpha is attributable to the repair choice alone.
+    """
+    if report.programs is None or report.program_names is None:
+        raise ConfigurationError(
+            "robustness evaluation needs the primary serve report to carry "
+            "its fleet (ServeReport.programs / program_names)"
+        )
+    # Imported lazily to keep the scenarios package import-light.
+    from ..stream import run_serve
+
+    primary = config.data.repair
+    ordered = [primary] + [name for name in repairs if name != primary]
+    rows_by_repair = {primary: report.rows}
+    parity_by_repair = {primary: report.parity}
+    for name in ordered[1:]:
+        repaired_config = config.scaled(
+            name=f"{config.name}-{name}",
+            data=config.data.repaired(name),
+        )
+        with TELEMETRY.span("scenario.robustness.serve", repair=name):
+            served = run_serve(
+                repaired_config,
+                programs=list(report.programs),
+                names=list(report.program_names),
+            )
+        rows_by_repair[name] = served.rows
+        parity_by_repair[name] = served.parity
+    if TELEMETRY.enabled:
+        TELEMETRY.counter("scenarios.robustness.serves").inc(len(ordered) - 1)
+
+    # name -> repair -> {"ic", "sharpe", "parity"}
+    metrics: dict[str, dict[str, dict]] = {
+        name: {} for name in report.program_names
+    }
+    for repair, rows in rows_by_repair.items():
+        for row in rows:
+            metrics[row.name][repair] = {
+                "ic": float(row.ic),
+                "sharpe": float(row.sharpe),
+                "parity": bool(row.parity),
+            }
+    rankings = [
+        _ic_ranking({name: metrics[name][repair] for name in metrics})
+        for repair in ordered
+    ]
+    certain_ranking = all(ranking == rankings[0] for ranking in rankings)
+    bands = []
+    for name in report.program_names:
+        positions = {ranking.index(name) for ranking in rankings}
+        bands.append(AlphaBand(
+            name=name,
+            bands={
+                metric: _band([
+                    metrics[name][repair][metric] for repair in ordered
+                ])
+                for metric in _BAND_METRICS
+            },
+            per_repair={repair: metrics[name][repair] for repair in ordered},
+            contingent=len(positions) > 1,
+        ))
+    return RobustnessReport(
+        scenario=scenario,
+        repairs=tuple(ordered),
+        bands=tuple(bands),
+        certain_ranking=certain_ranking,
+        parity=all(parity_by_repair.values()),
+        audit_counts=dict(audit_counts or {}),
+    )

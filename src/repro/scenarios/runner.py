@@ -16,11 +16,14 @@ DIR`` persists one results JSON per scenario next to the table artifacts.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
+from ..data import audit_directory
 from ..experiments.recorder import ExperimentResult
 from ..obs import TELEMETRY
 from ..stream import run_serve
 from .registry import get_scenario, list_scenarios
+from .robustness import evaluate_robustness
 from .spec import ScenarioSpec
 
 __all__ = ["render_scenario_list", "run_scenario"]
@@ -31,21 +34,28 @@ def run_scenario(
     scale: str = "laptop",
     data_dir: str | None = None,
     overrides: dict | None = None,
+    repair: str | None = None,
 ) -> ExperimentResult:
     """Run ``scenario`` (a name or spec) end to end and return its result.
 
     ``overrides`` are extra :class:`ExperimentConfig` fields applied after
     materialisation (the CLI uses them for ``--top-k``/``--candidates``
     style trims); unknown fields raise a configuration error naming the
-    scenario.  The result's metadata records the scenario, scale, backend
-    description, task-set shape, serving statistics, the parity verdict and
-    the per-phase (mine / compile / serve) wall-clock breakdown; the
+    scenario.  ``repair`` swaps the primary repair policy on file-backed
+    scenarios (the CLI's ``--repair``).  The result's metadata records the
+    scenario, scale, backend description, task-set shape, serving
+    statistics, the parity verdict and the per-phase (mine / compile /
+    serve) wall-clock breakdown; dirty scenarios add the directory audit
+    (``metadata["audit"]``) and, when the spec lists admissible ``repairs``,
+    the per-alpha robustness bands (``metadata["robustness"]``); the
     result's ``run_record`` carries the full provenance for ``repro stats``.
     """
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
     config = spec.experiment_config(scale, data_dir=data_dir)
     if overrides:
         config = config.scaled(**overrides)
+    if repair is not None:
+        config = config.scaled(data=config.data.repaired(repair))
 
     started = time.perf_counter()
     backend = config.data_backend()
@@ -54,6 +64,22 @@ def run_scenario(
             config,
             corrections=list(spec.corrections) if spec.corrections else None,
         )
+        audit_counts: dict = {}
+        if config.data.kind == "file" and config.data.path:
+            exclude = (
+                (Path(config.data.sector_map).name,)
+                if config.data.sector_map else ()
+            )
+            audit_counts = audit_directory(
+                config.data.path, pattern=config.data.pattern,
+                exclude=exclude,
+            ).counts()
+        robustness = None
+        if spec.repairs:
+            robustness = evaluate_robustness(
+                config, report, spec.repairs, scenario=spec.name,
+                audit_counts=audit_counts,
+            )
     seconds = time.perf_counter() - started
     # run_serve built (and memoised) the task set; re-resolve it for the
     # shape summary without paying a second build.
@@ -67,6 +93,12 @@ def run_scenario(
         f"backend={backend.describe()}\n"
         f"taskset={taskset.describe()}\n"
     )
+    rendered = header + report.render()
+    # The scenario's overall parity verdict folds in every robustness
+    # re-serve: a repair that breaks online/offline parity fails the run.
+    parity = report.parity and (robustness is None or robustness.parity)
+    if robustness is not None:
+        rendered += "\n\n" + robustness.render()
     metadata = {
         **report.metadata,
         **report.stats,
@@ -78,12 +110,16 @@ def run_scenario(
         "description": spec.description,
         "backend": backend.describe(),
         "taskset": taskset.describe(),
-        "parity": report.parity,
+        "parity": parity,
         "seconds": round(seconds, 3),
         # Per-phase wall clock (mine / compile / serve), measured by
         # run_serve regardless of whether telemetry is enabled.
         "phase_seconds": report.metadata.get("phase_seconds", {}),
     }
+    if audit_counts:
+        metadata["audit"] = audit_counts
+    if robustness is not None:
+        metadata["robustness"] = robustness.to_json()
     run_record = report.run_record
     if run_record is not None:
         run_record.experiment = f"scenario-{spec.name}"
@@ -96,7 +132,7 @@ def run_scenario(
     return ExperimentResult(
         experiment=f"scenario-{spec.name}",
         rows=rows,
-        rendered=header + report.render(),
+        rendered=rendered,
         metadata=metadata,
         run_record=run_record,
     )

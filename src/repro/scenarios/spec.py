@@ -27,7 +27,15 @@ import os
 from dataclasses import dataclass, replace
 from pathlib import Path
 
-from ..data import DataSpec, SyntheticBackend, export_panel_csv
+from ..data import (
+    CorruptionSpec,
+    DataSpec,
+    SyntheticBackend,
+    export_panel_csv,
+    inject_corruption,
+    repair_policy,
+    save_audit_report,
+)
 from ..errors import ConfigurationError
 from ..experiments.configs import SCALES, ExperimentConfig
 
@@ -82,6 +90,18 @@ class ScenarioSpec:
         the runner injects after the stream: each rewrites an already-served
         bar through the server's bounded delta-replay, verified bitwise
         against a full replay of the corrected history.
+    corruption:
+        A :class:`~repro.data.CorruptionSpec` applied to the exported CSVs
+        (requires ``export_synthetic``): the export is deterministically
+        dirtied — duplicate rows, gaps, frozen quotes, splits, spikes — and
+        the injected ground truth is written next to the data as
+        ``corruption.json``.  The scenario then loads through the spec's
+        repair policy (``data.repair``).
+    repairs:
+        Extra admissible repair-policy names.  When non-empty the runner
+        re-serves the mined fleet under each of them and attaches a
+        :class:`~repro.scenarios.robustness.RobustnessReport` (per-alpha
+        IC/Sharpe bands, certain-vs-contingent ranking) to the result.
     """
 
     name: str
@@ -92,6 +112,8 @@ class ScenarioSpec:
     market_overrides: tuple[tuple[str, object], ...] = ()
     export_synthetic: bool = False
     corrections: tuple = ()
+    corruption: CorruptionSpec | None = None
+    repairs: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -101,6 +123,19 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: export_synthetic requires "
                 "DataSpec(kind='file')"
             )
+        if self.corruption is not None and not self.export_synthetic:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: corruption injection requires "
+                "export_synthetic=True (there is nothing on disk to corrupt)"
+            )
+        if self.repairs:
+            if self.data.kind != "file":
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: robustness repairs require "
+                    "DataSpec(kind='file') — repair policies act at load time"
+                )
+            for name in self.repairs:
+                repair_policy(name)  # fail fast on unknown policy names
 
     # ------------------------------------------------------------------
     def overrides_for(self, scale: str) -> dict:
@@ -166,6 +201,10 @@ class ScenarioSpec:
             "cache_key": repr(backend.cache_key()),
             "num_stocks": config.num_stocks,
         }
+        if self.corruption is not None:
+            # Part of the manifest so a clean export from a pre-corruption
+            # spec (or a different workload) is never mistaken for this one.
+            manifest["corruption"] = repr(self.corruption)
         if manifest_path.exists():
             try:
                 intact = (
@@ -187,8 +226,17 @@ class ScenarioSpec:
             for stale in directory.glob("*.csv"):
                 stale.unlink()
             (directory / _SECTOR_MAP).unlink(missing_ok=True)
+            (directory / "corruption.json").unlink(missing_ok=True)
             manifest_path.unlink(missing_ok=True)
         export_panel_csv(backend.load_panel(), directory,
                          sector_map_name=_SECTOR_MAP)
+        if self.corruption is not None:
+            # Dirty the clean export deterministically and persist the
+            # injected ground truth next to the data, so tests (and curious
+            # humans) can compare it against a live audit of the directory.
+            injected = inject_corruption(
+                directory, self.corruption, exclude=(_SECTOR_MAP,)
+            )
+            save_audit_report(injected, directory / "corruption.json")
         manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
         return directory

@@ -106,6 +106,12 @@ class ServeReport:
     metadata: dict = field(default_factory=dict)
     #: Provenance + telemetry of the run (attached by :func:`run_serve`).
     run_record: RunRecord | None = None
+    #: The fleet that was served, in row order (attached by
+    #: :func:`run_serve`).  Lets callers replay the identical programs over
+    #: a different data repair — the robustness-band evaluation in
+    #: :mod:`repro.scenarios.robustness`.
+    programs: list[AlphaProgram] | None = None
+    program_names: list[str] | None = None
 
     @property
     def parity(self) -> bool:
@@ -538,6 +544,8 @@ def run_serve(config, programs: list[AlphaProgram] | None = None,
                 server, served, list(corrections)
             )
         phase_seconds["correct"] = time.perf_counter() - phase_started
+    report.programs = list(programs)
+    report.program_names = list(driver.names)
     report.metadata["scale"] = config.name
     report.metadata["serve_top_k"] = getattr(config, "serve_top_k", len(programs))
     report.metadata["phase_seconds"] = {

@@ -1,0 +1,208 @@
+"""Property-based corruption harness for the dirty-market repair layer.
+
+The three contracts ``docs/DATA.md`` promises, exercised by seeded
+injection into a clean synthetic export (``repro.data.inject_corruption``
+is the ground-truth generator, ``audit_directory`` the detector):
+
+(a) **audit exactness** — for every taxonomy class, and for composed
+    multi-class workloads, the auditor finds *exactly* the injected
+    violation set (compared by ``AuditReport.keys()``);
+(b) **repair determinism** — every policy loads a bitwise-identical panel
+    across repeated loads of the same dirty directory, and the repaired
+    panel survives a CSV → FileBackend round trip bit for bit;
+(c) **clean-panel identity** — repairing already-clean data is the
+    identity, for every registered policy.
+"""
+
+import shutil
+
+import pytest
+
+from repro.data import (
+    CORRUPTION_KINDS,
+    CorruptionSpec,
+    FileBackend,
+    MarketConfig,
+    SyntheticMarket,
+    audit_directory,
+    export_panel_csv,
+    inject_corruption,
+    load_audit_report,
+    load_csv_directory,
+    panels_bitwise_equal,
+    repair_policy_names,
+    save_audit_report,
+)
+from repro.errors import DataIntegrityError
+
+_SECTOR_MAP = "sectors.txt"
+_EXCLUDE = (_SECTOR_MAP,)
+_NUM_STOCKS = 16
+_NUM_DAYS = 120
+
+
+@pytest.fixture(scope="module")
+def clean_source(tmp_path_factory):
+    """One clean synthetic export every test copies from (byte-stable)."""
+    directory = tmp_path_factory.mktemp("clean") / "panel"
+    panel = SyntheticMarket(
+        MarketConfig(num_stocks=_NUM_STOCKS, num_days=_NUM_DAYS), seed=5
+    ).generate()
+    export_panel_csv(panel, directory)
+    return directory
+
+
+def copy_of(clean_source, tmp_path, name="data"):
+    target = tmp_path / name
+    shutil.copytree(clean_source, target)
+    return target
+
+
+def load(directory, repair=None):
+    return load_csv_directory(directory, exclude=_EXCLUDE, repair=repair)
+
+
+def directory_bytes(directory):
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(directory.glob("*.csv"))
+    }
+
+
+class TestCleanPanel:
+    def test_clean_export_audits_clean(self, clean_source):
+        report = audit_directory(clean_source, exclude=_EXCLUDE)
+        assert report.violations == ()
+        assert report.counts() == {}
+
+    @pytest.mark.parametrize("policy", repair_policy_names())
+    def test_repairing_clean_data_is_the_identity(self, clean_source, policy):
+        baseline = load(clean_source)
+        repaired = load(clean_source, repair=policy)
+        assert panels_bitwise_equal(repaired, baseline)
+
+
+class TestInjection:
+    def test_injection_is_deterministic(self, clean_source, tmp_path):
+        spec = CorruptionSpec(events=2, seed=77)
+        first_dir = copy_of(clean_source, tmp_path, "first")
+        second_dir = copy_of(clean_source, tmp_path, "second")
+        first = inject_corruption(first_dir, spec, exclude=_EXCLUDE)
+        second = inject_corruption(second_dir, spec, exclude=_EXCLUDE)
+        assert first.keys() == second.keys()
+        assert directory_bytes(first_dir) == directory_bytes(second_dir)
+
+    def test_untouched_stocks_keep_their_exact_bytes(self, clean_source,
+                                                     tmp_path):
+        dirty_dir = copy_of(clean_source, tmp_path)
+        before = directory_bytes(clean_source)
+        injected = inject_corruption(
+            dirty_dir, CorruptionSpec(kinds=("spikes",), events=1, seed=3),
+            exclude=_EXCLUDE,
+        )
+        after = directory_bytes(dirty_dir)
+        corrupted = {f"{v.ticker}.csv" for v in injected.violations}
+        assert len(corrupted) == 1
+        for name, payload in before.items():
+            if name not in corrupted:
+                assert after[name] == payload
+
+    def test_ground_truth_report_round_trips(self, clean_source, tmp_path):
+        dirty_dir = copy_of(clean_source, tmp_path)
+        injected = inject_corruption(
+            dirty_dir, CorruptionSpec(events=1, seed=9), exclude=_EXCLUDE)
+        path = save_audit_report(injected, tmp_path / "truth.json")
+        assert load_audit_report(path).keys() == injected.keys()
+
+
+class TestAuditExactness:
+    @pytest.mark.parametrize("kind", CORRUPTION_KINDS)
+    @pytest.mark.parametrize("seed", [11, 42])
+    def test_single_kind_recovered_exactly(self, clean_source, tmp_path,
+                                           kind, seed):
+        dirty_dir = copy_of(clean_source, tmp_path)
+        injected = inject_corruption(
+            dirty_dir, CorruptionSpec(kinds=(kind,), events=2, seed=seed),
+            exclude=_EXCLUDE,
+        )
+        detected = audit_directory(dirty_dir, exclude=_EXCLUDE)
+        assert detected.keys() == injected.keys()
+        assert detected.counts() == {kind: 2}
+
+    @pytest.mark.parametrize("seed", [7, 42])
+    def test_composed_workload_recovered_exactly(self, clean_source,
+                                                 tmp_path, seed):
+        dirty_dir = copy_of(clean_source, tmp_path)
+        spec = CorruptionSpec(kinds=CORRUPTION_KINDS, events=2, seed=seed)
+        injected = inject_corruption(dirty_dir, spec, exclude=_EXCLUDE)
+        detected = audit_directory(dirty_dir, exclude=_EXCLUDE)
+        assert detected.keys() == injected.keys()
+        assert detected.counts() == {kind: 2 for kind in CORRUPTION_KINDS}
+
+    def test_split_factor_recovered(self, clean_source, tmp_path):
+        dirty_dir = copy_of(clean_source, tmp_path)
+        inject_corruption(
+            dirty_dir, CorruptionSpec(kinds=("splits",), events=2, seed=1),
+            exclude=_EXCLUDE,
+        )
+        detected = audit_directory(dirty_dir, exclude=_EXCLUDE)
+        for violation in detected.for_kind("splits"):
+            assert violation.detail["factor"] == 2.0
+
+
+@pytest.fixture()
+def dirty_dir(clean_source, tmp_path):
+    """A composed dirty directory (every kind, two events each)."""
+    directory = copy_of(clean_source, tmp_path)
+    inject_corruption(
+        directory, CorruptionSpec(kinds=CORRUPTION_KINDS, events=2, seed=42),
+        exclude=_EXCLUDE,
+    )
+    return directory
+
+
+# ``strict`` rejects the injected duplicates by design — it gets its own
+# structured-rejection test below.
+_REPAIRING_POLICIES = [
+    name for name in repair_policy_names() if name != "strict"
+]
+
+
+class TestRepairDeterminism:
+    @pytest.mark.parametrize("policy", _REPAIRING_POLICIES)
+    def test_repeated_loads_are_bitwise_identical(self, dirty_dir, policy):
+        first = load(dirty_dir, repair=policy)
+        second = load(dirty_dir, repair=policy)
+        assert panels_bitwise_equal(first, second)
+
+    @pytest.mark.parametrize("policy", _REPAIRING_POLICIES)
+    def test_repaired_panel_survives_csv_round_trip(self, dirty_dir,
+                                                    tmp_path, policy):
+        repaired = load(dirty_dir, repair=policy)
+        out = tmp_path / f"roundtrip-{policy}"
+        export_panel_csv(repaired, out)
+        back = FileBackend(out, sector_map=out / _SECTOR_MAP).load_panel()
+        assert panels_bitwise_equal(back, repaired)
+
+    def test_strict_rejects_with_the_injected_pairs(self, clean_source,
+                                                    tmp_path):
+        directory = copy_of(clean_source, tmp_path)
+        injected = inject_corruption(
+            directory,
+            CorruptionSpec(kinds=("duplicates",), events=2, seed=42),
+            exclude=_EXCLUDE,
+        )
+        with pytest.raises(DataIntegrityError) as excinfo:
+            load(directory)
+        assert sorted(excinfo.value.pairs) == sorted(injected.pairs())
+
+    def test_conflicting_duplicates_distinguish_keep_policies(self,
+                                                              dirty_dir):
+        keep_first = load(dirty_dir, repair="keep-first")
+        keep_last = load(dirty_dir, repair="keep-last")
+        assert not panels_bitwise_equal(keep_first, keep_last)
+
+    def test_robust_actually_changes_the_dirty_panel(self, dirty_dir):
+        minimal = load(dirty_dir, repair="keep-last")
+        robust = load(dirty_dir, repair="robust")
+        assert not panels_bitwise_equal(minimal, robust)

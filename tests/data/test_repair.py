@@ -1,0 +1,345 @@
+"""Unit tests for the dirty-market repair layer (repro.data.repair).
+
+Detection units (duplicates, stale runs, split-vs-spike classification),
+the policy registry, structured rejection (DataIntegrityError pairs), the
+gap policies through the loader, and the versioned AuditReport JSON.
+The end-to-end corrupt→audit→repair properties live in
+tests/data/test_corruption_fuzz.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AuditReport,
+    FileBackend,
+    MarketConfig,
+    RepairPolicy,
+    SyntheticMarket,
+    Violation,
+    export_panel_csv,
+    load_csv_directory,
+    panels_bitwise_equal,
+    register_repair_policy,
+    repair_policy,
+    repair_policy_names,
+)
+from repro.data.repair import (
+    AUDIT_REPORT_VERSION,
+    dedupe_columns,
+    find_duplicate_dates,
+    find_series_violations,
+    interpolate_fill,
+    repair_series,
+    _snap_split_factor,
+)
+from repro.errors import DataError, DataIntegrityError
+
+from tests.data.test_file_edge_cases import steady_rows, write_csv
+
+
+def columns_from(close, dates=None):
+    close = np.asarray(close, dtype=np.float64)
+    if dates is None:
+        dates = np.arange(1, close.size + 1, dtype=np.float64)
+    return {
+        "date": np.asarray(dates, dtype=np.float64),
+        "open": close * 0.99,
+        "high": close * 1.01,
+        "low": close * 0.98,
+        "close": close.copy(),
+        "volume": np.full(close.size, 1000.0),
+    }
+
+
+class TestPolicyRegistry:
+    def test_shipped_policies(self):
+        names = repair_policy_names()
+        for expected in ("strict", "keep-first", "keep-last",
+                         "gap-interpolate", "gap-drop", "split-adjust",
+                         "despike", "robust"):
+            assert expected in names
+
+    def test_strict_is_the_default_and_none_resolves_to_it(self):
+        assert repair_policy(None).name == "strict"
+        assert repair_policy("strict").duplicates == "reject"
+        assert repair_policy("strict").gaps == "ffill"
+
+    def test_policy_passthrough(self):
+        policy = repair_policy("robust")
+        assert repair_policy(policy) is policy
+
+    def test_unknown_policy_raises_with_alternatives(self):
+        with pytest.raises(DataError, match="registered policies"):
+            repair_policy("nope")
+
+    def test_duplicate_registration_raises_unless_overwritten(self):
+        from repro.data.repair import REPAIR_POLICIES
+
+        policy = RepairPolicy("test-dup-policy")
+        try:
+            register_repair_policy(policy)
+            with pytest.raises(DataError, match="already registered"):
+                register_repair_policy(policy)
+            register_repair_policy(policy, overwrite=True)
+        finally:
+            REPAIR_POLICIES.pop("test-dup-policy", None)
+
+    def test_invalid_choice_raises(self):
+        with pytest.raises(DataError, match="unknown gaps choice"):
+            RepairPolicy("bad", gaps="zero-fill")
+
+    def test_describe_is_json_friendly(self):
+        described = repair_policy("robust").describe()
+        assert described["name"] == "robust"
+        assert described["splits"] == "back-adjust"
+
+
+class TestDetectionUnits:
+    def test_clean_series_has_no_violations(self):
+        rng = np.random.default_rng(0)
+        close = 50.0 * np.exp(np.cumsum(rng.normal(0, 0.02, 200)))
+        assert find_series_violations("X", columns_from(close)) == []
+
+    def test_duplicate_dates_found_with_conflict_flag(self):
+        cols = columns_from([10.0, 11.0, 12.0, 13.0],
+                            dates=[1.0, 2.0, 2.0, 3.0])
+        violations = find_duplicate_dates("X", cols)
+        assert [v.key() for v in violations] == [("duplicates", "X", (2,))]
+        assert violations[0].detail["conflict"] is True
+
+    def test_identical_duplicate_rows_are_not_a_conflict(self):
+        cols = columns_from([10.0, 11.0, 11.0, 13.0],
+                            dates=[1.0, 2.0, 2.0, 3.0])
+        # Make the duplicate rows bit-identical across every column.
+        for name in ("open", "high", "low", "close", "volume"):
+            cols[name][2] = cols[name][1]
+        (violation,) = find_duplicate_dates("X", cols)
+        assert violation.detail["conflict"] is False
+
+    def test_stale_run_detected_at_threshold(self):
+        close = [50.0, 51.0, 52.0, 52.0, 52.0, 52.0, 53.0]
+        (violation,) = find_series_violations("X", columns_from(close),
+                                              kinds=("stale",))
+        assert violation.kind == "stale"
+        assert violation.dates == (3, 4, 5, 6)
+        short = [50.0, 51.0, 52.0, 52.0, 52.0, 53.0]
+        assert find_series_violations("X", columns_from(short),
+                                      kinds=("stale",)) == []
+
+    def test_persistent_jump_is_a_split(self):
+        close = [50.0, 50.5, 25.0, 25.2, 25.1]
+        (violation,) = find_series_violations("X", columns_from(close))
+        assert violation.kind == "splits"
+        assert violation.dates == (3,)
+        assert violation.detail["factor"] == 2.0
+
+    def test_reverting_jump_is_a_spike(self):
+        close = [50.0, 50.5, 150.0, 50.2, 50.1]
+        (violation,) = find_series_violations("X", columns_from(close))
+        assert violation.kind == "spikes"
+        assert violation.dates == (3,)
+
+    def test_last_day_jump_counts_as_split(self):
+        close = [50.0, 50.5, 50.2, 100.9]
+        (violation,) = find_series_violations("X", columns_from(close))
+        assert violation.kind == "splits"
+
+    def test_snap_split_factor(self):
+        assert _snap_split_factor(2.03) == 2.0
+        assert _snap_split_factor(2.9) == 3.0
+        assert _snap_split_factor(1 / 2.03) == 0.5
+        # Far from any integer ratio: fall back to the raw ratio.
+        assert _snap_split_factor(1.62) == 1.62
+
+
+class TestDedupe:
+    def test_keep_first_vs_keep_last(self):
+        cols = columns_from([10.0, 11.0, 12.0, 13.0],
+                            dates=[1.0, 2.0, 2.0, 3.0])
+        first, violations = dedupe_columns("X", cols, "keep-first")
+        last, _ = dedupe_columns("X", cols, "keep-last")
+        assert list(first["close"]) == [10.0, 11.0, 13.0]
+        assert list(last["close"]) == [10.0, 12.0, 13.0]
+        assert len(violations) == 1
+
+    def test_reject_raises_structured_error(self):
+        cols = columns_from([10.0, 11.0, 12.0, 13.0],
+                            dates=[1.0, 2.0, 2.0, 3.0])
+        with pytest.raises(DataIntegrityError) as excinfo:
+            dedupe_columns("X", cols, "reject")
+        assert excinfo.value.pairs == (("X", 2),)
+        assert isinstance(excinfo.value, DataError)
+
+    def test_clean_columns_pass_through_unchanged(self):
+        cols = columns_from([10.0, 11.0, 12.0])
+        deduped, violations = dedupe_columns("X", cols, "keep-last")
+        assert deduped is cols
+        assert violations == []
+
+
+class TestRepairSeries:
+    def test_split_back_adjust_preserves_returns(self):
+        rng = np.random.default_rng(1)
+        clean = 50.0 * np.exp(np.cumsum(rng.normal(0, 0.01, 60)))
+        dirty = clean.copy()
+        dirty[30:] /= 2.0
+        cols = columns_from(dirty)
+        repaired, applied = repair_series(
+            "X", cols, repair_policy("split-adjust"))
+        assert [v.kind for v in applied] == ["splits"]
+        ratios = repaired["close"][1:] / repaired["close"][:-1]
+        clean_ratios = clean[1:] / clean[:-1]
+        assert np.allclose(ratios, clean_ratios)
+        # Pre-split volume scales up by the split factor.
+        assert repaired["volume"][0] == 2000.0
+        assert repaired["volume"][-1] == 1000.0
+
+    def test_spike_interpolation_lands_on_neighbour_midpoint(self):
+        close = [50.0, 50.5, 150.0, 50.2, 50.1]
+        cols = columns_from(close)
+        repaired, applied = repair_series("X", cols, repair_policy("despike"))
+        assert [v.kind for v in applied] == ["spikes"]
+        assert repaired["close"][2] == pytest.approx(0.5 * (50.5 + 50.2))
+        # OHLC scale together (shape-preserving).
+        assert repaired["high"][2] / repaired["close"][2] == pytest.approx(1.01)
+
+    def test_keep_policies_are_a_no_op(self):
+        close = [50.0, 50.5, 25.0, 25.2, 25.1]
+        cols = columns_from(close)
+        repaired, applied = repair_series("X", cols, repair_policy("strict"))
+        assert repaired is cols
+        assert applied == []
+
+
+class TestGapPoliciesThroughLoader:
+    def make_gapped_dir(self, tmp_path):
+        write_csv(tmp_path / "AAA.csv", steady_rows(range(10)))
+        rows = steady_rows(range(10), price=60.0, skip=(4, 5))
+        write_csv(tmp_path / "BBB.csv", rows)
+        return tmp_path
+
+    def test_ffill_keeps_union_calendar(self, tmp_path):
+        panel = load_csv_directory(self.make_gapped_dir(tmp_path))
+        assert panel.num_days == 10
+        column = panel.close[:, list(panel.tickers).index("BBB")]
+        assert column[4] == column[3]
+
+    def test_interpolate_fills_linearly(self, tmp_path):
+        panel = load_csv_directory(self.make_gapped_dir(tmp_path),
+                                   repair="gap-interpolate")
+        assert panel.num_days == 10
+        k = list(panel.tickers).index("BBB")
+        write_back = panel.close[:, k]
+        # Days 4 and 5 interpolate between day 3 and day 6 (all 60.0 here,
+        # so use open which differs from close to see the linearity).
+        expected = np.interp([4, 5], [3, 6], [write_back[3], write_back[6]])
+        assert np.allclose(write_back[4:6], expected)
+
+    def test_drop_restricts_calendar_to_common_dates(self, tmp_path):
+        panel = load_csv_directory(self.make_gapped_dir(tmp_path),
+                                   repair="gap-drop")
+        assert panel.num_days == 8
+        assert 20200104 not in panel.dates
+        assert 20200105 not in panel.dates
+
+    def test_drop_needs_enough_common_dates(self, tmp_path):
+        write_csv(tmp_path / "AAA.csv", steady_rows(range(6), skip=(0, 1)))
+        write_csv(tmp_path / "BBB.csv",
+                  steady_rows(range(6), price=60.0, skip=(3, 4, 5)))
+        with pytest.raises(DataError, match="fewer than 3 common dates"):
+            load_csv_directory(tmp_path, repair="gap-drop")
+
+    def test_interpolate_fill_edges_extend(self):
+        series = np.array([np.nan, 2.0, np.nan, 4.0, np.nan])
+        filled = interpolate_fill(series)
+        assert list(filled) == [2.0, 2.0, 3.0, 4.0, 4.0]
+        assert list(interpolate_fill(np.full(3, np.nan))) == [0.0, 0.0, 0.0]
+
+
+class TestStructuredRejection:
+    def test_loader_aggregates_pairs_across_files(self, tmp_path):
+        rows = steady_rows(range(8))
+        write_csv(tmp_path / "AAA.csv", rows + [rows[3]])
+        rows_b = steady_rows(range(8), price=60.0)
+        write_csv(tmp_path / "BBB.csv", rows_b + [rows_b[5]])
+        write_csv(tmp_path / "CCC.csv", steady_rows(range(8), price=70.0))
+        with pytest.raises(DataIntegrityError, match="duplicate dates") as excinfo:
+            load_csv_directory(tmp_path)
+        assert excinfo.value.pairs == (
+            ("AAA", 20200103), ("BBB", 20200105),
+        )
+
+    def test_keep_last_resolves_instead_of_raising(self, tmp_path):
+        rows = steady_rows(range(8))
+        conflicting = (rows[3][0], 99.0, 100.0, 98.0, 99.0, 1.0)
+        write_csv(tmp_path / "AAA.csv", rows + [conflicting])
+        write_csv(tmp_path / "BBB.csv", steady_rows(range(8), price=60.0))
+        panel = load_csv_directory(tmp_path, repair="keep-last")
+        k = list(panel.tickers).index("AAA")
+        assert panel.close[3, k] == 99.0
+        first = load_csv_directory(tmp_path, repair="keep-first")
+        assert first.close[3, list(first.tickers).index("AAA")] == 50.0
+
+
+class TestAuditReportJson:
+    def make_report(self):
+        return AuditReport(
+            violations=(
+                Violation("splits", "AAA", (20200104,), {"factor": 2.0}),
+                Violation("gaps", "BBB", (20200105, 20200106)),
+            ),
+            source="/data",
+        )
+
+    def test_round_trip(self):
+        report = self.make_report()
+        back = AuditReport.from_json(report.to_json())
+        assert back.keys() == report.keys()
+        assert back.source == "/data"
+        assert back.version == AUDIT_REPORT_VERSION
+
+    def test_counts_and_pairs(self):
+        report = self.make_report()
+        assert report.counts() == {"gaps": 1, "splits": 1}
+        assert ("BBB", 20200106) in report.pairs()
+
+    def test_version_mismatch_raises(self):
+        payload = self.make_report().to_json()
+        payload["version"] = AUDIT_REPORT_VERSION + 1
+        with pytest.raises(DataError, match="version"):
+            AuditReport.from_json(payload)
+
+    def test_unknown_violation_kind_raises(self):
+        with pytest.raises(DataError, match="taxonomy"):
+            Violation("typo", "AAA", (1,))
+
+    def test_render_mentions_kinds_and_tickers(self):
+        rendered = self.make_report().render()
+        assert "splits" in rendered and "AAA" in rendered
+        assert AuditReport(violations=()).render() == \
+            "audit: clean (no violations)"
+
+
+class TestBackendIntegration:
+    def test_repair_is_part_of_identity(self, tmp_path):
+        panel = SyntheticMarket(
+            MarketConfig(num_stocks=12, num_days=90), seed=4
+        ).generate()
+        export_panel_csv(panel, tmp_path)
+        strict = FileBackend(tmp_path, sector_map=tmp_path / "sectors.txt")
+        robust = FileBackend(tmp_path, sector_map=tmp_path / "sectors.txt",
+                             repair="robust")
+        assert strict.cache_key() != robust.cache_key()
+        assert strict._source_key() != robust._source_key()
+        assert robust.describe()["repair"] == "robust"
+        # On clean data every policy loads the identical panel.
+        assert panels_bitwise_equal(strict.load_panel(), robust.load_panel())
+
+    def test_dataspec_validates_repair_name(self):
+        from repro.data import DataSpec
+
+        with pytest.raises(DataError, match="registered policies"):
+            DataSpec(kind="file", path="/tmp", repair="nope")
+        spec = DataSpec(kind="file", path="/tmp").repaired("keep-last")
+        assert spec.repair == "keep-last"

@@ -1,0 +1,204 @@
+"""The dirty-market scenario family and its versioned report schemas.
+
+Golden-file regression for the two JSON layouts the dirty scenarios emit
+(``AuditReport`` and ``RobustnessReport`` — versioned like ``RunRecord``,
+so schema drift fails against the files under ``tests/scenarios/golden/``),
+plus the ``repro scenario dirty-duplicates --output`` round trip with the
+robustness bands and the persisted corruption ground truth.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.data import (
+    AuditReport,
+    CorruptionSpec,
+    Violation,
+    load_audit_report,
+)
+from repro.data.repair import AUDIT_REPORT_VERSION
+from repro.errors import ConfigurationError, DataError
+from repro.experiments import load_result
+from repro.scenarios import (
+    ROBUSTNESS_REPORT_VERSION,
+    AlphaBand,
+    RobustnessReport,
+    get_scenario,
+    scenario_names,
+)
+
+GOLDEN = Path(__file__).parent / "golden"
+
+DIRTY_SCENARIOS = ("dirty-duplicates", "dirty-gaps", "dirty-splits")
+
+
+def golden_payload(name):
+    return json.loads((GOLDEN / name).read_text())
+
+
+class TestRegistration:
+    def test_dirty_scenarios_are_registered(self):
+        for name in DIRTY_SCENARIOS:
+            assert name in scenario_names()
+
+    @pytest.mark.parametrize("name", DIRTY_SCENARIOS)
+    def test_dirty_scenarios_are_file_backed_with_repairs(self, name):
+        spec = get_scenario(name)
+        assert spec.export_synthetic
+        assert spec.data.kind == "file"
+        assert isinstance(spec.corruption, CorruptionSpec)
+        assert spec.repairs
+        # The primary repair is on the DataSpec; the band set lists the
+        # *other* admissible repairs.
+        assert spec.data.repair not in spec.repairs
+
+    def test_each_scenario_targets_its_taxonomy_slice(self):
+        assert get_scenario("dirty-duplicates").corruption.kinds == (
+            "duplicates",)
+        assert get_scenario("dirty-gaps").corruption.kinds == ("gaps",)
+        assert get_scenario("dirty-splits").corruption.kinds == (
+            "splits", "spikes")
+
+
+class TestGoldenAuditReport:
+    def reference(self):
+        return AuditReport(
+            violations=(
+                Violation("duplicates", "STOCK_0003", (20200107,),
+                          {"count": 2, "conflict": True}),
+                Violation("gaps", "STOCK_0011", (20200114, 20200115)),
+                Violation("stale", "STOCK_0020",
+                          (20200120, 20200121, 20200122, 20200123),
+                          {"run": 4}),
+                Violation("splits", "STOCK_0027", (20200204,),
+                          {"ratio": 2.01, "factor": 2.0}),
+                Violation("spikes", "STOCK_0033", (20200217,),
+                          {"ratio": 3.0}),
+            ),
+            source="tests/scenarios/golden",
+        )
+
+    def test_schema_matches_golden_file(self):
+        assert self.reference().to_json() == golden_payload(
+            "audit_report.json")
+
+    def test_golden_file_round_trips(self):
+        payload = golden_payload("audit_report.json")
+        report = AuditReport.from_json(payload)
+        assert report.to_json() == payload
+        assert report.keys() == self.reference().keys()
+        assert report.version == AUDIT_REPORT_VERSION
+
+    def test_version_mismatch_is_rejected(self):
+        payload = golden_payload("audit_report.json")
+        payload["version"] = AUDIT_REPORT_VERSION + 1
+        with pytest.raises(DataError, match="version"):
+            AuditReport.from_json(payload)
+
+
+class TestGoldenRobustnessReport:
+    def reference(self):
+        return RobustnessReport(
+            scenario="dirty-duplicates",
+            repairs=("keep-last", "keep-first"),
+            bands=(
+                AlphaBand(
+                    name="alpha_AE_D_0",
+                    bands={"ic": {"min": 0.05, "mean": 0.055, "max": 0.06},
+                           "sharpe": {"min": 1.1, "mean": 1.2, "max": 1.3}},
+                    per_repair={
+                        "keep-last": {"ic": 0.06, "sharpe": 1.3,
+                                      "parity": True},
+                        "keep-first": {"ic": 0.05, "sharpe": 1.1,
+                                       "parity": True},
+                    },
+                    contingent=False,
+                ),
+                AlphaBand(
+                    name="alpha_AE_NN_1",
+                    bands={"ic": {"min": 0.01, "mean": 0.02, "max": 0.03},
+                           "sharpe": {"min": 0.4, "mean": 0.5, "max": 0.6}},
+                    per_repair={
+                        "keep-last": {"ic": 0.01, "sharpe": 0.4,
+                                      "parity": True},
+                        "keep-first": {"ic": 0.03, "sharpe": 0.6,
+                                       "parity": True},
+                    },
+                    contingent=True,
+                ),
+            ),
+            certain_ranking=False,
+            parity=True,
+            audit_counts={"duplicates": 2},
+        )
+
+    def test_schema_matches_golden_file(self):
+        assert self.reference().to_json() == golden_payload(
+            "robustness_report.json")
+
+    def test_golden_file_round_trips(self):
+        payload = golden_payload("robustness_report.json")
+        report = RobustnessReport.from_json(payload)
+        assert report.to_json() == payload
+        assert report.version == ROBUSTNESS_REPORT_VERSION
+        assert report.repairs == ("keep-last", "keep-first")
+
+    def test_version_mismatch_is_rejected(self):
+        payload = golden_payload("robustness_report.json")
+        payload["version"] = ROBUSTNESS_REPORT_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version"):
+            RobustnessReport.from_json(payload)
+
+    def test_band_lookup(self):
+        report = self.reference()
+        assert report.band_for("alpha_AE_NN_1").contingent
+        with pytest.raises(ConfigurationError, match="no robustness band"):
+            report.band_for("alpha_AE_R_9")
+
+    def test_render_carries_the_verdicts(self):
+        rendered = self.reference().render()
+        assert "CONTINGENT" in rendered  # the fleet ranking flips
+        assert "parity: ok" in rendered
+        assert "alpha_AE_D_0" in rendered
+
+
+class TestDirtyScenarioCli:
+    def test_dirty_duplicates_output_round_trip(self, tmp_path, capsys):
+        data_dir = tmp_path / "data"
+        code = main([
+            "scenario", "dirty-duplicates", "--scale", "smoke",
+            "--top-k", "1", "--candidates", "25",
+            "--data-dir", str(data_dir),
+            "--output", str(tmp_path / "results"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "robustness across repairs" in out
+
+        saved = load_result(
+            tmp_path / "results" / "scenario-dirty-duplicates.json")
+        assert saved.metadata["parity"] is True
+        assert saved.metadata["audit"] == {"duplicates": 2}
+        robustness = RobustnessReport.from_json(saved.metadata["robustness"])
+        assert robustness.repairs == ("keep-last", "keep-first")
+        assert robustness.parity
+        for band in robustness.bands:
+            assert set(band.bands) == {"ic", "sharpe"}
+            assert set(band.per_repair) == {"keep-last", "keep-first"}
+            for metric in ("ic", "sharpe"):
+                spread = band.bands[metric]
+                assert spread["min"] <= spread["mean"] <= spread["max"]
+
+        # The injected ground truth is persisted next to the exported data
+        # and matches what the saved audit counted.
+        truth = load_audit_report(
+            data_dir / "dirty-duplicates-smoke" / "corruption.json")
+        assert truth.counts() == saved.metadata["audit"]
+
+    def test_unknown_repair_override_is_a_usage_error(self, capsys):
+        code = main(["scenario", "dirty-duplicates", "--repair", "nope"])
+        assert code == 2
+        assert "unknown repair policy" in capsys.readouterr().err

@@ -14,7 +14,17 @@ import numpy as np
 import pytest
 
 from repro.cli import parse_corrections
-from repro.core import AlphaEvaluator, get_initialization
+from repro.core import AlphaEvaluator, Dimensions, get_initialization
+from repro.data import (
+    CorruptionSpec,
+    FileBackend,
+    MarketConfig,
+    Split,
+    SyntheticMarket,
+    build_taskset,
+    export_panel_csv,
+    inject_corruption,
+)
 from repro.errors import StreamError
 from repro.obs import TELEMETRY, telemetry_session
 from repro.scenarios import get_scenario, scenario_names
@@ -211,6 +221,91 @@ class TestDriverCorrections:
     def test_bar_correction_must_change_something(self):
         with pytest.raises(StreamError, match="neither"):
             BarCorrection(day=3)
+
+
+class TestRepairedPanelCorrections:
+    """Repairs composed with delta-replay: a dirty directory loaded under
+    the ``robust`` policy, then corrected mid-serve, must stay bitwise
+    identical to a fresh offline evaluator over the repaired-then-patched
+    history — the repair layer cannot perturb the correction contract."""
+
+    @pytest.fixture(scope="class")
+    def repaired_taskset(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("dirty-serve") / "panel"
+        panel = SyntheticMarket(
+            MarketConfig(num_stocks=16, num_days=220), seed=31
+        ).generate()
+        export_panel_csv(panel, directory)
+        inject_corruption(
+            directory, CorruptionSpec(events=1, seed=17),
+            exclude=("sectors.txt",),
+        )
+        repaired = FileBackend(
+            directory, sector_map=directory / "sectors.txt", repair="robust"
+        ).load_panel()
+        return build_taskset(
+            repaired, split=Split(train=110, valid=30, test=30)
+        )
+
+    @pytest.fixture(scope="class")
+    def repaired_fleet(self, repaired_taskset):
+        dims = Dimensions(
+            repaired_taskset.num_features, repaired_taskset.window
+        )
+        return [
+            get_initialization("D", dims, seed=3),
+            get_initialization("NN", dims, seed=3),
+        ]
+
+    def test_apply_corrections_stays_bitwise(
+        self, repaired_taskset, repaired_fleet
+    ):
+        driver = OnlineBacktestDriver(
+            repaired_taskset, repaired_fleet, seed=0, max_train_steps=40
+        )
+        server = driver.build_server()
+        served = driver.stream(server)
+        metadata = driver.apply_corrections(server, served, [
+            BarCorrection(day=3, feature_scale=1.01),
+            BarCorrection(day=10, feature_scale=0.99, label_scale=1.02),
+        ])
+        assert metadata["count"] == 2
+        assert metadata["parity"] is True
+        assert metadata["violations"] == []
+
+    def test_correct_bar_matches_offline_recompute(
+        self, repaired_taskset, repaired_fleet
+    ):
+        import dataclasses
+
+        server = make_server(repaired_taskset, repaired_fleet)
+        features = np.array(
+            repaired_taskset.split_features("valid"), copy=True
+        )
+        labels = np.array(repaired_taskset.split_labels("valid"), copy=True)
+        serve_days(server, features, labels, 0, SERVE_DAYS)
+
+        day = SERVE_DAYS - 5
+        features[day] = features[day] * 1.01
+        labels[day] = labels[day] * 0.99
+        suffix = server.correct_bar(
+            day, features=features[day], labels=labels[day]
+        )
+
+        full_features = np.array(repaired_taskset.features, copy=True)
+        full_labels = np.array(repaired_taskset.labels, copy=True)
+        start = repaired_taskset.split.train
+        full_features[start:start + SERVE_DAYS] = features[:SERVE_DAYS]
+        full_labels[start:start + SERVE_DAYS] = labels[:SERVE_DAYS]
+        patched = dataclasses.replace(
+            repaired_taskset, features=full_features, labels=full_labels
+        )
+        reference = AlphaEvaluator(patched, seed=0, max_train_steps=40)
+        reference._base_seed = server.base_seed
+        for index, program in enumerate(repaired_fleet):
+            batch = reference.run(program, splits=("valid",))["valid"]
+            assert (suffix[f"alpha_{index}"].tobytes()
+                    == batch[day:SERVE_DAYS].tobytes())
 
 
 class TestSuspendResumeCorrections:
